@@ -1,0 +1,297 @@
+package compdiff_test
+
+// One benchmark per table and figure of the paper's evaluation (§4),
+// plus micro-benchmarks of the machinery. Each benchmark regenerates
+// its artifact; `go run ./cmd/report -all` prints the same rows.
+// Custom metrics surface the headline numbers (detection counts,
+// unique bugs, overhead factors) next to the timings.
+
+import (
+	"testing"
+
+	"compdiff"
+	"compdiff/internal/bench"
+	"compdiff/internal/compiler"
+	"compdiff/internal/juliet"
+	"compdiff/internal/minic/parser"
+	"compdiff/internal/minic/sema"
+	"compdiff/internal/targets"
+	"compdiff/internal/vm"
+)
+
+// ---------------------------------------------------------------------------
+// Table 2: suite generation
+
+func BenchmarkTable2SuiteGeneration(b *testing.B) {
+	var cases int
+	for i := 0; i < b.N; i++ {
+		s := juliet.Generate()
+		cases = len(s.Cases)
+	}
+	b.ReportMetric(float64(cases), "cases")
+}
+
+// ---------------------------------------------------------------------------
+// Table 3: full tool comparison on the Juliet suite (reduced scale per
+// iteration; the full-scale run is cmd/report's job)
+
+func BenchmarkTable3Detection(b *testing.B) {
+	suite := juliet.GenerateScaled(8)
+	b.ResetTimer()
+	var unique int
+	for i := 0; i < b.N; i++ {
+		t3, err := bench.ComputeTable3(suite, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		unique = t3.TotalUnique
+	}
+	b.ReportMetric(float64(len(suite.Cases)), "cases")
+	b.ReportMetric(float64(unique), "unique-bugs")
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1: subset sweep over the Juliet bug matrix
+
+func BenchmarkFigure1Subsets(b *testing.B) {
+	suite := juliet.GenerateScaled(8)
+	t3, err := bench.ComputeTable3(suite, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var best int
+	for i := 0; i < b.N; i++ {
+		fig := bench.ComputeFigure1(t3.Matrix)
+		_, best = fig.BestPair()
+	}
+	b.ReportMetric(float64(len(t3.Matrix.Rows)), "bugs")
+	b.ReportMetric(float64(best), "best-pair-detects")
+}
+
+// ---------------------------------------------------------------------------
+// Table 4: target projects
+
+func BenchmarkTable4Targets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if got := len(targets.All()); got != 23 {
+			b.Fatalf("targets = %d", got)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table 5: real-world bugs — CompDiff detection of all 78 planted bugs
+
+func BenchmarkTable5RealWorld(b *testing.B) {
+	var detected int
+	for i := 0; i < b.N; i++ {
+		rw, err := bench.ComputeRealWorld(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		detected = len(rw.Matrix.Rows)
+	}
+	b.ReportMetric(float64(detected), "bugs-detected")
+}
+
+// ---------------------------------------------------------------------------
+// Table 6: sanitizer overlap on the real-world bugs
+
+func BenchmarkTable6Overlap(b *testing.B) {
+	rw, err := bench.ComputeRealWorld(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var unique int
+	for i := 0; i < b.N; i++ {
+		t6 := bench.ComputeTable6(rw)
+		unique = t6.AllTotal - t6.CaughtTotal
+	}
+	b.ReportMetric(float64(unique), "compdiff-only-bugs")
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: subset sweep over the real-world bug matrix
+
+func BenchmarkFigure2Subsets(b *testing.B) {
+	rw, err := bench.ComputeRealWorld(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var pairBugs int
+	for i := 0; i < b.N; i++ {
+		fig := bench.ComputeFigure1(rw.Matrix)
+		_, pairBugs = fig.BestPair()
+	}
+	b.ReportMetric(float64(pairBugs), "best-pair-detects")
+}
+
+// ---------------------------------------------------------------------------
+// §5 overhead: per-input differential cost at 1, 2, and 10 binaries
+
+func BenchmarkOverheadSingleBinary(b *testing.B)    { overheadBench(b, 1) }
+func BenchmarkOverheadRecommendedPair(b *testing.B) { overheadBench(b, 2) }
+func BenchmarkOverheadFullTen(b *testing.B)         { overheadBench(b, 10) }
+
+func overheadBench(b *testing.B, k int) {
+	tg := targets.ByName("readelf")
+	input := tg.Seeds[0]
+
+	if k == 1 {
+		// A single binary, as in plain (non-differential) fuzzing.
+		info := sema.MustCheck(parser.MustParse(tg.Src))
+		bin := compiler.MustCompile(info, compiler.Config{Family: compiler.Clang, Opt: compiler.O2})
+		m := vm.New(bin, vm.Options{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Run(input)
+		}
+		return
+	}
+
+	var impls []compdiff.Implementation
+	if k == 2 {
+		impls = compdiff.RecommendedPair()
+	} else {
+		impls = compdiff.DefaultImplementations()
+	}
+	suite, err := compdiff.New(tg.Src, impls, compdiff.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		suite.Run(input)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Machinery micro-benchmarks
+
+func BenchmarkDifferentialRunListing1(b *testing.B) {
+	src := `
+int dump_data(int offset, int len, int size) {
+    if (offset + len > size || offset < 0 || len < 0) { return -1; }
+    if (offset + len < offset) { return -1; }
+    return offset + len;
+}
+int main() {
+    char buf[8];
+    long n = read_input(buf, 8L);
+    if (n < 8) { return 0; }
+    int offset = 0;
+    int len = 0;
+    memcpy((char*)&offset, buf, 4L);
+    memcpy((char*)&len, buf + 4, 4L);
+    printf("%d\n", dump_data(offset & 2147483647, len & 2147483647, 2147483647));
+    return 0;
+}
+`
+	suite, err := compdiff.New(src, compdiff.DefaultImplementations(), compdiff.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := []byte{0x9b, 0xff, 0xff, 0x7f, 0x65, 0, 0, 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if o := suite.Run(input); !o.Diverged {
+			b.Fatal("lost the divergence")
+		}
+	}
+}
+
+func BenchmarkCompileTenImplementations(b *testing.B) {
+	tg := targets.ByName("wireshark")
+	for i := 0; i < b.N; i++ {
+		if _, err := compdiff.New(tg.Src, compdiff.DefaultImplementations(), compdiff.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFuzzerCampaign(b *testing.B) {
+	tg := targets.ByName("curl")
+	for i := 0; i < b.N; i++ {
+		c, err := compdiff.NewCampaign(tg.Src, tg.Seeds, compdiff.CampaignOptions{FuzzSeed: int64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Run(500)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations for the design choices DESIGN.md calls out
+
+// Divergence-guided feedback (the §5 NEZHA-style extension) vs. plain
+// coverage guidance, at a fixed budget on a real target.
+func BenchmarkAblationDivergenceFeedbackOn(b *testing.B)  { feedbackAblation(b, true) }
+func BenchmarkAblationDivergenceFeedbackOff(b *testing.B) { feedbackAblation(b, false) }
+
+func feedbackAblation(b *testing.B, on bool) {
+	tg := targets.ByName("readelf")
+	var found int
+	for i := 0; i < b.N; i++ {
+		c, err := compdiff.NewCampaign(tg.Src, tg.Seeds, compdiff.CampaignOptions{
+			FuzzSeed:           77,
+			DivergenceFeedback: on,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Run(4_000)
+		found = len(c.Diffs())
+	}
+	b.ReportMetric(float64(found), "unique-diffs")
+}
+
+// The AFL deterministic stage vs. havoc-only, on bug discovery.
+func BenchmarkAblationDeterministicStageOn(b *testing.B)  { detStageAblation(b, false) }
+func BenchmarkAblationDeterministicStageOff(b *testing.B) { detStageAblation(b, true) }
+
+func detStageAblation(b *testing.B, skip bool) {
+	tg := targets.ByName("exiv2")
+	var found int
+	for i := 0; i < b.N; i++ {
+		c, err := compdiff.NewCampaign(tg.Src, tg.Seeds, compdiff.CampaignOptions{
+			FuzzSeed:          31,
+			SkipDeterministic: skip,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Run(4_000)
+		found = len(c.Diffs())
+	}
+	b.ReportMetric(float64(found), "unique-diffs")
+}
+
+// Trace-diff fault localization cost per discrepancy (§5 extension).
+func BenchmarkFaultLocalization(b *testing.B) {
+	suite, err := compdiff.New(`
+int check(int offset, int len) {
+    if (offset < 0 || len < 0) { return -1; }
+    if (offset + len < offset) { return -2; }
+    return offset + len;
+}
+int main() {
+    printf("%d\n", check(2147483647 - 100, 101));
+    return 0;
+}`, compdiff.DefaultImplementations(), compdiff.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := suite.Run(nil)
+	if !o.Diverged {
+		b.Fatal("no divergence")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := suite.Localize(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Command compdiff runs compiler-driven differential testing on a
+// MiniC program: it compiles the program under a set of compiler
+// implementations, executes the given inputs on every binary, and
+// reports any output discrepancies (unstable code).
+//
+// Usage:
+//
+//	compdiff [flags] prog.mc [inputfile...]
+//
+// With no input files, the program runs once on empty input. Each
+// input file's raw bytes are one test input.
+//
+// Flags:
+//
+//	-impls all|pair     implementation set (default all ten)
+//	-hex BYTES          extra input given as hex, e.g. -hex 4c4e01
+//	-normalize          filter timestamps/pointers before comparison
+//	-diffdir DIR        persist diverging inputs under DIR/diffs/
+//	-v                  print per-implementation outputs for diffs
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"compdiff"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("compdiff: ")
+	impls := flag.String("impls", "all", "implementation set: all | pair")
+	hexInput := flag.String("hex", "", "extra input as hex bytes")
+	normalize := flag.Bool("normalize", false, "apply the RQ5 output normalizer")
+	diffdir := flag.String("diffdir", "", "persist diverging inputs under DIR/diffs/")
+	verbose := flag.Bool("v", false, "print grouped outputs for each discrepancy")
+	localize := flag.Bool("localize", false, "trace-diff each discrepancy to the first diverging source line")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		log.Fatal("usage: compdiff [flags] prog.mc [inputfile...]")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var set []compdiff.Implementation
+	switch *impls {
+	case "all":
+		set = compdiff.DefaultImplementations()
+	case "pair":
+		set = compdiff.RecommendedPair()
+	default:
+		log.Fatalf("unknown -impls %q (want all or pair)", *impls)
+	}
+
+	opts := compdiff.Options{}
+	if *normalize {
+		opts.Normalizer = compdiff.DefaultNormalizer()
+	}
+	suite, err := compdiff.New(string(src), set, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var inputs [][]byte
+	for _, path := range flag.Args()[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inputs = append(inputs, data)
+	}
+	if *hexInput != "" {
+		data, err := hex.DecodeString(*hexInput)
+		if err != nil {
+			log.Fatalf("bad -hex: %v", err)
+		}
+		inputs = append(inputs, data)
+	}
+	if len(inputs) == 0 {
+		inputs = append(inputs, nil)
+	}
+
+	store := compdiff.NewDiffStore(*diffdir)
+	diverged := 0
+	for i, in := range inputs {
+		o := suite.Run(in)
+		if !o.Diverged {
+			fmt.Printf("input %d (%d bytes): stable\n", i, len(in))
+			continue
+		}
+		diverged++
+		fmt.Printf("input %d (%d bytes): DIVERGED (signature %016x)\n", i, len(in), o.Signature())
+		if _, err := store.Add(o); err != nil {
+			log.Printf("diff store: %v", err)
+		}
+		if *verbose {
+			for _, impls := range o.Groups() {
+				names := make([]string, 0, len(impls))
+				for _, j := range impls {
+					names = append(names, suite.Names()[j])
+				}
+				fmt.Printf("  %v:\n", names)
+				fmt.Printf("    %q\n", o.Results[impls[0]].Encode())
+			}
+		}
+		if *localize {
+			loc, err := suite.Localize(o)
+			if err != nil {
+				log.Printf("localize: %v", err)
+			} else {
+				fmt.Printf("  localization: %s\n", loc)
+			}
+		}
+	}
+	fmt.Printf("\n%d of %d inputs diverged; %d unique discrepancies\n",
+		diverged, len(inputs), len(store.Unique()))
+	if diverged > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,105 @@
+// Command report regenerates the paper's evaluation tables and
+// figures (§4): Tables 2-6 and Figures 1-2, plus the §5 overhead
+// numbers. Absolute values reflect this repository's 1:10-scale
+// simulator substrate; the shapes are the reproduction target (see
+// EXPERIMENTS.md for the paper-vs-measured record).
+//
+// Usage:
+//
+//	report -all
+//	report -table3 -figure1 [-scale 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"compdiff/internal/bench"
+	"compdiff/internal/juliet"
+	"compdiff/internal/targets"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("report: ")
+	all := flag.Bool("all", false, "produce everything")
+	t2 := flag.Bool("table2", false, "Table 2: selected CWE overview")
+	t3 := flag.Bool("table3", false, "Table 3: detection/FP rates on the Juliet suite")
+	f1 := flag.Bool("figure1", false, "Figure 1: implementation subsets on the Juliet suite")
+	t4 := flag.Bool("table4", false, "Table 4: target projects")
+	t5 := flag.Bool("table5", false, "Table 5: real-world bugs by root cause")
+	t6 := flag.Bool("table6", false, "Table 6: sanitizer overlap")
+	f2 := flag.Bool("figure2", false, "Figure 2: implementation subsets on the real-world bugs")
+	ov := flag.Bool("overhead", false, "section 5 overhead measurements")
+	scale := flag.Int("scale", 1, "divide Juliet category sizes by N (speed knob)")
+	flag.Parse()
+
+	if *all {
+		*t2, *t3, *f1, *t4, *t5, *t6, *f2, *ov = true, true, true, true, true, true, true, true
+	}
+	if !(*t2 || *t3 || *f1 || *t4 || *t5 || *t6 || *f2 || *ov) {
+		flag.Usage()
+		return
+	}
+
+	if *t2 {
+		fmt.Println("==== Table 2: selected CWEs ====")
+		fmt.Println(bench.FormatTable2())
+	}
+
+	var table3 *bench.Table3
+	if *t3 || *f1 {
+		suite := juliet.GenerateScaled(*scale)
+		fmt.Printf("(evaluating %d Juliet cases ...)\n", len(suite.Cases))
+		var err error
+		table3, err = bench.ComputeTable3(suite, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *t3 {
+		fmt.Println("==== Table 3: detection and false-positive rates ====")
+		fmt.Println(bench.FormatTable3(table3))
+	}
+	if *f1 {
+		fmt.Println("==== Figure 1: implementation subsets (Juliet) ====")
+		fig := bench.ComputeFigure1(table3.Matrix)
+		fmt.Println(fig.Format(fmt.Sprintf("bugs detected per subset (of %d total)", len(table3.Matrix.Rows))))
+	}
+
+	if *t4 {
+		fmt.Println("==== Table 4: target projects ====")
+		fmt.Println(bench.FormatTable4(targets.All()))
+	}
+
+	var rw *bench.RealWorld
+	if *t5 || *t6 || *f2 || *ov {
+		var err error
+		rw, err = bench.ComputeRealWorld(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *t5 {
+		fmt.Println("==== Table 5: real-world bugs by root cause ====")
+		fmt.Println(bench.FormatTable5(rw.Targets, rw))
+	}
+	if *t6 {
+		fmt.Println("==== Table 6: sanitizer overlap ====")
+		fmt.Println(bench.FormatTable6(bench.ComputeTable6(rw)))
+	}
+	if *f2 {
+		fmt.Println("==== Figure 2: implementation subsets (real-world bugs) ====")
+		fig := bench.ComputeFigure1(rw.Matrix)
+		fmt.Println(fig.Format(fmt.Sprintf("bugs detected per subset (of %d total)", len(rw.Matrix.Rows))))
+	}
+	if *ov {
+		fmt.Println("==== Section 5: overhead ====")
+		o, err := bench.ComputeOverhead(rw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(o.Format())
+	}
+}

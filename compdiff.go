@@ -1,0 +1,140 @@
+// Package compdiff is the public API of this repository: a Go
+// implementation of compiler-driven differential testing (CompDiff)
+// from "Finding Unstable Code via Compiler-Driven Differential
+// Testing" (Li & Su, ASPLOS 2023), together with every substrate the
+// paper's evaluation needs — a C-like language (MiniC) with ten
+// divergent compiler implementations, an AFL++-style fuzzer, sanitizer
+// and static-analyzer baselines, a Juliet-style benchmark suite, and
+// 23 synthetic real-world targets.
+//
+// The core idea: compile a program under several compiler
+// implementations, run every test input on all binaries, and compare
+// checksums of their outputs. For a program with deterministic output,
+// any discrepancy proves *unstable code* — code whose semantics the
+// standard leaves undefined and which the implementations resolved
+// differently.
+//
+// Quick start:
+//
+//	suite, err := compdiff.New(src, compdiff.DefaultImplementations(), compdiff.Options{})
+//	outcome := suite.Run(input)
+//	if outcome.Diverged { ... unstable code found ... }
+//
+// Fuzzing integration (CompDiff-AFL++, Algorithm 1):
+//
+//	c, err := compdiff.NewCampaign(src, seeds, compdiff.CampaignOptions{})
+//	c.Run(100000)
+//	for _, d := range c.Diffs() { fmt.Println(d.Report(c.ImplNames())) }
+package compdiff
+
+import (
+	"compdiff/internal/compiler"
+	"compdiff/internal/core"
+	"compdiff/internal/difffuzz"
+	"compdiff/internal/vm"
+)
+
+// Implementation selects one compiler implementation: a family
+// (GCC-like or Clang-like) at an optimization level, optionally with
+// coverage instrumentation or sanitizer support.
+type Implementation = compiler.Config
+
+// Compiler families and optimization levels.
+const (
+	GCC   = compiler.GCC
+	Clang = compiler.Clang
+	O0    = compiler.O0
+	O1    = compiler.O1
+	O2    = compiler.O2
+	O3    = compiler.O3
+	Os    = compiler.Os
+)
+
+// Options configures a differential-testing suite (step budget,
+// timeout re-run policy, output normalization).
+type Options = core.Options
+
+// Suite is a program compiled under k implementations, ready for
+// differential execution.
+type Suite = core.Suite
+
+// Outcome is the result of one differential execution: per-binary
+// results, normalized output hashes, and the divergence verdict.
+type Outcome = core.Outcome
+
+// Normalizer rewrites captured output before comparison, to filter
+// legitimate non-determinism such as timestamps (paper RQ5).
+type Normalizer = core.Normalizer
+
+// DiffStore deduplicates bug-triggering inputs by divergence
+// signature (the diffs/ directory of CompDiff-AFL++).
+type DiffStore = core.DiffStore
+
+// StoredDiff is one unique discrepancy with a representative input.
+type StoredDiff = core.StoredDiff
+
+// Campaign is a CompDiff-AFL++ fuzzing session: an AFL++-style fuzzer
+// whose every generated input is cross-checked over the CompDiff
+// binaries.
+type Campaign = difffuzz.Campaign
+
+// CampaignOptions configures a campaign.
+type CampaignOptions = difffuzz.Options
+
+// SanMode selects sanitizer instrumentation for the fuzzing binary.
+type SanMode = vm.SanMode
+
+// Sanitizer modes for CampaignOptions.Sanitizer.
+const (
+	SanNone  = vm.SanNone
+	SanASan  = vm.SanASan
+	SanUBSan = vm.SanUBSan
+	SanMSan  = vm.SanMSan
+)
+
+// DefaultImplementations returns the paper's ten compiler
+// implementations: {gcc, clang} × {-O0, -O1, -O2, -O3, -Os}.
+func DefaultImplementations() []Implementation {
+	return compiler.DefaultSet()
+}
+
+// RecommendedPair returns the paper's resource-constrained two-binary
+// configuration: different families, one unoptimizing and one
+// size-optimizing, which retains most of the detection power at ~2×
+// execution cost.
+func RecommendedPair() []Implementation {
+	return []Implementation{
+		{Family: GCC, Opt: Os},
+		{Family: Clang, Opt: O0},
+	}
+}
+
+// New parses, checks, and compiles MiniC source under every given
+// implementation, returning the differential-testing suite.
+func New(src string, impls []Implementation, opts Options) (*Suite, error) {
+	return core.BuildSource(src, impls, opts)
+}
+
+// NewCampaign builds a CompDiff-AFL++ campaign over MiniC source with
+// the given seed corpus.
+func NewCampaign(src string, seeds [][]byte, opts CampaignOptions) (*Campaign, error) {
+	return difffuzz.New(src, seeds, opts)
+}
+
+// DefaultNormalizer filters the non-determinism classes the paper's
+// RQ5 encountered (clock timestamps, printed pointers).
+func DefaultNormalizer() *Normalizer {
+	return core.DefaultNormalizer()
+}
+
+// NewDiffStore creates a discrepancy store; with a non-empty dir,
+// representative bug-triggering inputs are written to dir/diffs/.
+func NewDiffStore(dir string) *DiffStore {
+	return core.NewDiffStore(dir)
+}
+
+// Localization is a trace-diff fault-localization result: the last
+// source line two disagreeing binaries share before their control
+// flow separates (the paper's §5 future-work direction, realized via
+// the VM's line traces).
+type Localization = core.Localization

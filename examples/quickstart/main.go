@@ -1,0 +1,75 @@
+// The quickstart reproduces the paper's Listing 1: an integer-overflow
+// guard that aggressive compiler implementations legally delete. On a
+// benign input every binary agrees; on the overflowing input the
+// optimized and unoptimized binaries return different answers — the
+// unstable-code signal CompDiff detects.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"compdiff"
+)
+
+const listing1 = `
+/* dump a chunk of buffer (paper Listing 1) */
+int dump_data(int offset, int len, int size) {
+    if (offset + len > size || offset < 0 || len < 0) {
+        return -1;
+    }
+    if (offset + len < offset) {
+        return -1;
+    }
+    /* would dump data+offset .. data+offset+len here */
+    return offset + len;
+}
+
+int main() {
+    char buf[8];
+    long n = read_input(buf, 8L);
+    if (n < 8) { printf("need 8 bytes\n"); return 0; }
+    int offset = 0;
+    int len = 0;
+    memcpy((char*)&offset, buf, 4L);
+    memcpy((char*)&len, buf + 4, 4L);
+    offset = offset & 2147483647;
+    len = len & 2147483647;
+    printf("dump_data -> %d\n", dump_data(offset, len, 2147483647));
+    return 0;
+}
+`
+
+func main() {
+	suite, err := compdiff.New(listing1, compdiff.DefaultImplementations(), compdiff.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== CompDiff quickstart: paper Listing 1 ==")
+	fmt.Printf("compiled under %d implementations: %v\n\n", len(suite.Impls), suite.Names())
+
+	benign := []byte{1, 0, 0, 0, 2, 0, 0, 0} // offset=1, len=2
+	o := suite.Run(benign)
+	fmt.Printf("benign input (offset=1, len=2): diverged=%v\n", o.Diverged)
+
+	// offset = INT_MAX-100, len = 101: offset+len overflows; the second
+	// guard would catch it — unless the implementation deleted it.
+	evil := []byte{0x9b, 0xff, 0xff, 0x7f, 0x65, 0x00, 0x00, 0x00}
+	o = suite.Run(evil)
+	fmt.Printf("overflow input (offset=INT_MAX-100, len=101): diverged=%v\n\n", o.Diverged)
+
+	if !o.Diverged {
+		log.Fatal("expected divergence")
+	}
+	for hash, impls := range o.Groups() {
+		_ = hash
+		names := make([]string, 0, len(impls))
+		for _, i := range impls {
+			names = append(names, suite.Names()[i])
+		}
+		fmt.Printf("--- output under %v:\n%s\n", names, o.Results[impls[0]].Stdout)
+	}
+	fmt.Println("the guard `offset + len < offset` was folded away by the")
+	fmt.Println("aggressive implementations: unstable code, found by CompDiff.")
+}

@@ -1,0 +1,58 @@
+// The uninit example reproduces the paper's Listing 4 (the exiv2
+// maker-note bug): a value that a parser is supposed to fill stays
+// uninitialized on the empty-input path and is then printed. The real
+// MemorySanitizer misses it (the value never decides a branch), but
+// the ten binaries print whatever their own frame layout and memory
+// fill left behind — a divergence CompDiff catches immediately.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"compdiff"
+)
+
+const listing4 = `
+/* simplified from exiv2 CanonMakerNote::print0x000c */
+void parse_serial(int* out, long have) {
+    if (have > 0L) {
+        *out = (int)have * 7;
+    }
+    /* empty input: *out never written */
+}
+
+int main() {
+    int l;
+    parse_serial(&l, input_size());
+    printf("serial: %d\n", (l & 65535) >> 2);
+    return 0;
+}
+`
+
+func main() {
+	suite, err := compdiff.New(listing4, compdiff.DefaultImplementations(), compdiff.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== CompDiff: uninitialized read (paper Listing 4) ==")
+	withInput := suite.Run([]byte("x"))
+	fmt.Printf("non-empty input:  diverged=%v (value was written)\n", withInput.Diverged)
+
+	empty := suite.Run(nil)
+	fmt.Printf("empty input:      diverged=%v (value stayed uninitialized)\n\n", empty.Diverged)
+	if !empty.Diverged {
+		log.Fatal("expected divergence")
+	}
+	for _, impls := range empty.Groups() {
+		names := make([]string, 0, len(impls))
+		for _, i := range impls {
+			names = append(names, suite.Names()[i])
+		}
+		fmt.Printf("%v: %s", names, empty.Results[impls[0]].Stdout)
+	}
+	fmt.Println("\neach implementation prints its own stack garbage. MSan stays")
+	fmt.Println("silent here — the uninitialized value never decides a branch —")
+	fmt.Println("which is exactly the complementarity the paper measures.")
+}

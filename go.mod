@@ -1,0 +1,3 @@
+module compdiff
+
+go 1.22

@@ -1,0 +1,522 @@
+// Package analyzer implements the three static-analysis baselines the
+// paper compares against on the Juliet suite (§4.1, Table 3):
+// Coverity-, Cppcheck- and Infer-style checkers. Each is an honest
+// static tool of a characteristic sophistication tier:
+//
+//   - cppcheck: syntactic, same-block pattern matching. Very few
+//     false positives, but blind to anything requiring flow.
+//   - infer: intraprocedural dataflow focused on memory and
+//     nullability, deliberately path-insensitive — the source of its
+//     strong null-deref recall *and* its high false-positive rate.
+//   - coverity: the broadest checker set, flow-aware within a
+//     function, with heuristics that trade precision for recall.
+//
+// Static tools report *potential* defects from source alone; the
+// Juliet harness measures their detection and false-positive rates
+// against ground truth, reproducing the paper's comparison.
+package analyzer
+
+import (
+	"fmt"
+
+	"compdiff/internal/minic/ast"
+	"compdiff/internal/minic/sema"
+	"compdiff/internal/minic/token"
+	"compdiff/internal/minic/types"
+)
+
+// Category classifies findings into the paper's Table 3 row groups.
+type Category int
+
+const (
+	MemoryError    Category = iota // CWE-121..127, 415, 416, 590
+	APIMisuse                      // CWE-475
+	BadStructPtr                   // CWE-588
+	BadCall                        // CWE-685
+	GeneralUB                      // CWE-758
+	IntegerError                   // CWE-190, 191, 680
+	DivByZero                      // CWE-369
+	NullDeref                      // CWE-476
+	UninitMemory                   // CWE-457, 665
+	PtrSubtraction                 // CWE-469
+	NumCategories
+)
+
+var categoryNames = [...]string{
+	"memory-error", "api-misuse", "bad-struct-ptr", "bad-call",
+	"general-ub", "integer-error", "div-by-zero", "null-deref",
+	"uninit-memory", "ptr-subtraction",
+}
+
+// String names the category.
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("category(%d)", int(c))
+}
+
+// Finding is one static-analysis report.
+type Finding struct {
+	Tool     string
+	Category Category
+	Pos      token.Pos
+	Msg      string
+}
+
+// String renders the finding.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s (%s)", f.Tool, f.Pos, f.Msg, f.Category)
+}
+
+// Tool is a static analyzer.
+type Tool interface {
+	Name() string
+	Analyze(info *sema.Info) []Finding
+}
+
+// AllTools returns the three baselines.
+func AllTools() []Tool {
+	return []Tool{NewCoverity(), NewCppcheck(), NewInfer()}
+}
+
+// ---------------------------------------------------------------------------
+// Shared per-function event stream
+//
+// The checkers consume a linearized view of each function: reads,
+// writes, dereferences, frees, allocations, guards — each annotated
+// with whether it sits under a condition. This is deliberately the
+// kind of abstraction real lightweight analyzers use; its blind spots
+// (interprocedural flow, path correlation) are the blind spots the
+// paper measures.
+
+type eventKind int
+
+const (
+	evAssign eventKind = iota
+	evCondAssign
+	evRead      // value of the symbol used
+	evDeref     // *p, p[i], p->f
+	evFree      // free(sym)
+	evMallocTo  // sym = malloc(size); size in extra (bytes, -1 unknown)
+	evCmpNull   // sym compared against 0
+	evAddrTaken // &sym
+	evIndex     // indexed access: extra = const index (-1 unknown), extra2 = elem size
+	evDivisor   // sym used as divisor
+	evGuardNonzero
+	evCallArg    // sym passed to a function by value
+	evAssignZero // sym assigned a literal zero (int or float)
+)
+
+type event struct {
+	kind   eventKind
+	sym    *ast.Symbol
+	pos    token.Pos
+	cond   bool  // under a condition or loop
+	extra  int64 // kind-specific payload
+	extra2 int64
+}
+
+// funcFacts is the analyzed view of one function.
+type funcFacts struct {
+	fn     *ast.FuncDecl
+	events []event
+	// arity-mismatched calls (CWE-685) and overlapping memcpys
+	// (CWE-475) are recorded globally.
+	arityCalls   []*ast.Call
+	overlapCalls []*ast.Call
+	// shift counts >= width with constant operands (CWE-758 family).
+	badShifts []token.Pos
+	// missing return: non-void function with a fall-off path.
+	missingReturn bool
+	// casts of narrow-object pointers to struct pointers (CWE-588).
+	structCasts []token.Pos
+	// locals declared without an initializer (scalar/pointer only).
+	declNoInit map[*ast.Symbol]bool
+	// memcpy calls whose length is sizeof(a pointer type) — the
+	// classic "suspicious sizeof" lint.
+	sizeofPtrCopies []token.Pos
+	// *(p + K) accesses with constant K: visible to the dataflow tiers
+	// (coverity, infer) but not to the syntactic tier.
+	ptrSites []ptrSite
+}
+
+// ptrSite is a constant-offset pointer dereference *(p + K).
+type ptrSite struct {
+	sym  *ast.Symbol
+	off  int64 // element offset
+	elem int64 // element size in bytes
+	pos  token.Pos
+}
+
+// analyzeFuncs builds facts for every function in the program.
+func analyzeFuncs(info *sema.Info) []*funcFacts {
+	var out []*funcFacts
+	for _, fn := range info.Prog.Funcs {
+		ff := &funcFacts{fn: fn, declNoInit: map[*ast.Symbol]bool{}}
+		w := &eventWalker{ff: ff}
+		w.stmt(fn.Body)
+		if !fn.Result.IsVoid() && !terminatesStmt(fn.Body) {
+			ff.missingReturn = true
+		}
+		out = append(out, ff)
+	}
+	return out
+}
+
+type eventWalker struct {
+	ff   *funcFacts
+	cond int
+}
+
+func (w *eventWalker) add(kind eventKind, sym *ast.Symbol, pos token.Pos, extra ...int64) {
+	e := event{kind: kind, sym: sym, pos: pos, cond: w.cond > 0}
+	if len(extra) > 0 {
+		e.extra = extra[0]
+	}
+	if len(extra) > 1 {
+		e.extra2 = extra[1]
+	}
+	w.ff.events = append(w.ff.events, e)
+}
+
+func (w *eventWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, c := range s.Stmts {
+			w.stmt(c)
+		}
+	case *ast.DeclStmt:
+		for _, d := range s.Decls {
+			if d.Init != nil {
+				w.expr(d.Init, false)
+				if d.Sym != nil {
+					w.recordAssign(d.Sym, d.NamePos, d.Init)
+				}
+			} else if d.Sym != nil && d.Sym.Kind == ast.SymLocal &&
+				d.DeclType.Kind != types.Array && d.DeclType.Kind != types.Struct {
+				w.ff.declNoInit[d.Sym] = true
+			}
+		}
+	case *ast.ExprStmt:
+		w.expr(s.X, false)
+	case *ast.IfStmt:
+		w.expr(s.Cond, false)
+		w.cond++
+		w.stmt(s.Then)
+		w.stmt(s.Else)
+		w.cond--
+	case *ast.WhileStmt:
+		w.expr(s.Cond, false)
+		w.cond++
+		w.stmt(s.Body)
+		w.cond--
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		if s.Cond != nil {
+			w.expr(s.Cond, false)
+		}
+		w.cond++
+		if s.Post != nil {
+			w.expr(s.Post, false)
+		}
+		w.stmt(s.Body)
+		w.cond--
+	case *ast.ReturnStmt:
+		if s.Value != nil {
+			w.expr(s.Value, false)
+		}
+	}
+}
+
+func (w *eventWalker) recordAssign(sym *ast.Symbol, pos token.Pos, rhs ast.Expr) {
+	kind := evAssign
+	if w.cond > 0 {
+		kind = evCondAssign
+	}
+	w.add(kind, sym, pos)
+	if rhs == nil {
+		return
+	}
+	rhs = stripCasts(rhs)
+	// Track p = malloc(N).
+	if call, ok := rhs.(*ast.Call); ok && call.Fun.Name == "malloc" && len(call.Args) == 1 {
+		size := int64(-1)
+		if lit, ok := constIntOf(call.Args[0]); ok {
+			size = lit
+		}
+		w.add(evMallocTo, sym, pos, size)
+	}
+	if lit, ok := rhs.(*ast.IntLit); ok && lit.Value == 0 {
+		if sym.Type != nil && sym.Type.IsPtr() {
+			w.add(evCmpNull, sym, pos, 1) // assigned NULL
+		} else {
+			w.add(evAssignZero, sym, pos)
+		}
+	}
+	if lit, ok := rhs.(*ast.FloatLit); ok && lit.Value == 0 {
+		w.add(evAssignZero, sym, pos)
+	}
+}
+
+func constIntOf(e ast.Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Value, true
+	case *ast.CastExpr:
+		return constIntOf(e.X)
+	case *ast.SizeofExpr:
+		return e.Of.Size(), true
+	case *ast.Binary:
+		if x, ok := constIntOf(e.X); ok {
+			if y, ok := constIntOf(e.Y); ok {
+				switch e.Op {
+				case ast.Add:
+					return x + y, true
+				case ast.Sub:
+					return x - y, true
+				case ast.Mul:
+					return x * y, true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+func identOf(e ast.Expr) *ast.Symbol {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Sym
+	}
+	return nil
+}
+
+func (w *eventWalker) expr(e ast.Expr, asLValue bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.Ident:
+		if e.Sym != nil && !asLValue {
+			w.add(evRead, e.Sym, e.NamePos)
+		}
+	case *ast.Unary:
+		switch e.Op {
+		case ast.Deref:
+			if sym := identOf(e.X); sym != nil {
+				w.add(evDeref, sym, e.OpPos)
+			}
+			if bin, ok := e.X.(*ast.Binary); ok && bin.Op == ast.Add {
+				if sym := identOf(bin.X); sym != nil {
+					if k, ok := constIntOf(bin.Y); ok {
+						elem := int64(1)
+						if t := e.Type(); t != nil {
+							elem = t.Size()
+						}
+						w.add(evDeref, sym, e.OpPos)
+						w.ff.ptrSites = append(w.ff.ptrSites, ptrSite{sym: sym, off: k, elem: elem, pos: e.OpPos})
+					}
+				}
+			}
+			w.expr(e.X, false)
+		case ast.AddrOf:
+			if sym := identOf(e.X); sym != nil {
+				w.add(evAddrTaken, sym, e.OpPos)
+			} else {
+				w.expr(e.X, true)
+			}
+		case ast.PreInc, ast.PreDec, ast.PostInc, ast.PostDec:
+			if sym := identOf(e.X); sym != nil {
+				w.add(evRead, sym, e.OpPos)
+				w.recordAssign(sym, e.OpPos, nil)
+			} else {
+				w.expr(e.X, false)
+			}
+		default:
+			w.expr(e.X, false)
+		}
+	case *ast.Binary:
+		w.binary(e)
+	case *ast.Assign:
+		if sym := identOf(e.LHS); sym != nil {
+			w.expr(e.RHS, false)
+			if e.Op != ast.PlainAssign {
+				w.add(evRead, sym, e.OpPos)
+			}
+			w.recordAssign(sym, e.OpPos, e.RHS)
+		} else {
+			w.expr(e.LHS, true)
+			w.expr(e.RHS, false)
+		}
+	case *ast.Cond:
+		w.expr(e.C, false)
+		w.cond++
+		w.expr(e.X, false)
+		w.expr(e.Y, false)
+		w.cond--
+	case *ast.Call:
+		w.call(e)
+	case *ast.Index:
+		if sym := identOf(e.X); sym != nil {
+			w.add(evDeref, sym, e.LBracket)
+			ci := int64(-1)
+			if v, ok := constIntOf(e.Idx); ok {
+				ci = v
+			}
+			elem := int64(1)
+			if t := e.Type(); t != nil {
+				elem = t.Size()
+			}
+			w.add(evIndex, sym, e.LBracket, ci, elem)
+		} else {
+			w.expr(e.X, false)
+		}
+		w.expr(e.Idx, false)
+	case *ast.Member:
+		if e.Arrow {
+			if sym := identOf(e.X); sym != nil {
+				w.add(evDeref, sym, e.DotPos)
+			}
+		}
+		w.expr(e.X, e.Arrow == false && asLValue)
+	case *ast.CastExpr:
+		w.castExpr(e)
+	}
+}
+
+func (w *eventWalker) castExpr(e *ast.CastExpr) {
+	// Cast of a non-struct pointer to a struct pointer (CWE-588).
+	if e.To != nil && e.To.IsPtr() && e.To.Elem != nil && e.To.Elem.Kind == types.Struct {
+		if xt := e.X.Type(); xt != nil && xt.IsPtr() && xt.Elem != nil &&
+			xt.Elem.Kind != types.Struct && !xt.Elem.IsVoid() {
+			w.ff.structCasts = append(w.ff.structCasts, e.Pos())
+		}
+	}
+	w.expr(e.X, false)
+}
+
+func (w *eventWalker) binary(e *ast.Binary) {
+	switch e.Op {
+	case ast.Eq, ast.Ne:
+		if sym := identOf(e.X); sym != nil && sym.Type != nil && sym.Type.IsPtr() && isZero(e.Y) {
+			w.add(evCmpNull, sym, e.OpPos)
+		}
+		if sym := identOf(e.Y); sym != nil && sym.Type != nil && sym.Type.IsPtr() && isZero(e.X) {
+			w.add(evCmpNull, sym, e.OpPos)
+		}
+		if sym := identOf(e.X); sym != nil && sym.Type != nil && sym.Type.IsInteger() && isZero(e.Y) {
+			w.add(evGuardNonzero, sym, e.OpPos)
+		}
+	case ast.Div, ast.Mod:
+		if sym := identOf(e.Y); sym != nil {
+			w.add(evDivisor, sym, e.OpPos)
+		}
+		if lit, ok := e.Y.(*ast.IntLit); ok && lit.Value == 0 {
+			w.add(evDivisor, nil, e.OpPos) // literal zero divisor
+		}
+	case ast.Shl, ast.Shr:
+		if cnt, ok := constIntOf(e.Y); ok && e.CommonType != nil {
+			if cnt < 0 || cnt >= int64(e.CommonType.Bits()) {
+				w.ff.badShifts = append(w.ff.badShifts, e.OpPos)
+			}
+		}
+	}
+	w.expr(e.X, false)
+	w.expr(e.Y, false)
+}
+
+func (w *eventWalker) call(e *ast.Call) {
+	if e.ArityMismatch {
+		w.ff.arityCalls = append(w.ff.arityCalls, e)
+	}
+	if e.Fun.Name == "memcpy" && len(e.Args) == 3 {
+		if base0, off0, ok0 := baseAndOffset(e.Args[0]); ok0 {
+			if base1, off1, ok1 := baseAndOffset(e.Args[1]); ok1 && base0 == base1 {
+				if n, ok := constIntOf(e.Args[2]); ok {
+					lo0, hi0 := off0, off0+n
+					lo1, hi1 := off1, off1+n
+					if lo0 < hi1 && lo1 < hi0 {
+						w.ff.overlapCalls = append(w.ff.overlapCalls, e)
+					}
+				}
+			}
+		}
+	}
+	if e.Fun.Name == "memcpy" && len(e.Args) == 3 {
+		if sz, ok := e.Args[2].(*ast.SizeofExpr); ok && sz.Of != nil && sz.Of.IsPtr() {
+			w.ff.sizeofPtrCopies = append(w.ff.sizeofPtrCopies, e.Pos())
+		}
+	}
+	if e.Fun.Name == "free" && len(e.Args) == 1 {
+		if sym := identOf(e.Args[0]); sym != nil {
+			w.add(evFree, sym, e.LParen)
+		}
+	}
+	for _, a := range e.Args {
+		if sym := identOf(a); sym != nil {
+			w.add(evCallArg, sym, a.Pos())
+		}
+		w.expr(a, false)
+	}
+}
+
+// baseAndOffset decomposes `p + k` / `p` into (symbol, constant).
+func baseAndOffset(e ast.Expr) (*ast.Symbol, int64, bool) {
+	if sym := identOf(e); sym != nil {
+		return sym, 0, true
+	}
+	if ce, ok := e.(*ast.CastExpr); ok {
+		return baseAndOffset(ce.X)
+	}
+	if bin, ok := e.(*ast.Binary); ok && bin.Op == ast.Add {
+		if sym := identOf(bin.X); sym != nil {
+			if k, ok := constIntOf(bin.Y); ok {
+				return sym, k, true
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+func isZero(e ast.Expr) bool {
+	lit, ok := e.(*ast.IntLit)
+	return ok && lit.Value == 0
+}
+
+func terminatesStmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BlockStmt:
+		if len(s.Stmts) == 0 {
+			return false
+		}
+		return terminatesStmt(s.Stmts[len(s.Stmts)-1])
+	case *ast.IfStmt:
+		return s.Else != nil && terminatesStmt(s.Then) && terminatesStmt(s.Else)
+	case *ast.WhileStmt:
+		// `while (1) {...}` with no break counts as non-falling.
+		if lit, ok := s.Cond.(*ast.IntLit); ok && lit.Value != 0 {
+			return !hasBreak(s.Body)
+		}
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.Call); ok {
+			return call.Fun.Name == "exit"
+		}
+	}
+	return false
+}
+
+func hasBreak(s ast.Stmt) bool {
+	found := false
+	ast.Walk(s, func(st ast.Stmt) bool {
+		switch st.(type) {
+		case *ast.BreakStmt:
+			found = true
+			return false
+		case *ast.WhileStmt, *ast.ForStmt:
+			return false // break binds to the inner loop
+		}
+		return true
+	})
+	return found
+}

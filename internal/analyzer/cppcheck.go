@@ -1,0 +1,199 @@
+package analyzer
+
+import (
+	"fmt"
+
+	"compdiff/internal/minic/sema"
+	"compdiff/internal/minic/types"
+)
+
+// cppcheck is the syntactic tier: same-function pattern matching with
+// no path reasoning. Its hallmarks in Table 3 are the near-zero false
+// positives, the perfect scores on purely syntactic CWEs (475, 685),
+// and blindness to anything dataflow-shaped.
+type cppcheck struct{}
+
+// NewCppcheck returns the Cppcheck-style analyzer.
+func NewCppcheck() Tool { return cppcheck{} }
+
+func (cppcheck) Name() string { return "cppcheck" }
+
+func (c cppcheck) Analyze(info *sema.Info) []Finding {
+	var out []Finding
+	for _, ff := range analyzeFuncs(info) {
+		// CWE-685: wrong number of call arguments — purely syntactic.
+		for _, call := range ff.arityCalls {
+			out = append(out, Finding{Tool: "cppcheck", Category: BadCall, Pos: call.Pos(),
+				Msg: fmt.Sprintf("function %s called with wrong number of arguments", call.Fun.Name)})
+		}
+		// CWE-475: overlapping memcpy with syntactically same base.
+		for _, call := range ff.overlapCalls {
+			out = append(out, Finding{Tool: "cppcheck", Category: APIMisuse, Pos: call.Pos(),
+				Msg: "overlapping buffers passed to memcpy"})
+		}
+		for _, pos := range ff.sizeofPtrCopies {
+			out = append(out, Finding{Tool: "cppcheck", Category: MemoryError, Pos: pos,
+				Msg: "memcpy length is sizeof(pointer); did you mean the pointee size?"})
+		}
+		out = append(out, c.constIndexOOB(ff)...)
+		out = append(out, c.literalDivZero(ff)...)
+		out = append(out, c.literalNullDeref(ff)...)
+		out = append(out, c.uninitSameBlock(ff)...)
+		out = append(out, c.doubleFreeStraightLine(ff)...)
+		out = append(out, c.freeNonHeap(ff)...)
+	}
+	return out
+}
+
+// constIndexOOB flags a[K] with constant K outside a fixed-size array
+// or constant-size malloc chunk.
+func (cppcheck) constIndexOOB(ff *funcFacts) []Finding {
+	var out []Finding
+	mallocSize := map[any]int64{}
+	for _, e := range ff.events {
+		if e.kind == evMallocTo {
+			mallocSize[e.sym] = e.extra
+		}
+	}
+	for _, e := range ff.events {
+		if e.kind != evIndex || e.extra < 0 {
+			continue
+		}
+		var objSize int64 = -1
+		if e.sym.Type != nil && e.sym.Type.Kind == types.Array {
+			objSize = e.sym.Type.Size()
+		} else if sz, ok := mallocSize[e.sym]; ok && sz >= 0 {
+			objSize = sz
+		}
+		if objSize < 0 {
+			continue
+		}
+		byteOff := e.extra * e.extra2
+		if byteOff >= objSize || byteOff < 0 {
+			out = append(out, Finding{Tool: "cppcheck", Category: MemoryError, Pos: e.pos,
+				Msg: fmt.Sprintf("array index %d out of bounds (object is %d bytes)", e.extra, objSize)})
+		}
+	}
+	return out
+}
+
+// literalDivZero flags `x / 0` and division by a variable whose last
+// straight-line assignment is the literal 0.
+func (cppcheck) literalDivZero(ff *funcFacts) []Finding {
+	var out []Finding
+	zeroNow := map[any]bool{}
+	for _, e := range ff.events {
+		switch e.kind {
+		case evAssignZero:
+			if !e.cond {
+				zeroNow[e.sym] = true
+			}
+		case evAssign, evCondAssign:
+			delete(zeroNow, e.sym)
+		case evGuardNonzero:
+			// A guard comparing the value against zero means the code
+			// handles the case; stay quiet (syntactic tools suppress).
+			delete(zeroNow, e.sym)
+		case evDivisor:
+			if e.sym == nil {
+				out = append(out, Finding{Tool: "cppcheck", Category: DivByZero, Pos: e.pos,
+					Msg: "division by literal zero"})
+			} else if zeroNow[e.sym] {
+				out = append(out, Finding{Tool: "cppcheck", Category: DivByZero, Pos: e.pos,
+					Msg: "division by variable that is zero here"})
+			}
+		}
+	}
+	return out
+}
+
+// literalNullDeref flags *p after an unconditional `p = 0`.
+func (cppcheck) literalNullDeref(ff *funcFacts) []Finding {
+	var out []Finding
+	isNull := map[any]bool{}
+	for _, e := range ff.events {
+		switch e.kind {
+		case evCmpNull:
+			if e.extra == 1 && !e.cond { // assigned NULL unconditionally
+				isNull[e.sym] = true
+			}
+		case evAssign, evCondAssign:
+			if e.extra != 1 {
+				delete(isNull, e.sym)
+			}
+		case evMallocTo:
+			delete(isNull, e.sym)
+		case evDeref:
+			if isNull[e.sym] {
+				out = append(out, Finding{Tool: "cppcheck", Category: NullDeref, Pos: e.pos,
+					Msg: fmt.Sprintf("null pointer dereference: %s", e.sym.Name)})
+				delete(isNull, e.sym)
+			}
+		}
+	}
+	return out
+}
+
+// uninitSameBlock flags locals read before any assignment, address
+// taking, or call passing — in straight-line order.
+func (cppcheck) uninitSameBlock(ff *funcFacts) []Finding {
+	var out []Finding
+	locals := map[any]bool{} // declared, not yet initialized
+	for l := range ff.declNoInit {
+		locals[l] = true
+	}
+	for _, e := range ff.events {
+		if e.sym == nil || !locals[e.sym] {
+			continue
+		}
+		switch e.kind {
+		case evAssign, evCondAssign, evAddrTaken, evMallocTo:
+			// Conservative: any write-ish event counts as initialized
+			// (cppcheck avoids false positives at the cost of recall).
+			delete(locals, e.sym)
+		case evRead:
+			out = append(out, Finding{Tool: "cppcheck", Category: UninitMemory, Pos: e.pos,
+				Msg: fmt.Sprintf("uninitialized variable: %s", e.sym.Name)})
+			delete(locals, e.sym)
+		}
+	}
+	return out
+}
+
+// doubleFreeStraightLine flags free(p); free(p) with no intervening
+// reassignment.
+func (cppcheck) doubleFreeStraightLine(ff *funcFacts) []Finding {
+	var out []Finding
+	freed := map[any]bool{}
+	for _, e := range ff.events {
+		switch e.kind {
+		case evFree:
+			if freed[e.sym] && !e.cond {
+				out = append(out, Finding{Tool: "cppcheck", Category: MemoryError, Pos: e.pos,
+					Msg: fmt.Sprintf("double free of %s", e.sym.Name)})
+			}
+			if !e.cond {
+				freed[e.sym] = true
+			}
+		case evAssign, evCondAssign, evMallocTo:
+			delete(freed, e.sym)
+		}
+	}
+	return out
+}
+
+// freeNonHeap flags free of arrays and address-of locals (CWE-590's
+// syntactic face).
+func (cppcheck) freeNonHeap(ff *funcFacts) []Finding {
+	var out []Finding
+	for _, e := range ff.events {
+		if e.kind != evFree || e.sym == nil || e.sym.Type == nil {
+			continue
+		}
+		if e.sym.Type.Kind == types.Array {
+			out = append(out, Finding{Tool: "cppcheck", Category: MemoryError, Pos: e.pos,
+				Msg: fmt.Sprintf("free() of non-heap object %s", e.sym.Name)})
+		}
+	}
+	return out
+}

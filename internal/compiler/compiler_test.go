@@ -1,0 +1,263 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"compdiff/internal/ir"
+	"compdiff/internal/minic/parser"
+	"compdiff/internal/minic/sema"
+)
+
+func checked(t *testing.T, src string) *sema.Info {
+	t.Helper()
+	return sema.MustCheck(parser.MustParse(src))
+}
+
+func TestDefaultSetIsTheTen(t *testing.T) {
+	set := DefaultSet()
+	if len(set) != 10 {
+		t.Fatalf("set = %d", len(set))
+	}
+	names := map[string]bool{}
+	for _, cfg := range set {
+		names[cfg.Name()] = true
+	}
+	for _, want := range []string{"gcc -O0", "gcc -O1", "gcc -O2", "gcc -O3", "gcc -Os",
+		"clang -O0", "clang -O1", "clang -O2", "clang -O3", "clang -Os"} {
+		if !names[want] {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestPersonalitiesDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, cfg := range DefaultSet() {
+		k := cfg.personality()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s and %s share a personality", prev, cfg.Name())
+		}
+		seen[k] = cfg.Name()
+	}
+}
+
+func TestProfilesEncodeTheDivergenceAxes(t *testing.T) {
+	gccO0 := Config{Family: GCC, Opt: O0}.profile()
+	clangO0 := Config{Family: Clang, Opt: O0}.profile()
+	clangO3 := Config{Family: Clang, Opt: O3}.profile()
+
+	if gccO0.StackDown == clangO0.StackDown {
+		t.Error("families should differ in stack direction")
+	}
+	if gccO0.HeapHeader == clangO0.HeapHeader {
+		t.Error("families should differ in heap header size")
+	}
+	if !gccO0.DivZeroTrap || clangO3.DivZeroTrap {
+		t.Error("div-zero trap policy should depend on optimization level")
+	}
+	if !clangO3.PowViaExp2 || clangO0.PowViaExp2 {
+		t.Error("pow substitution should be clang high-opt only")
+	}
+}
+
+func TestPassAssignments(t *testing.T) {
+	if !(Config{Family: GCC, Opt: O0}).passes().ArgsRightToLeft {
+		t.Error("gcc evaluates args right-to-left")
+	}
+	if (Config{Family: Clang, Opt: O0}).passes().ArgsRightToLeft {
+		t.Error("clang evaluates args left-to-right")
+	}
+	if !(Config{Family: Clang, Opt: O2}).passes().FoldOverflowChecks {
+		t.Error("clang -O2 folds overflow checks (paper Listing 1)")
+	}
+	if (Config{Family: GCC, Opt: O2}).passes().FoldOverflowChecks {
+		t.Error("gcc folds overflow checks only at -O3 here")
+	}
+	if (Config{Family: Clang, Opt: O1, Sanitize: true}).passes().DeadLoadElim {
+		t.Error("sanitizer builds must keep dead loads")
+	}
+	if !(Config{Family: Clang, Opt: O1}).passes().WidenMulToLong {
+		t.Error("clang -O1 widens (the paper's IntError example)")
+	}
+}
+
+const layoutProg = `
+int helper(int a, long b, char c) {
+    char buf[10];
+    int x = a;
+    long y = b;
+    buf[0] = c;
+    return x + (int)y + buf[0];
+}
+int main() {
+    return helper(1, 2L, 'x');
+}
+`
+
+func TestFrameLayoutsDifferAcrossImplementations(t *testing.T) {
+	info := checked(t, layoutProg)
+	layouts := map[string][]string{}
+	for _, cfg := range DefaultSet() {
+		prog := MustCompile(info, cfg)
+		f := prog.Funcs[prog.FuncIndex["helper"]]
+		var order []string
+		for _, s := range f.Slots {
+			order = append(order, s.Name)
+		}
+		layouts[strings.Join(order, ",")] = append(layouts[strings.Join(order, ",")], cfg.Name())
+	}
+	if len(layouts) < 3 {
+		t.Fatalf("expected >= 3 distinct slot orders, got %d: %v", len(layouts), layouts)
+	}
+}
+
+func TestFrameLayoutDeterministic(t *testing.T) {
+	info := checked(t, layoutProg)
+	cfg := Config{Family: GCC, Opt: O3}
+	a := MustCompile(info, cfg)
+	b := MustCompile(info, cfg)
+	fa := a.Funcs[a.FuncIndex["helper"]]
+	fb := b.Funcs[b.FuncIndex["helper"]]
+	if fa.FrameSize != fb.FrameSize || len(fa.Slots) != len(fb.Slots) {
+		t.Fatal("layout not deterministic")
+	}
+	for i := range fa.Slots {
+		if fa.Slots[i] != fb.Slots[i] {
+			t.Fatalf("slot %d differs", i)
+		}
+	}
+}
+
+func TestASanLayoutInsertsRedzones(t *testing.T) {
+	info := checked(t, layoutProg)
+	plain := MustCompile(info, Config{Family: Clang, Opt: O1})
+	asan := MustCompile(info, Config{Family: Clang, Opt: O1, ASan: true})
+	fp := plain.Funcs[plain.FuncIndex["helper"]]
+	fa := asan.Funcs[asan.FuncIndex["helper"]]
+	if fa.FrameSize <= fp.FrameSize {
+		t.Fatalf("asan frame %d should exceed plain %d", fa.FrameSize, fp.FrameSize)
+	}
+	// Slots must be separated by at least 16 bytes of redzone.
+	for i := 1; i < len(fa.Slots); i++ {
+		gap := fa.Slots[i].Off - (fa.Slots[i-1].Off + fa.Slots[i-1].Size)
+		if gap < 16 {
+			t.Fatalf("slots %d/%d gap %d < 16", i-1, i, gap)
+		}
+	}
+}
+
+func TestInstrumentationEmitsEdges(t *testing.T) {
+	info := checked(t, `
+int main() {
+    int s = 0;
+    for (int i = 0; i < 4; i++) {
+        if (i > 1) { s += i; } else { s -= i; }
+    }
+    return s & 1;
+}
+`)
+	plain := MustCompile(info, Config{Family: Clang, Opt: O1})
+	cov := MustCompile(info, Config{Family: Clang, Opt: O1, Instrument: true})
+	if plain.NumEdges != 0 {
+		t.Errorf("plain binary has %d edges", plain.NumEdges)
+	}
+	if cov.NumEdges < 4 {
+		t.Errorf("instrumented binary has %d edges, want several", cov.NumEdges)
+	}
+	found := 0
+	for _, in := range cov.Funcs[cov.Main].Code {
+		if in.Op == ir.Edge {
+			found++
+		}
+	}
+	if found != cov.NumEdges {
+		t.Errorf("edge instructions %d != NumEdges %d", found, cov.NumEdges)
+	}
+}
+
+func TestRodataInterning(t *testing.T) {
+	info := checked(t, `
+int main() {
+    printf("hello");
+    printf("hello");
+    printf("world");
+    return 0;
+}
+`)
+	prog := MustCompile(info, Config{Family: GCC, Opt: O0})
+	// "hello\0world\0" = 12 bytes: the duplicate is shared.
+	if len(prog.Rodata) != 12 {
+		t.Fatalf("rodata = %d bytes (%q), want 12", len(prog.Rodata), prog.Rodata)
+	}
+}
+
+func TestCompileRequiresMain(t *testing.T) {
+	info := checked(t, `int helper() { return 1; }`)
+	if _, err := Compile(info, Config{Family: GCC, Opt: O0}); err == nil ||
+		!strings.Contains(err.Error(), "no main") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGlobalOrderingVariesAtHigherOpt(t *testing.T) {
+	info := checked(t, `
+int alpha = 1;
+int beta = 2;
+int gamma = 3;
+long delta = 4L;
+int main() { return alpha + beta + gamma + (int)delta; }
+`)
+	offsets := func(cfg Config) string {
+		prog := MustCompile(info, cfg)
+		_ = prog
+		// Offsets are private to the lowering; compare the generated
+		// initializer images, which embed the ordering.
+		var b strings.Builder
+		for _, gi := range prog.GlobalInit {
+			b.WriteString(strings.Repeat("x", int(gi.Offset)))
+			b.WriteString("|")
+		}
+		return b.String()
+	}
+	if offsets(Config{Family: GCC, Opt: O2}) == offsets(Config{Family: Clang, Opt: O2}) {
+		t.Error("expected global orderings to differ across families at -O2")
+	}
+	if offsets(Config{Family: GCC, Opt: O0}) != offsets(Config{Family: Clang, Opt: O0}) {
+		t.Error("-O0 keeps source order in both families")
+	}
+}
+
+func TestOverflowCheckFoldedOnlyWithGuard(t *testing.T) {
+	// Without the establishing guard, folding `a+b<a` would be unsound
+	// and must not happen even at clang -O2.
+	unguarded := checked(t, `
+int main() {
+    int a = input_byte(0L) - 5;
+    int b = input_byte(1L) - 5;
+    if (a + b < a) { printf("neg\n"); return 1; }
+    printf("ok\n");
+    return 0;
+}
+`)
+	prog := MustCompile(unguarded, Config{Family: Clang, Opt: O2})
+	// The comparison must still be present: look for a CmpLt.
+	found := false
+	for _, in := range prog.Funcs[prog.Main].Code {
+		if in.Op == ir.CmpLt {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("unguarded overflow check was folded (unsound)")
+	}
+}
+
+func TestDisassemblyStable(t *testing.T) {
+	info := checked(t, layoutProg)
+	a := MustCompile(info, Config{Family: Clang, Opt: O2}).Disasm()
+	b := MustCompile(info, Config{Family: Clang, Opt: O2}).Disasm()
+	if a != b {
+		t.Fatal("compilation not reproducible")
+	}
+}

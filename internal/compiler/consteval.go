@@ -1,0 +1,223 @@
+package compiler
+
+import (
+	"math"
+
+	"compdiff/internal/ir"
+	"compdiff/internal/minic/ast"
+	"compdiff/internal/minic/types"
+)
+
+// constVal is a compile-time constant. Integer values are kept in
+// canonical 64-bit form for their type code; string constants carry
+// the literal for rodata interning.
+type constVal struct {
+	tc    ir.TypeCode
+	word  uint64
+	isStr bool
+	str   string
+}
+
+func (v constVal) isZero() bool {
+	if v.isStr {
+		return false
+	}
+	if v.tc.IsFloat() {
+		return math.Float64frombits(v.word) == 0
+	}
+	return v.word == 0
+}
+
+// evalConst attempts to evaluate e as a compile-time constant with
+// fully defined semantics. UB constants (signed overflow, div by zero,
+// oversized shifts) are refused so that they are resolved at run time
+// by the execution profile, never by the folder — keeping compile-time
+// and run-time arithmetic interchangeable on defined values.
+func evalConst(e ast.Expr) (constVal, bool) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		tc := typeCode(e.Type())
+		return constVal{tc: tc, word: ir.Canon(tc, uint64(e.Value))}, true
+	case *ast.FloatLit:
+		tc := typeCode(e.Type())
+		w := math.Float64bits(e.Value)
+		if tc == ir.F32 {
+			w = ir.ConvWord(ir.F64, ir.F32, w)
+		}
+		return constVal{tc: tc, word: w}, true
+	case *ast.StrLit:
+		return constVal{tc: ir.U64, isStr: true, str: e.Value}, true
+	case *ast.SizeofExpr:
+		return constVal{tc: ir.I64, word: uint64(e.Of.Size())}, true
+	case *ast.CastExpr:
+		v, ok := evalConst(e.X)
+		if !ok || v.isStr {
+			return constVal{}, false
+		}
+		to := typeCode(e.To)
+		return constVal{tc: to, word: ir.ConvWord(v.tc, to, v.word)}, true
+	case *ast.Unary:
+		v, ok := evalConst(e.X)
+		if !ok || v.isStr {
+			return constVal{}, false
+		}
+		switch e.Op {
+		case ast.Neg:
+			if v.tc.IsFloat() {
+				f := math.Float64frombits(v.word)
+				return constVal{tc: v.tc, word: math.Float64bits(-f)}, true
+			}
+			if ir.OverflowSigned(ir.Neg, v.tc, v.word, 0) {
+				return constVal{}, false
+			}
+			return constVal{tc: v.tc, word: ir.Canon(v.tc, -v.word)}, true
+		case ast.BitNot:
+			if v.tc.IsFloat() {
+				return constVal{}, false
+			}
+			return constVal{tc: v.tc, word: ir.Canon(v.tc, ^v.word)}, true
+		case ast.LogicalNot:
+			w := uint64(0)
+			if v.isZero() {
+				w = 1
+			}
+			return constVal{tc: ir.I32, word: w}, true
+		}
+		return constVal{}, false
+	case *ast.Binary:
+		return evalConstBinary(e)
+	case *ast.Cond:
+		c, ok := evalConst(e.C)
+		if !ok {
+			return constVal{}, false
+		}
+		if !c.isZero() {
+			return evalConst(e.X)
+		}
+		return evalConst(e.Y)
+	}
+	return constVal{}, false
+}
+
+func evalConstBinary(e *ast.Binary) (constVal, bool) {
+	if e.Op == ast.LogAnd || e.Op == ast.LogOr {
+		x, ok := evalConst(e.X)
+		if !ok {
+			return constVal{}, false
+		}
+		// Short-circuit, but only if the other side is also constant
+		// (we must not hide a runtime side effect).
+		y, ok := evalConst(e.Y)
+		if !ok {
+			return constVal{}, false
+		}
+		var r bool
+		if e.Op == ast.LogAnd {
+			r = !x.isZero() && !y.isZero()
+		} else {
+			r = !x.isZero() || !y.isZero()
+		}
+		w := uint64(0)
+		if r {
+			w = 1
+		}
+		return constVal{tc: ir.I32, word: w}, true
+	}
+
+	x, ok := evalConst(e.X)
+	if !ok || x.isStr {
+		return constVal{}, false
+	}
+	y, ok := evalConst(e.Y)
+	if !ok || y.isStr {
+		return constVal{}, false
+	}
+	if e.CommonType == nil {
+		return constVal{}, false
+	}
+	tc := typeCode(e.CommonType)
+	if tc.IsFloat() {
+		// Floating constant folding is deliberately *not* performed:
+		// compile-time rounding could differ from the run-time path
+		// (FMA contraction), and we keep all FP evaluation at run time.
+		return constVal{}, false
+	}
+	op, isCmp := binOpToIR(e.Op)
+	xv := ir.ConvWord(x.tc, tc, x.word)
+	yv := yWord(e, y, tc)
+	w, ok := ir.IntBinOK(op, tc, xv, yv)
+	if !ok {
+		return constVal{}, false
+	}
+	if isCmp {
+		return constVal{tc: ir.I32, word: w}, true
+	}
+	return constVal{tc: tc, word: w}, true
+}
+
+// yWord converts the right operand; shifts keep the count unconverted.
+func yWord(e *ast.Binary, y constVal, tc ir.TypeCode) uint64 {
+	if e.Op == ast.Shl || e.Op == ast.Shr {
+		return ir.ConvWord(y.tc, ir.I64, y.word)
+	}
+	return ir.ConvWord(y.tc, tc, y.word)
+}
+
+// binOpToIR maps AST binary operators to IR opcodes.
+func binOpToIR(op ast.BinOp) (ir.Op, bool) {
+	switch op {
+	case ast.Add:
+		return ir.Add, false
+	case ast.Sub:
+		return ir.Sub, false
+	case ast.Mul:
+		return ir.Mul, false
+	case ast.Div:
+		return ir.Div, false
+	case ast.Mod:
+		return ir.Mod, false
+	case ast.Shl:
+		return ir.Shl, false
+	case ast.Shr:
+		return ir.Shr, false
+	case ast.BitAnd:
+		return ir.BitAnd, false
+	case ast.BitOr:
+		return ir.BitOr, false
+	case ast.BitXor:
+		return ir.BitXor, false
+	case ast.Eq:
+		return ir.CmpEq, true
+	case ast.Ne:
+		return ir.CmpNe, true
+	case ast.Lt:
+		return ir.CmpLt, true
+	case ast.Le:
+		return ir.CmpLe, true
+	case ast.Gt:
+		return ir.CmpGt, true
+	case ast.Ge:
+		return ir.CmpGe, true
+	}
+	return ir.Nop, false
+}
+
+// globalInitBytes encodes a constant initializer value into the byte
+// representation of declType, for the globals segment image.
+// String-literal initializers return needStr=true; the caller encodes
+// the interned rodata address.
+func globalInitBytes(declType *types.Type, v constVal) (data []byte, needStr bool) {
+	if v.isStr {
+		return nil, true
+	}
+	w := ir.ConvWord(v.tc, typeCode(declType), v.word)
+	size := storeWidth(declType)
+	if typeCode(declType) == ir.F32 {
+		w = uint64(math.Float32bits(float32(math.Float64frombits(w))))
+	}
+	data = make([]byte, size)
+	for i := int64(0); i < size; i++ {
+		data[i] = byte(w >> (8 * i))
+	}
+	return data, false
+}

@@ -1,0 +1,201 @@
+package compiler
+
+import (
+	"sort"
+
+	"compdiff/internal/hash"
+	"compdiff/internal/ir"
+	"compdiff/internal/minic/ast"
+	"compdiff/internal/minic/types"
+)
+
+// frameLayout assigns frame offsets to a function's parameters and
+// locals. Slot ordering is an implementation choice: it never affects
+// a defined program, but it decides which object an out-of-bounds
+// stack access hits and what uninitialized locals contain, so each
+// implementation orders slots differently.
+type frameLayout struct {
+	offsets   map[*ast.Symbol]int64
+	size      int64
+	slots     []ir.Slot
+	paramOff  []int64
+	paramKind []ir.TypeCode
+}
+
+// planFrame computes the layout for fn under cfg.
+func planFrame(cfg Config, fn *ast.FuncDecl, params, locals []*ast.Symbol) *frameLayout {
+	type entry struct {
+		sym   *ast.Symbol
+		param bool
+		src   int
+	}
+	var entries []entry
+	for i, s := range params {
+		entries = append(entries, entry{sym: s, param: true, src: i})
+	}
+	for i, s := range locals {
+		entries = append(entries, entry{sym: s, param: false, src: len(params) + i})
+	}
+
+	// Order per implementation. O0 keeps source order for both
+	// families; higher levels reorder, differently per family.
+	rule := orderRule(cfg)
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		switch rule {
+		case orderSource:
+			return a.src < b.src
+		case orderSizeDesc:
+			sa, sb := a.sym.Type.Size(), b.sym.Type.Size()
+			if sa != sb {
+				return sa > sb
+			}
+			return a.src < b.src
+		case orderSizeAsc:
+			sa, sb := a.sym.Type.Size(), b.sym.Type.Size()
+			if sa != sb {
+				return sa < sb
+			}
+			return a.src < b.src
+		case orderReverse:
+			return a.src > b.src
+		default: // orderHash
+			ha := hash.Sum64([]byte(fn.Name+"."+a.sym.Name), uint32(cfg.personality()))
+			hb := hash.Sum64([]byte(fn.Name+"."+b.sym.Name), uint32(cfg.personality()))
+			if ha != hb {
+				return ha < hb
+			}
+			return a.src < b.src
+		}
+	})
+
+	fl := &frameLayout{offsets: map[*ast.Symbol]int64{}}
+	var off int64
+	redzone := int64(0)
+	if cfg.ASan {
+		redzone = 16
+	}
+	off += redzone
+	for _, e := range entries {
+		t := e.sym.Type
+		off = alignUp(off, t.Align())
+		fl.offsets[e.sym] = off
+		fl.slots = append(fl.slots, ir.Slot{Name: e.sym.Name, Off: off, Size: t.Size(), Param: e.param})
+		off += t.Size()
+		off += redzone
+	}
+	fl.size = alignUp(off, 16)
+	if fl.size == 0 {
+		fl.size = 16
+	}
+
+	fl.paramOff = make([]int64, len(params))
+	fl.paramKind = make([]ir.TypeCode, len(params))
+	for i, s := range params {
+		fl.paramOff[i] = fl.offsets[s]
+		fl.paramKind[i] = typeCode(s.Type)
+	}
+	return fl
+}
+
+type slotOrder int
+
+const (
+	orderSource slotOrder = iota
+	orderSizeDesc
+	orderSizeAsc
+	orderReverse
+	orderHash
+)
+
+func orderRule(cfg Config) slotOrder {
+	if cfg.Opt == O0 {
+		return orderSource
+	}
+	if cfg.Family == GCC {
+		switch cfg.Opt {
+		case O1:
+			return orderSizeDesc
+		case O2:
+			return orderSizeAsc
+		case O3:
+			return orderHash
+		default: // Os
+			return orderReverse
+		}
+	}
+	switch cfg.Opt {
+	case O1:
+		return orderSizeAsc
+	case O2:
+		return orderSizeDesc
+	case O3:
+		return orderReverse
+	default: // Os
+		return orderHash
+	}
+}
+
+// planGlobals assigns offsets in the globals segment. Source order at
+// O0; a personality-keyed order otherwise. Globals are always
+// zero-initialized (C semantics), so ordering matters only to UB.
+func planGlobals(cfg Config, globals []*ast.Symbol) (map[*ast.Symbol]int64, int64) {
+	order := make([]*ast.Symbol, len(globals))
+	copy(order, globals)
+	if cfg.Opt != O0 {
+		sort.SliceStable(order, func(i, j int) bool {
+			hi := hash.Sum64([]byte(order[i].Name), uint32(cfg.personality()))
+			hj := hash.Sum64([]byte(order[j].Name), uint32(cfg.personality()))
+			if hi != hj {
+				return hi < hj
+			}
+			return order[i].Index < order[j].Index
+		})
+	}
+	offsets := make(map[*ast.Symbol]int64, len(order))
+	var off int64
+	for _, s := range order {
+		off = alignUp(off, s.Type.Align())
+		offsets[s] = off
+		off += s.Type.Size()
+	}
+	return offsets, alignUp(off, 8)
+}
+
+func alignUp(n, a int64) int64 {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) &^ (a - 1)
+}
+
+// typeCode maps a MiniC type to its machine type code.
+func typeCode(t *types.Type) ir.TypeCode {
+	switch t.Kind {
+	case types.Char:
+		return ir.I8
+	case types.UChar:
+		return ir.U8
+	case types.Int:
+		return ir.I32
+	case types.UInt:
+		return ir.U32
+	case types.Long:
+		return ir.I64
+	case types.ULong, types.Ptr, types.Array:
+		return ir.U64
+	case types.Float:
+		return ir.F32
+	case types.Double:
+		return ir.F64
+	}
+	return ir.I64
+}
+
+// storeWidth returns the memory width in bytes for a type.
+func storeWidth(t *types.Type) int64 {
+	if t.Kind == types.Ptr {
+		return 8
+	}
+	return t.Size()
+}

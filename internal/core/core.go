@@ -1,0 +1,223 @@
+// Package core implements CompDiff, the paper's contribution:
+// compiler-driven differential testing. A program is compiled under a
+// set of compiler implementations; every test input is executed on all
+// resulting binaries; MurmurHash3 checksums of the (normalized)
+// outputs are cross-checked, and any discrepancy signals unstable code
+// (Definition 1 in the paper).
+//
+// The package also implements the operational details §3.2 and §4.3
+// describe: the partial-timeout re-run policy (RQ6), output
+// normalization for non-deterministic fields (RQ5), discrepancy
+// triage signatures, the diffs/ store of bug-triggering inputs, and
+// the compiler-implementation subset analysis behind Figures 1 and 2.
+package core
+
+import (
+	"fmt"
+
+	"compdiff/internal/compiler"
+	"compdiff/internal/hash"
+	"compdiff/internal/ir"
+	"compdiff/internal/minic/parser"
+	"compdiff/internal/minic/sema"
+	"compdiff/internal/vm"
+)
+
+// Implementation is one compiler implementation with its compiled
+// binary and a reusable executor.
+type Implementation struct {
+	Config compiler.Config
+	Prog   *ir.Program
+
+	machine *vm.Machine
+}
+
+// Name returns the implementation name, e.g. "gcc -O2".
+func (im *Implementation) Name() string { return im.Config.Name() }
+
+// Options configures a differential-testing suite.
+type Options struct {
+	// StepLimit is the per-run instruction budget (timeout analog).
+	StepLimit int64
+	// MaxTimeoutRetries bounds the partial-timeout re-run policy: when
+	// only some binaries time out, they are re-run with a growing
+	// budget this many times before the divergence is reported as
+	// timeout-related (RQ6). Default 3.
+	MaxTimeoutRetries int
+	// Normalizer, if set, rewrites outputs before comparison (RQ5).
+	Normalizer *Normalizer
+}
+
+func (o Options) withDefaults() Options {
+	if o.StepLimit <= 0 {
+		o.StepLimit = vm.DefaultStepLimit
+	}
+	if o.MaxTimeoutRetries <= 0 {
+		o.MaxTimeoutRetries = 3
+	}
+	return o
+}
+
+// Suite is a program compiled under k compiler implementations,
+// ready for differential execution.
+type Suite struct {
+	Impls []*Implementation
+	opts  Options
+}
+
+// Build compiles the checked program under every configuration.
+func Build(info *sema.Info, cfgs []compiler.Config, opts Options) (*Suite, error) {
+	opts = opts.withDefaults()
+	if len(cfgs) < 2 {
+		return nil, fmt.Errorf("compdiff: need at least 2 compiler implementations, got %d", len(cfgs))
+	}
+	s := &Suite{opts: opts}
+	for _, cfg := range cfgs {
+		prog, err := compiler.Compile(info, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.Impls = append(s.Impls, &Implementation{
+			Config:  cfg,
+			Prog:    prog,
+			machine: vm.New(prog, vm.Options{StepLimit: opts.StepLimit}),
+		})
+	}
+	return s, nil
+}
+
+// BuildSource parses, checks, and builds in one step.
+func BuildSource(src string, cfgs []compiler.Config, opts Options) (*Suite, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("compdiff: parse: %w", err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		return nil, fmt.Errorf("compdiff: check: %w", err)
+	}
+	return Build(info, cfgs, opts)
+}
+
+// Outcome is the result of differentially executing one input.
+type Outcome struct {
+	Input   []byte
+	Results []*vm.Result // one per implementation, suite order
+	Hashes  []uint64     // normalized output checksums
+
+	// Diverged reports whether at least two implementations disagree —
+	// the CompDiff oracle.
+	Diverged bool
+
+	// TimeoutSuspect is set when the divergence involves step-limit
+	// exits that survived the re-run policy; such reports need manual
+	// scrutiny (RQ6).
+	TimeoutSuspect bool
+}
+
+// Groups partitions implementation indices by output hash.
+func (o *Outcome) Groups() map[uint64][]int {
+	g := map[uint64][]int{}
+	for i, h := range o.Hashes {
+		g[h] = append(g[h], i)
+	}
+	return g
+}
+
+// Signature is a stable triage key: two inputs that split the
+// implementations the same way (same partition, same exit kinds) are
+// very likely the same bug.
+func (o *Outcome) Signature() uint64 {
+	d := hash.New128(0x5161)
+	groups := o.Groups()
+	// Render the partition canonically: for each implementation, the
+	// smallest index sharing its hash, plus the exit kind.
+	for i := range o.Hashes {
+		rep := i
+		for _, j := range groups[o.Hashes[i]] {
+			if j < rep {
+				rep = j
+			}
+		}
+		d.Write([]byte{byte(rep), byte(o.Results[i].Exit)})
+	}
+	h1, _ := d.Sum128()
+	return h1
+}
+
+// Run executes input on every implementation and cross-checks outputs
+// (Algorithm 1, lines 9-12, plus the RQ5/RQ6 policies).
+func (s *Suite) Run(input []byte) *Outcome {
+	out := &Outcome{Input: input}
+	out.Results = make([]*vm.Result, len(s.Impls))
+	for i, im := range s.Impls {
+		out.Results[i] = im.machine.Run(input)
+	}
+
+	// Partial-timeout policy (RQ6): when only some binaries hit the
+	// step limit, their truncated output is not comparable. Re-run the
+	// timed-out ones with a growing budget; only if they still exceed
+	// it do we report (flagged for manual scrutiny).
+	retries := 0
+	for retries < s.opts.MaxTimeoutRetries {
+		timedOut, finished := 0, 0
+		for _, r := range out.Results {
+			if r.Exit == vm.StepLimit {
+				timedOut++
+			} else {
+				finished++
+			}
+		}
+		if timedOut == 0 || finished == 0 {
+			break
+		}
+		retries++
+		budget := s.opts.StepLimit << (2 * uint(retries))
+		for i, r := range out.Results {
+			if r.Exit == vm.StepLimit {
+				out.Results[i] = s.Impls[i].machine.RunWithLimit(input, budget)
+			}
+		}
+	}
+	for _, r := range out.Results {
+		if r.Exit == vm.StepLimit {
+			out.TimeoutSuspect = true
+		}
+	}
+
+	out.Hashes = make([]uint64, len(out.Results))
+	for i, r := range out.Results {
+		enc := r.Encode()
+		if s.opts.Normalizer != nil {
+			enc = s.opts.Normalizer.Apply(enc)
+		}
+		out.Hashes[i] = hash.Sum64(enc, 0xaf1d)
+	}
+	for _, h := range out.Hashes[1:] {
+		if h != out.Hashes[0] {
+			out.Diverged = true
+			break
+		}
+	}
+	return out
+}
+
+// RunAll executes a set of inputs, returning only diverging outcomes.
+func (s *Suite) RunAll(inputs [][]byte) []*Outcome {
+	var diffs []*Outcome
+	for _, in := range inputs {
+		if o := s.Run(in); o.Diverged {
+			diffs = append(diffs, o)
+		}
+	}
+	return diffs
+}
+
+// Names lists the implementation names in suite order.
+func (s *Suite) Names() []string {
+	out := make([]string, len(s.Impls))
+	for i, im := range s.Impls {
+		out[i] = im.Name()
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"compdiff/internal/progen"
+)
+
+// Property tests on the core data structures and invariants.
+
+func TestQuickNormalizerIdempotent(t *testing.T) {
+	n := DefaultNormalizer()
+	f := func(data []byte) bool {
+		once := n.Apply(data)
+		twice := n.Apply(once)
+		return string(once) == string(twice)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNormalizerPreservesCleanText(t *testing.T) {
+	n := DefaultNormalizer()
+	f := func(words []string) bool {
+		// ASCII words without digits or 'x' cannot match either rule.
+		clean := ""
+		for _, w := range words {
+			for _, c := range w {
+				if c >= 'a' && c <= 'w' {
+					clean += string(c)
+				}
+			}
+			clean += " "
+		}
+		return string(n.Apply([]byte(clean))) == clean
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// DiffStore invariants: Total >= len(Unique); adding the same outcome
+// twice never creates two entries; counts accumulate.
+func TestQuickDiffStoreInvariants(t *testing.T) {
+	s := build(t, `
+int main() {
+    char b[4];
+    long n = read_input(b, 4L);
+    int x;
+    if (n > 0 && b[0] > 64) { printf("%d\n", x); } else { printf("low\n"); }
+    return 0;
+}`)
+	st := NewDiffStore("")
+	f := func(b0 byte) bool {
+		o := s.Run([]byte{b0})
+		st.Add(o)
+		if st.Total() < len(st.Unique()) {
+			return false
+		}
+		sum := 0
+		for _, d := range st.Unique() {
+			sum += d.Count
+		}
+		return sum == st.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Signature stability: the signature depends only on the partition
+// shape, so running the same input twice gives the same signature.
+func TestQuickSignatureDeterministic(t *testing.T) {
+	s := build(t, `
+int main() {
+    int x;
+    printf("%d\n", x);
+    return 0;
+}`)
+	f := func(seed byte) bool {
+		in := []byte{seed}
+		a := s.Run(in)
+		b := s.Run(in)
+		if a.Diverged != b.Diverged {
+			return false
+		}
+		if !a.Diverged {
+			return true
+		}
+		return a.Signature() == b.Signature()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Outcome invariant: Diverged iff the hash set has >= 2 members.
+func TestQuickDivergedMatchesGroups(t *testing.T) {
+	s := build(t, progen.Generate(3).Src)
+	f := func(data []byte) bool {
+		o := s.Run(data)
+		return o.Diverged == (len(o.Groups()) > 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"compdiff/internal/vm"
+)
+
+// Fault localization (paper §5, "Fault localization and bug report").
+// The paper leaves trace alignment as future work but observes that
+// CompDiff is well placed for it: all binaries come from the *same
+// source*, so executed source-line sequences are directly comparable.
+// Localize re-runs a diverging input on two disagreeing
+// implementations with line tracing enabled and reports the first
+// point where their control flow separates — usually the statement
+// whose UB the optimizer exploited.
+
+// Localization is a trace-diff result for one discrepancy.
+type Localization struct {
+	ImplA, ImplB string
+
+	// Line is the last source line the two executions agree on before
+	// control flow separates: the prime suspect for the unstable
+	// construct.
+	Line int32
+
+	// NextA and NextB are the first differing lines on each side
+	// (0 when that execution ended there).
+	NextA, NextB int32
+
+	// TracesEqual is set when both executions follow the same line
+	// sequence and only the *values* differ (data-only divergence,
+	// e.g. uninitialized reads): line-level localization cannot
+	// separate them further.
+	TracesEqual bool
+}
+
+// String renders the localization like a little report.
+func (l *Localization) String() string {
+	if l.TracesEqual {
+		return fmt.Sprintf("control flow identical under %s and %s: data-only divergence (inspect values printed near the end of the trace)", l.ImplA, l.ImplB)
+	}
+	return fmt.Sprintf("executions agree up to line %d, then %s continues at line %d while %s continues at line %d",
+		l.Line, l.ImplA, l.NextA, l.ImplB, l.NextB)
+}
+
+// Localize re-executes the outcome's input under two implementations
+// that disagreed and diffs their line traces. It returns an error if
+// the outcome did not diverge.
+func (s *Suite) Localize(o *Outcome) (*Localization, error) {
+	if !o.Diverged {
+		return nil, fmt.Errorf("compdiff: cannot localize a non-diverging outcome")
+	}
+	// Pick one representative from the two largest output groups.
+	groups := o.Groups()
+	var bestA, bestB []int
+	for _, idxs := range groups {
+		if len(idxs) > len(bestA) {
+			bestA, bestB = idxs, bestA
+		} else if len(idxs) > len(bestB) {
+			bestB = idxs
+		}
+	}
+	ia, ib := bestA[0], bestB[0]
+
+	ma := vm.New(s.Impls[ia].Prog, vm.Options{StepLimit: s.opts.StepLimit, TraceLines: true})
+	mb := vm.New(s.Impls[ib].Prog, vm.Options{StepLimit: s.opts.StepLimit, TraceLines: true})
+	ra := ma.Run(o.Input)
+	rb := mb.Run(o.Input)
+
+	loc := &Localization{ImplA: s.Impls[ia].Name(), ImplB: s.Impls[ib].Name()}
+	ta, tb := ra.Trace, rb.Trace
+	n := len(ta)
+	if len(tb) < n {
+		n = len(tb)
+	}
+	for i := 0; i < n; i++ {
+		if ta[i] != tb[i] {
+			if i > 0 {
+				loc.Line = ta[i-1]
+			}
+			loc.NextA, loc.NextB = ta[i], tb[i]
+			return loc, nil
+		}
+	}
+	if len(ta) != len(tb) {
+		// One execution is a prefix of the other (an early crash or
+		// return): diverges right after the last common line.
+		if n > 0 {
+			loc.Line = ta[n-1]
+		}
+		if len(ta) > n {
+			loc.NextA = ta[n]
+		}
+		if len(tb) > n {
+			loc.NextB = tb[n]
+		}
+		return loc, nil
+	}
+	loc.TracesEqual = true
+	if n > 0 {
+		loc.Line = ta[n-1]
+	}
+	return loc, nil
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// DiffStore collects bug-triggering inputs, the analog of the "diffs/"
+// directory CompDiff-AFL++ writes. Inputs are deduplicated by triage
+// signature: many inputs trigger the same discrepancy, and manual
+// diagnosis starts from one representative per signature (§3.2).
+type DiffStore struct {
+	dir      string // optional persistence directory; "" keeps all in memory
+	bySig    map[uint64]*StoredDiff
+	sigOrder []uint64
+	total    int
+}
+
+// StoredDiff is one unique discrepancy with a representative input.
+type StoredDiff struct {
+	Signature uint64
+	Outcome   *Outcome
+	Count     int // inputs seen with this signature
+}
+
+// NewDiffStore creates a store. If dir is non-empty, representative
+// inputs are also written to <dir>/diffs/.
+func NewDiffStore(dir string) *DiffStore {
+	return &DiffStore{dir: dir, bySig: map[uint64]*StoredDiff{}}
+}
+
+// Add records a diverging outcome. It returns true when the signature
+// was new (a fresh unique discrepancy).
+func (st *DiffStore) Add(o *Outcome) (bool, error) {
+	if !o.Diverged {
+		return false, nil
+	}
+	st.total++
+	sig := o.Signature()
+	if d, ok := st.bySig[sig]; ok {
+		d.Count++
+		return false, nil
+	}
+	st.bySig[sig] = &StoredDiff{Signature: sig, Outcome: o, Count: 1}
+	st.sigOrder = append(st.sigOrder, sig)
+	if st.dir != "" {
+		dir := filepath.Join(st.dir, "diffs")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return true, err
+		}
+		name := filepath.Join(dir, fmt.Sprintf("id_%06d_sig_%016x", len(st.sigOrder), sig))
+		if err := os.WriteFile(name, o.Input, 0o644); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+// Unique returns the stored discrepancies in discovery order.
+func (st *DiffStore) Unique() []*StoredDiff {
+	out := make([]*StoredDiff, 0, len(st.sigOrder))
+	for _, sig := range st.sigOrder {
+		out = append(out, st.bySig[sig])
+	}
+	return out
+}
+
+// Total is the number of diverging inputs seen (before deduplication).
+func (st *DiffStore) Total() int { return st.total }
+
+// Report renders a human-readable bug report for one discrepancy,
+// with the three ingredients the paper's reports carry: the input, the
+// compiler configurations that reproduce it, and the divergent
+// outputs.
+func (d *StoredDiff) Report(names []string) string {
+	o := d.Outcome
+	groups := o.Groups()
+	type grp struct {
+		impls []int
+		out   string
+	}
+	var gs []grp
+	for h, idxs := range groups {
+		_ = h
+		sort.Ints(idxs)
+		gs = append(gs, grp{impls: idxs, out: string(o.Results[idxs[0]].Encode())})
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i].impls[0] < gs[j].impls[0] })
+
+	s := fmt.Sprintf("discrepancy signature %016x (seen on %d inputs)\n", d.Signature, d.Count)
+	s += fmt.Sprintf("test input (%d bytes): %q\n", len(o.Input), truncate(o.Input, 64))
+	for _, g := range gs {
+		s += "reproducers:"
+		for _, i := range g.impls {
+			s += " [" + names[i] + "]"
+		}
+		s += "\noutput:\n" + indent(g.out) + "\n"
+	}
+	return s
+}
+
+func truncate(b []byte, n int) []byte {
+	if len(b) <= n {
+		return b
+	}
+	return b[:n]
+}
+
+func indent(s string) string {
+	out := "    "
+	for _, c := range s {
+		out += string(c)
+		if c == '\n' {
+			out += "    "
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package core
+
+import "sort"
+
+// Subset analysis (§4.2, Figures 1 and 2): given per-bug output hashes
+// under the full implementation set, count how many bugs each subset
+// of implementations would still detect — a bug is detected by a
+// subset iff two of its members disagree on the bug-triggering input.
+
+// BugMatrix holds, for each detected bug, the output hash every
+// implementation produced on that bug's triggering input.
+type BugMatrix struct {
+	ImplNames []string
+	Rows      [][]uint64 // Rows[bug][impl]
+}
+
+// DetectedBy counts the bugs visible to the given subset of
+// implementation indices.
+func (bm *BugMatrix) DetectedBy(subset []int) int {
+	n := 0
+	for _, row := range bm.Rows {
+		first := row[subset[0]]
+		for _, i := range subset[1:] {
+			if row[i] != first {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// SubsetStat summarizes all subsets of one size.
+type SubsetStat struct {
+	Size     int
+	Subsets  int
+	Min, Max int
+	Median   float64
+	Q1, Q3   float64
+	Best     []int // a best-performing subset
+	Worst    []int // a worst-performing subset
+}
+
+// SubsetSweep enumerates every subset of sizes 2..k of the
+// implementations and returns per-size statistics — the data behind
+// Figures 1 and 2.
+func (bm *BugMatrix) SubsetSweep() []SubsetStat {
+	k := len(bm.ImplNames)
+	var stats []SubsetStat
+	for size := 2; size <= k; size++ {
+		var counts []int
+		var best, worst []int
+		bestN, worstN := -1, 1<<30
+		forEachSubset(k, size, func(sub []int) {
+			n := bm.DetectedBy(sub)
+			counts = append(counts, n)
+			if n > bestN {
+				bestN = n
+				best = append([]int(nil), sub...)
+			}
+			if n < worstN {
+				worstN = n
+				worst = append([]int(nil), sub...)
+			}
+		})
+		sort.Ints(counts)
+		stats = append(stats, SubsetStat{
+			Size:    size,
+			Subsets: len(counts),
+			Min:     counts[0],
+			Max:     counts[len(counts)-1],
+			Median:  percentile(counts, 0.5),
+			Q1:      percentile(counts, 0.25),
+			Q3:      percentile(counts, 0.75),
+			Best:    best,
+			Worst:   worst,
+		})
+	}
+	return stats
+}
+
+// forEachSubset enumerates size-sized subsets of {0..k-1}.
+func forEachSubset(k, size int, f func([]int)) {
+	sub := make([]int, size)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == size {
+			f(sub)
+			return
+		}
+		for i := start; i < k; i++ {
+			sub[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+}
+
+func percentile(sorted []int, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return float64(sorted[0])
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return float64(sorted[len(sorted)-1])
+	}
+	return float64(sorted[lo])*(1-frac) + float64(sorted[lo+1])*frac
+}

@@ -1,0 +1,175 @@
+// Package difffuzz implements CompDiff-AFL++ (paper §3.2, Algorithm
+// 1): the AFL++-style fuzzer drives input generation against an
+// instrumented binary B_fuzz, and every generated input is
+// additionally executed on the k CompDiff binaries, whose outputs are
+// cross-checked; diverging inputs land in the diffs/ store. The fuzzer
+// core is untouched — CompDiff rides the execution hook — so any other
+// fuzzing enhancement (sanitizers on B_fuzz included) composes with it,
+// exactly as the paper argues.
+package difffuzz
+
+import (
+	"fmt"
+
+	"compdiff/internal/compiler"
+	"compdiff/internal/core"
+	"compdiff/internal/fuzz"
+	"compdiff/internal/minic/parser"
+	"compdiff/internal/minic/sema"
+	"compdiff/internal/vm"
+)
+
+// Options configures a campaign.
+type Options struct {
+	// Configs are the CompDiff compiler implementations (defaults to
+	// the paper's ten).
+	Configs []compiler.Config
+	// FuzzSeed seeds the fuzzer RNG.
+	FuzzSeed int64
+	// StepLimit is the per-run budget for every binary.
+	StepLimit int64
+	// MaxInputLen caps generated inputs.
+	MaxInputLen int
+	// Sanitizer optionally instruments B_fuzz with a sanitizer, as
+	// AFL++ users commonly do; CompDiff composes with it.
+	Sanitizer vm.SanMode
+	// Normalizer post-processes outputs before comparison (RQ5).
+	Normalizer *core.Normalizer
+	// DiffDir, when set, persists bug-triggering inputs under
+	// DiffDir/diffs/.
+	DiffDir string
+
+	// SkipDeterministic disables the fuzzer's deterministic stage
+	// (AFL's -d), trading systematic shallow exploration for havoc
+	// throughput.
+	SkipDeterministic bool
+
+	// DivergenceFeedback adds inputs that trigger *new* discrepancy
+	// signatures to the fuzzer's queue even when they contribute no
+	// new coverage — the NEZHA-style behavioral-asymmetry feedback the
+	// paper proposes as future work (§5). Because CompDiff's binaries
+	// share one source, the signature partition is a cheap, stable
+	// asymmetry fingerprint.
+	DivergenceFeedback bool
+}
+
+// Campaign is a CompDiff-AFL++ fuzzing session on one target.
+type Campaign struct {
+	fuzzer *fuzz.Fuzzer
+	suite  *core.Suite
+	diffs  *core.DiffStore
+
+	// DiffExecs counts executions spent on the CompDiff binaries
+	// (k per generated input) — the overhead the paper discusses.
+	DiffExecs int64
+}
+
+// New builds a campaign for the MiniC source with initial seeds.
+func New(src string, seeds [][]byte, opts Options) (*Campaign, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("difffuzz: parse: %w", err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		return nil, fmt.Errorf("difffuzz: check: %w", err)
+	}
+	return NewChecked(info, seeds, opts)
+}
+
+// NewChecked builds a campaign from an already-checked program.
+func NewChecked(info *sema.Info, seeds [][]byte, opts Options) (*Campaign, error) {
+	cfgs := opts.Configs
+	if len(cfgs) == 0 {
+		cfgs = compiler.DefaultSet()
+	}
+
+	// B_fuzz: the fuzzer-configured binary with coverage
+	// instrumentation (and optionally a sanitizer), compiled exactly
+	// as in normal AFL++.
+	fuzzCfg := compiler.Config{
+		Family:     compiler.Clang,
+		Opt:        O1ForSan(opts.Sanitizer),
+		Instrument: true,
+		ASan:       opts.Sanitizer == vm.SanASan,
+		Sanitize:   opts.Sanitizer != vm.SanNone,
+	}
+	bfuzz, err := compiler.Compile(info, fuzzCfg)
+	if err != nil {
+		return nil, err
+	}
+	machine := vm.New(bfuzz, vm.Options{
+		Coverage:  true,
+		StepLimit: opts.StepLimit,
+		San:       opts.Sanitizer,
+	})
+
+	suite, err := core.Build(info, cfgs, core.Options{
+		StepLimit:  opts.StepLimit,
+		Normalizer: opts.Normalizer,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Campaign{
+		suite: suite,
+		diffs: core.NewDiffStore(opts.DiffDir),
+	}
+	c.fuzzer = fuzz.New(machine, seeds, fuzz.Options{
+		Seed:              opts.FuzzSeed,
+		MaxInputLen:       opts.MaxInputLen,
+		SkipDeterministic: opts.SkipDeterministic,
+		// Algorithm 1, lines 9-12: run every generated input through
+		// the CompDiff binaries and save it on output discrepancy.
+		OnExec: func(input []byte, res *vm.Result) {
+			o := c.suite.Run(input)
+			c.DiffExecs += int64(len(c.suite.Impls))
+			if o.Diverged {
+				fresh, err := c.diffs.Add(o)
+				if err != nil {
+					// Persistence failure must not kill the campaign;
+					// the in-memory record is kept regardless.
+					_ = err
+				}
+				// c.fuzzer is nil while the initial corpus is being
+				// ingested inside fuzz.New; those seeds are already
+				// queued.
+				if fresh && opts.DivergenceFeedback && c.fuzzer != nil {
+					c.fuzzer.ForceSeed(input)
+				}
+			}
+		},
+	})
+	return c, nil
+}
+
+// O1ForSan picks the conventional optimization level for a sanitizer
+// build (-O1), or -O2 for a plain fuzzing binary.
+func O1ForSan(san vm.SanMode) compiler.OptLevel {
+	if san != vm.SanNone {
+		return compiler.O1
+	}
+	return compiler.O2
+}
+
+// Run fuzzes for the given number of executions on B_fuzz.
+func (c *Campaign) Run(budget int64) fuzz.Stats {
+	return c.fuzzer.Run(budget)
+}
+
+// Diffs returns the unique discrepancies found so far.
+func (c *Campaign) Diffs() []*core.StoredDiff { return c.diffs.Unique() }
+
+// TotalDiffInputs is the number of diverging inputs seen, pre-dedup.
+func (c *Campaign) TotalDiffInputs() int { return c.diffs.Total() }
+
+// Crashes returns B_fuzz crashes (AFL++'s native findings, including
+// sanitizer aborts when a sanitizer is enabled).
+func (c *Campaign) Crashes() []*fuzz.Crash { return c.fuzzer.Crashes() }
+
+// Stats returns fuzzer statistics.
+func (c *Campaign) Stats() fuzz.Stats { return c.fuzzer.Stats() }
+
+// ImplNames lists the CompDiff implementation names.
+func (c *Campaign) ImplNames() []string { return c.suite.Names() }

@@ -1,0 +1,321 @@
+// Package hash implements the MurmurHash3 family of non-cryptographic
+// hash functions (Austin Appleby, public domain). CompDiff uses
+// MurmurHash3 checksums of captured program output to compare the
+// behaviour of binaries produced by different compiler implementations,
+// mirroring the checksum mechanism AFL++ ships with.
+package hash
+
+import "math/bits"
+
+const (
+	c1x64 = 0x87c37b91114253d5
+	c2x64 = 0x4cf5ad432745937f
+)
+
+// Sum128 computes the x64 variant of MurmurHash3 with a 128-bit result
+// over data using the given seed. The two halves are returned as h1, h2.
+func Sum128(data []byte, seed uint32) (uint64, uint64) {
+	h1 := uint64(seed)
+	h2 := uint64(seed)
+	n := len(data)
+
+	// Body: 16-byte blocks.
+	nblocks := n / 16
+	for i := 0; i < nblocks; i++ {
+		k1 := le64(data[i*16:])
+		k2 := le64(data[i*16+8:])
+
+		k1 *= c1x64
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= c2x64
+		h1 ^= k1
+
+		h1 = bits.RotateLeft64(h1, 27)
+		h1 += h2
+		h1 = h1*5 + 0x52dce729
+
+		k2 *= c2x64
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= c1x64
+		h2 ^= k2
+
+		h2 = bits.RotateLeft64(h2, 31)
+		h2 += h1
+		h2 = h2*5 + 0x38495ab5
+	}
+
+	// Tail.
+	tail := data[nblocks*16:]
+	var k1, k2 uint64
+	switch len(tail) & 15 {
+	case 15:
+		k2 ^= uint64(tail[14]) << 48
+		fallthrough
+	case 14:
+		k2 ^= uint64(tail[13]) << 40
+		fallthrough
+	case 13:
+		k2 ^= uint64(tail[12]) << 32
+		fallthrough
+	case 12:
+		k2 ^= uint64(tail[11]) << 24
+		fallthrough
+	case 11:
+		k2 ^= uint64(tail[10]) << 16
+		fallthrough
+	case 10:
+		k2 ^= uint64(tail[9]) << 8
+		fallthrough
+	case 9:
+		k2 ^= uint64(tail[8])
+		k2 *= c2x64
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= c1x64
+		h2 ^= k2
+		fallthrough
+	case 8:
+		k1 ^= uint64(tail[7]) << 56
+		fallthrough
+	case 7:
+		k1 ^= uint64(tail[6]) << 48
+		fallthrough
+	case 6:
+		k1 ^= uint64(tail[5]) << 40
+		fallthrough
+	case 5:
+		k1 ^= uint64(tail[4]) << 32
+		fallthrough
+	case 4:
+		k1 ^= uint64(tail[3]) << 24
+		fallthrough
+	case 3:
+		k1 ^= uint64(tail[2]) << 16
+		fallthrough
+	case 2:
+		k1 ^= uint64(tail[1]) << 8
+		fallthrough
+	case 1:
+		k1 ^= uint64(tail[0])
+		k1 *= c1x64
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= c2x64
+		h1 ^= k1
+	}
+
+	// Finalization.
+	h1 ^= uint64(n)
+	h2 ^= uint64(n)
+	h1 += h2
+	h2 += h1
+	h1 = fmix64(h1)
+	h2 = fmix64(h2)
+	h1 += h2
+	h2 += h1
+	return h1, h2
+}
+
+// Sum64 returns the first half of Sum128, a convenient 64-bit digest.
+func Sum64(data []byte, seed uint32) uint64 {
+	h1, _ := Sum128(data, seed)
+	return h1
+}
+
+// Sum32 computes the x86 32-bit variant of MurmurHash3.
+func Sum32(data []byte, seed uint32) uint32 {
+	const (
+		c1 = 0xcc9e2d51
+		c2 = 0x1b873593
+	)
+	h := seed
+	n := len(data)
+
+	nblocks := n / 4
+	for i := 0; i < nblocks; i++ {
+		k := le32(data[i*4:])
+		k *= c1
+		k = bits.RotateLeft32(k, 15)
+		k *= c2
+		h ^= k
+		h = bits.RotateLeft32(h, 13)
+		h = h*5 + 0xe6546b64
+	}
+
+	var k uint32
+	tail := data[nblocks*4:]
+	switch len(tail) & 3 {
+	case 3:
+		k ^= uint32(tail[2]) << 16
+		fallthrough
+	case 2:
+		k ^= uint32(tail[1]) << 8
+		fallthrough
+	case 1:
+		k ^= uint32(tail[0])
+		k *= c1
+		k = bits.RotateLeft32(k, 15)
+		k *= c2
+		h ^= k
+	}
+
+	h ^= uint32(n)
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}
+
+// A Digest accumulates bytes for a streaming 128-bit MurmurHash3 (x64).
+// The zero value is not ready for use; call New128.
+type Digest struct {
+	h1, h2 uint64
+	buf    [16]byte
+	nbuf   int
+	total  int
+}
+
+// New128 returns a streaming digest with the given seed.
+func New128(seed uint32) *Digest {
+	return &Digest{h1: uint64(seed), h2: uint64(seed)}
+}
+
+// Write adds data to the running hash. It never fails.
+func (d *Digest) Write(p []byte) (int, error) {
+	n := len(p)
+	d.total += n
+	if d.nbuf > 0 {
+		c := copy(d.buf[d.nbuf:], p)
+		d.nbuf += c
+		p = p[c:]
+		if d.nbuf == 16 {
+			d.block(d.buf[:])
+			d.nbuf = 0
+		}
+	}
+	for len(p) >= 16 {
+		d.block(p[:16])
+		p = p[16:]
+	}
+	if len(p) > 0 {
+		copy(d.buf[:], p)
+		d.nbuf = len(p)
+	}
+	return n, nil
+}
+
+func (d *Digest) block(b []byte) {
+	k1 := le64(b)
+	k2 := le64(b[8:])
+
+	k1 *= c1x64
+	k1 = bits.RotateLeft64(k1, 31)
+	k1 *= c2x64
+	d.h1 ^= k1
+
+	d.h1 = bits.RotateLeft64(d.h1, 27)
+	d.h1 += d.h2
+	d.h1 = d.h1*5 + 0x52dce729
+
+	k2 *= c2x64
+	k2 = bits.RotateLeft64(k2, 33)
+	k2 *= c1x64
+	d.h2 ^= k2
+
+	d.h2 = bits.RotateLeft64(d.h2, 31)
+	d.h2 += d.h1
+	d.h2 = d.h2*5 + 0x38495ab5
+}
+
+// Sum128 finalizes the digest and returns the 128-bit hash. The digest
+// remains usable: finalization operates on a copy of the state.
+func (d *Digest) Sum128() (uint64, uint64) {
+	h1, h2 := d.h1, d.h2
+
+	var k1, k2 uint64
+	tail := d.buf[:d.nbuf]
+	switch len(tail) & 15 {
+	case 15:
+		k2 ^= uint64(tail[14]) << 48
+		fallthrough
+	case 14:
+		k2 ^= uint64(tail[13]) << 40
+		fallthrough
+	case 13:
+		k2 ^= uint64(tail[12]) << 32
+		fallthrough
+	case 12:
+		k2 ^= uint64(tail[11]) << 24
+		fallthrough
+	case 11:
+		k2 ^= uint64(tail[10]) << 16
+		fallthrough
+	case 10:
+		k2 ^= uint64(tail[9]) << 8
+		fallthrough
+	case 9:
+		k2 ^= uint64(tail[8])
+		k2 *= c2x64
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= c1x64
+		h2 ^= k2
+		fallthrough
+	case 8:
+		k1 ^= uint64(tail[7]) << 56
+		fallthrough
+	case 7:
+		k1 ^= uint64(tail[6]) << 48
+		fallthrough
+	case 6:
+		k1 ^= uint64(tail[5]) << 40
+		fallthrough
+	case 5:
+		k1 ^= uint64(tail[4]) << 32
+		fallthrough
+	case 4:
+		k1 ^= uint64(tail[3]) << 24
+		fallthrough
+	case 3:
+		k1 ^= uint64(tail[2]) << 16
+		fallthrough
+	case 2:
+		k1 ^= uint64(tail[1]) << 8
+		fallthrough
+	case 1:
+		k1 ^= uint64(tail[0])
+		k1 *= c1x64
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= c2x64
+		h1 ^= k1
+	}
+
+	h1 ^= uint64(d.total)
+	h2 ^= uint64(d.total)
+	h1 += h2
+	h2 += h1
+	h1 = fmix64(h1)
+	h2 = fmix64(h2)
+	h1 += h2
+	h2 += h1
+	return h1, h2
+}
+
+func fmix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func le32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -1,0 +1,148 @@
+package hash
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// Reference vectors for MurmurHash3 x64/128, produced by the canonical
+// C++ implementation (smhasher).
+func TestSum128ReferenceVectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		seed uint32
+		h1   uint64
+		h2   uint64
+	}{
+		{"", 0, 0x0000000000000000, 0x0000000000000000},
+		{"", 1, 0x4610abe56eff5cb5, 0x51622daa78f83583},
+		{"hello", 0, 0xcbd8a7b341bd9b02, 0x5b1e906a48ae1d19},
+		{"hello, world", 0, 0x342fac623a5ebc8e, 0x4cdcbc079642414d},
+		{"19 Jan 2038 at 3:14:07 AM", 0, 0xb89e5988b737affc, 0x664fc2950231b2cb},
+		{"The quick brown fox jumps over the lazy dog.", 0, 0xcd99481f9ee902c9, 0x695da1a38987b6e7},
+	}
+	for _, c := range cases {
+		h1, h2 := Sum128([]byte(c.in), c.seed)
+		if h1 != c.h1 || h2 != c.h2 {
+			t.Errorf("Sum128(%q, %d) = %#x,%#x; want %#x,%#x", c.in, c.seed, h1, h2, c.h1, c.h2)
+		}
+	}
+}
+
+func TestSum32ReferenceVectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		seed uint32
+		want uint32
+	}{
+		{"", 0, 0},
+		{"", 1, 0x514e28b7},
+		{"hello", 0, 0x248bfa47},
+		{"hello, world", 0, 0x149bbb7f},
+		{"The quick brown fox jumps over the lazy dog.", 0, 0xd5c48bfc},
+	}
+	for _, c := range cases {
+		if got := Sum32([]byte(c.in), c.seed); got != c.want {
+			t.Errorf("Sum32(%q, %d) = %#x; want %#x", c.in, c.seed, got, c.want)
+		}
+	}
+}
+
+func TestSum64IsFirstHalf(t *testing.T) {
+	data := []byte("compdiff output channel")
+	h1, _ := Sum128(data, 7)
+	if got := Sum64(data, 7); got != h1 {
+		t.Fatalf("Sum64 = %#x, want %#x", got, h1)
+	}
+}
+
+// Streaming digest must agree with the one-shot function for every
+// split of the input.
+func TestDigestMatchesOneShotAllSplits(t *testing.T) {
+	data := []byte("MurmurHash3 was written by Austin Appleby, and is placed in the public domain.")
+	want1, want2 := Sum128(data, 42)
+	for split := 0; split <= len(data); split++ {
+		d := New128(42)
+		d.Write(data[:split])
+		d.Write(data[split:])
+		h1, h2 := d.Sum128()
+		if h1 != want1 || h2 != want2 {
+			t.Fatalf("split %d: digest = %#x,%#x; want %#x,%#x", split, h1, h2, want1, want2)
+		}
+	}
+}
+
+func TestDigestSumDoesNotConsumeState(t *testing.T) {
+	d := New128(0)
+	d.Write([]byte("part one "))
+	a1, a2 := d.Sum128()
+	b1, b2 := d.Sum128()
+	if a1 != b1 || a2 != b2 {
+		t.Fatal("Sum128 mutated digest state")
+	}
+	d.Write([]byte("part two"))
+	c1, c2 := d.Sum128()
+	w1, w2 := Sum128([]byte("part one part two"), 0)
+	if c1 != w1 || c2 != w2 {
+		t.Fatalf("continued digest = %#x,%#x; want %#x,%#x", c1, c2, w1, w2)
+	}
+}
+
+// Property: streaming equals one-shot for arbitrary data and chunkings.
+func TestQuickDigestEquivalence(t *testing.T) {
+	f := func(data []byte, seed uint32, cut uint8) bool {
+		k := int(cut)
+		if k > len(data) {
+			k = len(data)
+		}
+		d := New128(seed)
+		d.Write(data[:k])
+		d.Write(data[k:])
+		h1, h2 := d.Sum128()
+		w1, w2 := Sum128(data, seed)
+		return h1 == w1 && h2 == w2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: different single-byte perturbations change the hash
+// (collision over a small sample would indicate a broken implementation).
+func TestQuickPerturbationChangesHash(t *testing.T) {
+	f := func(data []byte, idx uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		i := int(idx) % len(data)
+		mut := bytes.Clone(data)
+		mut[i] ^= 0xff
+		a1, a2 := Sum128(data, 0)
+		b1, b2 := Sum128(mut, 0)
+		return a1 != b1 || a2 != b2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeedChangesHash(t *testing.T) {
+	data := []byte("same bytes")
+	a, _ := Sum128(data, 1)
+	b, _ := Sum128(data, 2)
+	if a == b {
+		t.Fatal("different seeds produced identical hashes")
+	}
+}
+
+func BenchmarkSum128_1K(b *testing.B) {
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Sum128(data, 0)
+	}
+}

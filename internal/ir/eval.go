@@ -1,0 +1,286 @@
+package ir
+
+import "math"
+
+// Memory map shared by every binary. The segment bases are identical
+// across compiler implementations; what differs per implementation is
+// layout *within* segments (slot/global ordering, allocator headers,
+// stack growth direction), which the standard leaves open.
+const (
+	NullTop     = 0x1000 // addresses below this are never mapped
+	RodataBase  = 0x1000 // string literals
+	RodataMax   = 0x10000
+	GlobalsBase = 0x10000 // globals and C static locals (zero-initialized)
+	GlobalsMax  = 0x20000
+	StackBase   = 0x20000 // call frames
+	StackMax    = 0x60000
+	HeapBase    = 0x60000 // malloc arena
+	HeapMax     = 0x100000
+	MemSize     = 0x100000
+)
+
+// Canon canonicalizes a 64-bit word to the given integer type code:
+// the value is truncated to the code's width and then sign- or
+// zero-extended back to 64 bits. The compiler's constant folder and
+// the VM share this so compile-time and run-time arithmetic agree
+// exactly on defined values.
+func Canon(tc TypeCode, v uint64) uint64 {
+	switch tc {
+	case I8:
+		return uint64(int64(int8(v)))
+	case U8:
+		return uint64(uint8(v))
+	case I32:
+		return uint64(int64(int32(v)))
+	case U32:
+		return uint64(uint32(v))
+	default: // I64, U64
+		return v
+	}
+}
+
+// IntBinOK reports whether op on a, b at tc is fully defined, and if
+// so returns the canonical result. It refuses to evaluate signed
+// overflow, division by zero, INT_MIN/-1, and out-of-range shifts —
+// those are UB and must be left to the run-time policies so that
+// divergence (or its absence) is decided by the execution profile,
+// not by the constant folder.
+func IntBinOK(op Op, tc TypeCode, a, b uint64) (uint64, bool) {
+	bits := tc.Bits()
+	signed := tc.Signed()
+	switch op {
+	case Add:
+		if signed {
+			r := int64(a) + int64(b)
+			if addOverflows(int64(a), int64(b), bits) {
+				return 0, false
+			}
+			return Canon(tc, uint64(r)), true
+		}
+		return Canon(tc, a+b), true
+	case Sub:
+		if signed {
+			r := int64(a) - int64(b)
+			if subOverflows(int64(a), int64(b), bits) {
+				return 0, false
+			}
+			return Canon(tc, uint64(r)), true
+		}
+		return Canon(tc, a-b), true
+	case Mul:
+		if signed {
+			if mulOverflows(int64(a), int64(b), bits) {
+				return 0, false
+			}
+			return Canon(tc, uint64(int64(a)*int64(b))), true
+		}
+		return Canon(tc, a*b), true
+	case Div:
+		if b == 0 {
+			return 0, false
+		}
+		if signed {
+			if int64(b) == -1 && int64(a) == minInt(bits) {
+				return 0, false
+			}
+			return Canon(tc, uint64(int64(a)/int64(b))), true
+		}
+		return Canon(tc, truncU(a, bits)/truncU(b, bits)), true
+	case Mod:
+		if b == 0 {
+			return 0, false
+		}
+		if signed {
+			if int64(b) == -1 && int64(a) == minInt(bits) {
+				return 0, false
+			}
+			return Canon(tc, uint64(int64(a)%int64(b))), true
+		}
+		return Canon(tc, truncU(a, bits)%truncU(b, bits)), true
+	case BitAnd:
+		return Canon(tc, a&b), true
+	case BitOr:
+		return Canon(tc, a|b), true
+	case BitXor:
+		return Canon(tc, a^b), true
+	case Shl:
+		if shiftOOB(b, bits) || (signed && int64(a) < 0) {
+			return 0, false
+		}
+		return Canon(tc, a<<b), true
+	case Shr:
+		if shiftOOB(b, bits) {
+			return 0, false
+		}
+		if signed {
+			return Canon(tc, uint64(int64(a)>>b)), true
+		}
+		return Canon(tc, truncU(a, bits)>>b), true
+	case CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe:
+		return boolWord(IntCmp(op, tc, a, b)), true
+	}
+	return 0, false
+}
+
+// IntCmp compares canonical values a, b under tc's signedness.
+func IntCmp(op Op, tc TypeCode, a, b uint64) bool {
+	if tc.Signed() {
+		x, y := int64(a), int64(b)
+		switch op {
+		case CmpEq:
+			return x == y
+		case CmpNe:
+			return x != y
+		case CmpLt:
+			return x < y
+		case CmpLe:
+			return x <= y
+		case CmpGt:
+			return x > y
+		case CmpGe:
+			return x >= y
+		}
+	}
+	switch op {
+	case CmpEq:
+		return a == b
+	case CmpNe:
+		return a != b
+	case CmpLt:
+		return a < b
+	case CmpLe:
+		return a <= b
+	case CmpGt:
+		return a > b
+	case CmpGe:
+		return a >= b
+	}
+	return false
+}
+
+func boolWord(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ConvWord converts a canonical value from one type code to another,
+// mirroring C's conversion rules. Float-to-integer overflow, which is
+// UB in C, is resolved deterministically the x86 way (min value of the
+// target), so it never diverges and never corrupts the host.
+func ConvWord(from, to TypeCode, v uint64) uint64 {
+	switch {
+	case !from.IsFloat() && !to.IsFloat():
+		return Canon(to, v)
+	case from.IsFloat() && to.IsFloat():
+		f := math.Float64frombits(v)
+		if to == F32 {
+			return math.Float64bits(float64(float32(f)))
+		}
+		return v // F32 values are stored as exact float64s already
+	case !from.IsFloat(): // int -> float
+		var f float64
+		if from.Signed() {
+			f = float64(int64(v))
+		} else {
+			f = float64(v)
+		}
+		if to == F32 {
+			f = float64(float32(f))
+		}
+		return math.Float64bits(f)
+	default: // float -> int
+		f := math.Float64frombits(v)
+		return Canon(to, floatToInt(f, to))
+	}
+}
+
+func floatToInt(f float64, to TypeCode) uint64 {
+	bits := to.Bits()
+	if math.IsNaN(f) {
+		return uint64(minInt(bits))
+	}
+	if to.Signed() {
+		lo, hi := float64(minInt(bits)), float64(maxInt(bits))
+		if f < lo || f > hi {
+			return uint64(minInt(bits))
+		}
+		return uint64(int64(f))
+	}
+	hi := math.Ldexp(1, bits)
+	if f <= -1 || f >= hi {
+		return uint64(minInt(bits))
+	}
+	if f < 0 {
+		return 0
+	}
+	return uint64(f)
+}
+
+func truncU(v uint64, bits int) uint64 {
+	if bits >= 64 {
+		return v
+	}
+	return v & (1<<uint(bits) - 1)
+}
+
+func minInt(bits int) int64 {
+	return -1 << uint(bits-1)
+}
+
+func maxInt(bits int) int64 {
+	return 1<<uint(bits-1) - 1
+}
+
+func shiftOOB(count uint64, bits int) bool {
+	return count >= uint64(bits)
+}
+
+func addOverflows(a, b int64, bits int) bool {
+	r := a + b
+	if bits < 64 {
+		return r < minInt(bits) || r > maxInt(bits)
+	}
+	return (b > 0 && a > math.MaxInt64-b) || (b < 0 && a < math.MinInt64-b)
+}
+
+func subOverflows(a, b int64, bits int) bool {
+	r := a - b
+	if bits < 64 {
+		return r < minInt(bits) || r > maxInt(bits)
+	}
+	return (b < 0 && a > math.MaxInt64+b) || (b > 0 && a < math.MinInt64+b)
+}
+
+func mulOverflows(a, b int64, bits int) bool {
+	if a == 0 || b == 0 {
+		return false
+	}
+	if bits < 64 {
+		r := a * b // cannot overflow int64 for 8/32-bit inputs
+		return r < minInt(bits) || r > maxInt(bits)
+	}
+	r := a * b
+	return r/b != a || (a == -1 && b == math.MinInt64) || (b == -1 && a == math.MinInt64)
+}
+
+// OverflowSigned reports whether the signed operation op(a,b) at tc
+// overflows; the VM's UBSan mode uses it for its checks.
+func OverflowSigned(op Op, tc TypeCode, a, b uint64) bool {
+	if !tc.Signed() {
+		return false
+	}
+	bits := tc.Bits()
+	switch op {
+	case Add:
+		return addOverflows(int64(a), int64(b), bits)
+	case Sub:
+		return subOverflows(int64(a), int64(b), bits)
+	case Mul:
+		return mulOverflows(int64(a), int64(b), bits)
+	case Neg:
+		return int64(a) == minInt(bits)
+	}
+	return false
+}

@@ -1,0 +1,270 @@
+// Package ir defines the bytecode intermediate representation that the
+// MiniC compilers lower to and the VM executes. It is a stack machine:
+// instructions push and pop 64-bit words from an operand stack and
+// address a flat byte memory (rodata, globals, stack, heap segments).
+//
+// Compiler implementations differ in the *code they emit* for the same
+// source (argument evaluation order, widening, UB-assuming folds,
+// frame layouts) and in the execution profile attached to the binary
+// (allocator personality, fill patterns, trap policies). Both together
+// are what make unstable code observable, mirroring how real gcc/clang
+// binaries diverge.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is a bytecode opcode.
+type Op uint8
+
+const (
+	Nop Op = iota
+
+	// Stack and constants.
+	ConstI     // push Imm
+	ConstF     // push float64 FImm (as bits)
+	StrAddr    // push rodataBase + Imm
+	FrameAddr  // push frameBase + Imm
+	GlobalAddr // push globalsBase + Imm
+	Dup        // duplicate top
+	Pop        // drop top
+	Swap       // swap top two
+
+	// Memory. A = width in bytes (1,2,4,8); B = 1 if sign-extending load.
+	Load  // pop addr; push mem[addr]
+	Store // pop value, pop addr; mem[addr] = value
+
+	// Integer arithmetic. A = TypeCode of the operation.
+	// Div/Mod may trap or produce poison per the execution profile when
+	// the divisor is zero (or INT_MIN/-1 for signed), both UB in C.
+	Add
+	Sub
+	Mul
+	Div
+	Mod
+	Neg
+	BitNot
+	BitAnd
+	BitOr
+	BitXor
+	Shl // B flags: shift-count handling is profile-dependent when OOB (UB)
+	Shr
+
+	// Comparisons: push 1 or 0. A = TypeCode. PtrCmp relational
+	// comparisons between unrelated objects are UB; the observable
+	// result is whatever the addresses happen to be under the binary's
+	// layout (paper Listing 2).
+	CmpEq
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+
+	// Conversions. A = from TypeCode, B = to TypeCode.
+	Conv
+
+	// Floating point. A = TypeCode (F32 or F64).
+	FAdd
+	FSub
+	FMul
+	FDiv
+	FNeg
+	FMulAdd // pop c, b, a; push fused a*b+c (FP contraction divergence)
+
+	// Control flow. Imm = target pc.
+	Jmp
+	Jz  // pop; jump if zero
+	Jnz // pop; jump if nonzero
+
+	// Calls. Imm = function index (Call) or builtin id (CallB);
+	// A = number of argument words on the stack; B = 1 if the arguments
+	// were evaluated (and pushed) right-to-left.
+	Call
+	CallB
+	Ret     // A = 1 if a return value is on the stack
+	Unreach // executing this is a bug in the compiler; traps
+
+	// Temporary-value stack, used by lowering for assignment
+	// expressions that must both store and yield their value.
+	TSet // pop operand stack -> push temp stack
+	TGet // push a copy of the temp stack top
+	TPop // discard the temp stack top
+
+	// Edge is coverage instrumentation (fuzz binaries only).
+	// Imm = edge id.
+	Edge
+
+	// Poison pushes an implementation-determined garbage value; the
+	// optimizers emit it where they exploit UB to fold computations.
+	// Imm seeds the value; the profile's personality perturbs it.
+	Poison
+)
+
+var opNames = [...]string{
+	Nop: "nop", ConstI: "consti", ConstF: "constf", StrAddr: "straddr",
+	FrameAddr: "frameaddr", GlobalAddr: "globaladdr", Dup: "dup",
+	Pop: "pop", Swap: "swap", Load: "load", Store: "store",
+	Add: "add", Sub: "sub", Mul: "mul", Div: "div", Mod: "mod",
+	Neg: "neg", BitNot: "bitnot", BitAnd: "bitand", BitOr: "bitor",
+	BitXor: "bitxor", Shl: "shl", Shr: "shr",
+	CmpEq: "cmpeq", CmpNe: "cmpne", CmpLt: "cmplt", CmpLe: "cmple",
+	CmpGt: "cmpgt", CmpGe: "cmpge", Conv: "conv",
+	FAdd: "fadd", FSub: "fsub", FMul: "fmul", FDiv: "fdiv", FNeg: "fneg",
+	FMulAdd: "fmuladd", Jmp: "jmp", Jz: "jz", Jnz: "jnz",
+	Call: "call", CallB: "callb", Ret: "ret", Unreach: "unreach",
+	TSet: "tset", TGet: "tget", TPop: "tpop",
+	Edge: "edge", Poison: "poison",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// TypeCode identifies the machine type an instruction operates on.
+type TypeCode uint8
+
+const (
+	I8 TypeCode = iota
+	U8
+	I32
+	U32
+	I64
+	U64
+	F32
+	F64
+)
+
+var typeCodeNames = [...]string{"i8", "u8", "i32", "u32", "i64", "u64", "f32", "f64"}
+
+// String returns the code name.
+func (t TypeCode) String() string {
+	if int(t) < len(typeCodeNames) {
+		return typeCodeNames[t]
+	}
+	return fmt.Sprintf("tc(%d)", uint8(t))
+}
+
+// Signed reports whether the code is a signed integer type.
+func (t TypeCode) Signed() bool { return t == I8 || t == I32 || t == I64 }
+
+// Bits returns the width in bits of an integer code (0 for floats).
+func (t TypeCode) Bits() int {
+	switch t {
+	case I8, U8:
+		return 8
+	case I32, U32:
+		return 32
+	case I64, U64:
+		return 64
+	}
+	return 0
+}
+
+// IsFloat reports whether the code is a floating-point type.
+func (t TypeCode) IsFloat() bool { return t == F32 || t == F64 }
+
+// Instr is one bytecode instruction.
+type Instr struct {
+	Op   Op
+	A    uint8   // TypeCode, width, or argument count, per opcode
+	B    uint8   // flags: signedness, arg order, per opcode
+	Imm  int64   // immediate: constant, offset, target, id
+	FImm float64 // float constant
+	Line int32   // source line, for sanitizer reports and triage
+}
+
+// String disassembles one instruction.
+func (i Instr) String() string {
+	switch i.Op {
+	case ConstI, StrAddr, FrameAddr, GlobalAddr, Jmp, Jz, Jnz, Edge, Poison:
+		return fmt.Sprintf("%-10s %d", i.Op, i.Imm)
+	case ConstF:
+		return fmt.Sprintf("%-10s %g", i.Op, i.FImm)
+	case Load:
+		s := "u"
+		if i.B != 0 {
+			s = "s"
+		}
+		return fmt.Sprintf("%-10s w%d %s", i.Op, i.A, s)
+	case Store:
+		return fmt.Sprintf("%-10s w%d", i.Op, i.A)
+	case Add, Sub, Mul, Div, Mod, Neg, BitNot, BitAnd, BitOr, BitXor,
+		Shl, Shr, CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,
+		FAdd, FSub, FMul, FDiv, FNeg, FMulAdd:
+		return fmt.Sprintf("%-10s %s", i.Op, TypeCode(i.A))
+	case Conv:
+		return fmt.Sprintf("%-10s %s->%s", i.Op, TypeCode(i.A), TypeCode(i.B))
+	case Call:
+		return fmt.Sprintf("%-10s fn%d nargs=%d rtl=%d", i.Op, i.Imm, i.A, i.B)
+	case CallB:
+		return fmt.Sprintf("%-10s b%d nargs=%d rtl=%d", i.Op, i.Imm, i.A, i.B)
+	case Ret:
+		return fmt.Sprintf("%-10s vals=%d", i.Op, i.A)
+	default:
+		return i.Op.String()
+	}
+}
+
+// Slot describes one variable's location inside a frame; sanitizer
+// execution modes use slots to poison redzones (ASan) and to mark
+// locals uninitialized on entry (MSan).
+type Slot struct {
+	Name  string
+	Off   int64
+	Size  int64
+	Param bool
+}
+
+// Func is a compiled function.
+type Func struct {
+	Name      string
+	FrameSize int64      // bytes of stack frame
+	ParamOff  []int64    // frame offset of each declared parameter
+	ParamKind []TypeCode // machine type of each declared parameter
+	Slots     []Slot
+	Code      []Instr
+}
+
+// NParams returns the declared parameter count.
+func (f *Func) NParams() int { return len(f.ParamOff) }
+
+// GlobalInit records initialized global data copied into the globals
+// segment at startup (C zero-initializes the rest).
+type GlobalInit struct {
+	Offset int64
+	Data   []byte
+}
+
+// Program is a compiled binary: code plus its data segments and the
+// description of the compiler implementation that produced it.
+type Program struct {
+	Funcs      []*Func
+	FuncIndex  map[string]int
+	Rodata     []byte
+	GlobalsLen int64
+	GlobalInit []GlobalInit
+	Main       int // index of main in Funcs
+
+	NumEdges int     // coverage instrumentation points (0 if none)
+	Compiler string  // human-readable compiler implementation name
+	Profile  Profile // execution personality baked in by the compiler
+}
+
+// Disasm renders the whole program for debugging.
+func (p *Program) Disasm() string {
+	var b strings.Builder
+	for fi, f := range p.Funcs {
+		fmt.Fprintf(&b, "func %d %s (params=%d frame=%d)\n", fi, f.Name, f.NParams(), f.FrameSize)
+		for pc, in := range f.Code {
+			fmt.Fprintf(&b, "  %4d  %s\n", pc, in)
+		}
+	}
+	return b.String()
+}

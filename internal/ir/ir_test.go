@@ -1,0 +1,210 @@
+package ir
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanon(t *testing.T) {
+	cases := []struct {
+		tc   TypeCode
+		in   uint64
+		want uint64
+	}{
+		{I8, 0xff, 0xffffffffffffffff}, // -1
+		{I8, 0x7f, 0x7f},
+		{U8, 0x1ff, 0xff},
+		{I32, 0xffffffff, 0xffffffffffffffff}, // -1
+		{I32, 0x80000000, 0xffffffff80000000}, // INT_MIN
+		{U32, 0x1_0000_0001, 1},
+		{I64, 0xdeadbeefdeadbeef, 0xdeadbeefdeadbeef},
+	}
+	for _, c := range cases {
+		if got := Canon(c.tc, c.in); got != c.want {
+			t.Errorf("Canon(%s, %#x) = %#x, want %#x", c.tc, c.in, got, c.want)
+		}
+	}
+}
+
+func TestCanonIdempotent(t *testing.T) {
+	f := func(v uint64, k uint8) bool {
+		tc := TypeCode(k % 6)
+		once := Canon(tc, v)
+		return Canon(tc, once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntBinOKDefined(t *testing.T) {
+	check := func(op Op, tc TypeCode, a, b, want uint64) {
+		t.Helper()
+		got, ok := IntBinOK(op, tc, a, b)
+		if !ok {
+			t.Errorf("%s %s(%d,%d): refused, want %d", op, tc, int64(a), int64(b), int64(want))
+			return
+		}
+		if got != want {
+			t.Errorf("%s %s(%d,%d) = %d, want %d", op, tc, int64(a), int64(b), int64(got), int64(want))
+		}
+	}
+	check(Add, I32, 3, 4, 7)
+	check(Sub, I32, 3, 4, Canon(I32, ^uint64(0)))
+	check(Mul, I32, Canon(I32, uint64(1<<15)), 4, 1<<17)
+	check(Div, I32, Canon(I32, ^uint64(6)), 2, Canon(I32, ^uint64(2))) // -7/2 = -3
+	check(Mod, I32, Canon(I32, ^uint64(6)), 2, Canon(I32, ^uint64(0))) // -7%2 = -1
+	check(Div, U32, 0xfffffffe, 2, 0x7fffffff)
+	check(Shl, U32, 1, 31, 0x80000000)
+	check(Shr, I32, Canon(I32, uint64(1<<31)), 31, Canon(I32, ^uint64(0)))
+	check(BitXor, U8, 0xf0, 0x0f, 0xff)
+}
+
+func TestIntBinOKRefusesUB(t *testing.T) {
+	refuse := func(op Op, tc TypeCode, a, b uint64) {
+		t.Helper()
+		if _, ok := IntBinOK(op, tc, a, b); ok {
+			t.Errorf("%s %s(%#x,%#x): folded UB", op, tc, a, b)
+		}
+	}
+	refuse(Add, I32, Canon(I32, 0x7fffffff), 1)    // signed overflow
+	refuse(Sub, I32, Canon(I32, uint64(1)<<31), 1) // INT_MIN - 1
+	refuse(Mul, I32, Canon(I32, 1<<20), Canon(I32, 1<<20))
+	refuse(Div, I32, 7, 0)                                              // div by zero
+	refuse(Div, I32, Canon(I32, uint64(1)<<31), Canon(I32, ^uint64(0))) // INT_MIN / -1
+	refuse(Mod, U32, 7, 0)
+	refuse(Shl, I32, 1, 32)                     // count out of range
+	refuse(Shl, I32, Canon(I32, ^uint64(0)), 1) // shifting a negative
+	refuse(Shr, U32, 1, 99)
+	refuse(Add, I64, uint64(math.MaxInt64), 1)
+	refuse(Mul, I64, uint64(math.MaxInt64/2+1), 2)
+}
+
+func TestIntCmpSignedness(t *testing.T) {
+	minusOne := Canon(I32, ^uint64(0))
+	if !IntCmp(CmpLt, I32, minusOne, 0) {
+		t.Error("signed: -1 < 0 should hold")
+	}
+	if IntCmp(CmpLt, U32, Canon(U32, minusOne), 0) {
+		t.Error("unsigned: 0xffffffff < 0 should not hold")
+	}
+	if !IntCmp(CmpGe, U64, 5, 5) || !IntCmp(CmpEq, I8, 1, 1) {
+		t.Error("basic comparisons broken")
+	}
+}
+
+func TestConvWordIntWidths(t *testing.T) {
+	// long -> char truncates then sign-extends.
+	if got := ConvWord(I64, I8, 0x1ff); got != Canon(I8, 0xff) {
+		t.Errorf("I64->I8(0x1ff) = %#x", got)
+	}
+	// char -> unsigned long zero-extends from the canonical value.
+	if got := ConvWord(I8, U64, Canon(I8, 0xff)); got != ^uint64(0) {
+		t.Errorf("I8->U64(-1) = %#x", got)
+	}
+	// unsigned widening never sign-extends.
+	if got := ConvWord(U8, I32, 0xff); got != 0xff {
+		t.Errorf("U8->I32(255) = %#x", got)
+	}
+}
+
+func TestConvWordFloat(t *testing.T) {
+	third := math.Float64bits(1.0 / 3.0)
+	f32 := ConvWord(F64, F32, third)
+	if f32 == third {
+		t.Error("F64->F32 should round")
+	}
+	want := math.Float64bits(float64(float32(1.0 / 3.0)))
+	if f32 != want {
+		t.Errorf("rounding mismatch: %#x vs %#x", f32, want)
+	}
+	// int -> float -> int round trip for exactly representable values.
+	if got := ConvWord(F64, I32, ConvWord(I32, F64, Canon(I32, ^uint64(41)))); got != Canon(I32, ^uint64(41)) {
+		t.Errorf("round trip of -42 = %d", int64(got))
+	}
+	// float->int overflow is resolved deterministically (x86-style).
+	big := math.Float64bits(1e30)
+	if got := ConvWord(F64, I32, big); got != Canon(I32, uint64(1)<<31) {
+		t.Errorf("overflowing F64->I32 = %#x", got)
+	}
+	nan := math.Float64bits(math.NaN())
+	if got := ConvWord(F64, I64, nan); got != uint64(1)<<63 {
+		t.Errorf("NaN->I64 = %#x", got)
+	}
+}
+
+func TestOverflowSigned(t *testing.T) {
+	if !OverflowSigned(Add, I32, Canon(I32, 0x7fffffff), 1) {
+		t.Error("INT_MAX+1 should overflow")
+	}
+	if OverflowSigned(Add, U32, 0xffffffff, 1) {
+		t.Error("unsigned wrap is not overflow")
+	}
+	if !OverflowSigned(Neg, I32, Canon(I32, uint64(1)<<31), 0) {
+		t.Error("-INT_MIN should overflow")
+	}
+	if OverflowSigned(Mul, I32, 1<<10, 1<<10) {
+		t.Error("2^20 fits in int")
+	}
+}
+
+// Property: whenever IntBinOK folds, the result is canonical.
+func TestQuickFoldedResultsCanonical(t *testing.T) {
+	ops := []Op{Add, Sub, Mul, Div, Mod, BitAnd, BitOr, BitXor, Shl, Shr}
+	tcs := []TypeCode{I8, U8, I32, U32, I64, U64}
+	f := func(a, b uint64, oi, ti uint8) bool {
+		op := ops[int(oi)%len(ops)]
+		tc := tcs[int(ti)%len(tcs)]
+		a, b = Canon(tc, a), Canon(tc, b)
+		r, ok := IntBinOK(op, tc, a, b)
+		if !ok {
+			return true
+		}
+		return r == Canon(tc, r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: ConstI, Imm: 42}, "consti"},
+		{Instr{Op: Load, A: 4, B: 1}, "w4 s"},
+		{Instr{Op: Conv, A: uint8(I32), B: uint8(I64)}, "i32->i64"},
+		{Instr{Op: Call, Imm: 3, A: 2, B: 1}, "fn3 nargs=2 rtl=1"},
+		{Instr{Op: Add, A: uint8(U32)}, "u32"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); !strings.Contains(got, c.want) {
+			t.Errorf("%v.String() = %q, want substring %q", c.in.Op, got, c.want)
+		}
+	}
+}
+
+func TestMemoryMapOrdering(t *testing.T) {
+	if !(NullTop <= RodataBase && RodataBase < GlobalsBase &&
+		GlobalsBase < StackBase && StackBase < HeapBase && HeapBase < MemSize) {
+		t.Fatal("memory map segments out of order")
+	}
+}
+
+func TestDisasm(t *testing.T) {
+	p := &Program{
+		Funcs: []*Func{{
+			Name: "main",
+			Code: []Instr{{Op: ConstI, Imm: 7}, {Op: Ret, A: 1}},
+		}},
+	}
+	out := p.Disasm()
+	for _, want := range []string{"func 0 main", "consti", "ret"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disasm missing %q:\n%s", want, out)
+		}
+	}
+}

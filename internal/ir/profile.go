@@ -1,0 +1,47 @@
+package ir
+
+// Profile is the execution personality a compiler implementation bakes
+// into its binaries: the set of legal choices that are only observable
+// when the program executes undefined behaviour. The VM consults it at
+// run time; two binaries of a UB-free program behave identically under
+// any two profiles.
+type Profile struct {
+	// Key seeds incidental values: the initial memory fill pattern
+	// (what uninitialized stack/heap bytes contain) and poison values.
+	Key uint64
+
+	// StackDown allocates call frames from high addresses to low.
+	StackDown bool
+
+	// HeapHeader is the allocator's per-chunk bookkeeping size, which
+	// shifts heap object addresses and out-of-bounds victims.
+	HeapHeader int64
+
+	// HeapReuse recycles freed chunks immediately (LIFO); otherwise
+	// freed memory is never handed out again within a run.
+	HeapReuse bool
+
+	// FreeErrAbort aborts on double/invalid free (glibc-style check);
+	// otherwise the allocator state is silently corrupted.
+	FreeErrAbort bool
+
+	// DivZeroTrap raises SIGFPE on integer division by zero; otherwise
+	// the result is a poison value (the optimizer assumed it away).
+	DivZeroTrap bool
+
+	// MinIntDivTrap raises SIGFPE on INT_MIN / -1; otherwise it wraps.
+	MinIntDivTrap bool
+
+	// ShiftMask masks out-of-range shift counts by width-1 (x86
+	// semantics); otherwise such shifts produce zero.
+	ShiftMask bool
+
+	// MemcpyBackward copies overlapping memcpy regions from the end.
+	MemcpyBackward bool
+
+	// PowViaExp2 evaluates pow(x, y) as exp2(y*log2(x)) — the faster
+	// libcall substitution some optimizers make, with slightly
+	// different rounding (the paper's floating-point imprecision
+	// category).
+	PowViaExp2 bool
+}

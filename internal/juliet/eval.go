@@ -1,0 +1,9 @@
+package juliet
+
+import (
+	"compdiff/internal/analyzer"
+)
+
+// allStaticTools returns the static baselines (indirection point for
+// tests and the bench harness).
+func allStaticTools() []analyzer.Tool { return analyzer.AllTools() }

@@ -1,0 +1,529 @@
+package juliet
+
+import "fmt"
+
+// Integer-error CWEs (190, 191, 680) and divide-by-zero (369).
+//
+// The decisive structural facts, mirroring the paper:
+//   - executed signed overflow *wraps identically everywhere* — it
+//     diverges only when an implementation changes the evaluation
+//     width (the widening pass) — hence CompDiff's low 11% here;
+//   - a large share of Juliet's "integer overflow" tests use unsigned
+//     arithmetic, which is defined and invisible to UBSan too — hence
+//     UBSan's 33% rather than ~100%;
+//   - quotient division by zero diverges (trap vs. folded poison) but
+//     remainder traps uniformly — giving UBSan its edge on CWE-369.
+
+// --------------------------------------------------------------- CWE-190
+
+func genIntOverflow(cwe string, n int) []Case {
+	signedPrint := tcase{
+		tag: "smul",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int a = input_byte(0L) * %d + 2000000;
+    int b = input_byte(1L) * %d + 2000000;
+    int r = a * b;
+    printf("%%d\n", r);
+    return 0;
+}`, p.val*100, p.val*50)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int a = input_byte(0L) %% 100;
+    if (a < 0) { a = 0; }
+    int b = input_byte(1L) %% 100;
+    if (b < 0) { b = 0; }
+    int r = a * b;
+    printf("%%d\n", r);
+    return 0;
+}`)
+		},
+		input: func(p *params) []byte { return []byte{9, 9} },
+	}
+	widen := tcase{
+		tag: "widen",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int a = input_byte(0L) + %d;
+    int b = input_byte(1L) + %d;
+    long x = a * b;
+    printf("%%ld\n", x);
+    return 0;
+}`, p.val*3000, p.val*2000)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int a = input_byte(0L) + %d;
+    int b = input_byte(1L) + %d;
+    long x = (long)a * (long)b;
+    printf("%%ld\n", x);
+    return 0;
+}`, p.val*3000, p.val*2000)
+		},
+		input: func(p *params) []byte { return []byte{200, 200} },
+	}
+	branchOnly := tcase{
+		tag: "branch",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int big = 2147483647 - %d;
+    int t = big + input_byte(0L);
+    if (t == 0) { printf("zero\n"); } else { printf("steady\n"); }
+    return 0;
+}`, p.seq%4)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    long big = 2147483647L - %dL;
+    long t = big + input_byte(0L);
+    if (t == 0L) { printf("zero\n"); } else { printf("steady\n"); }
+    return 0;
+}`, p.seq%4)
+		},
+		input: func(p *params) []byte { return []byte{200} },
+	}
+	helperSigned := tcase{
+		tag: "helper",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int scaled(int v, int k) {
+    return v * k;
+}
+int main() {
+    int v = input_byte(0L) + 2100000;
+    int r = scaled(v, %d);
+    printf("%%d\n", r);
+    return 0;
+}`, p.val*40)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int scaled(int v, int k) {
+    return v * k;
+}
+int main() {
+    int v = input_byte(0L) %% 1000;
+    int r = scaled(v, %d);
+    printf("%%d\n", r);
+    return 0;
+}`, p.val%50+2)
+		},
+		input: func(p *params) []byte { return []byte{100} },
+	}
+	unsignedAlloc := tcase{
+		tag: "ualloc",
+		bad: func(p *params) string {
+			// Unsigned wrap shrinks the allocation request: a logic
+			// bug, defined behaviour, invisible to every dynamic tool
+			// here (the program guards the resulting size).
+			return fmt.Sprintf(`
+int main() {
+    unsigned int count = (unsigned int)input_byte(0L) * 715827883U;
+    unsigned int bytes = count * 6U;
+    if (bytes > 1024U) { printf("too big\n"); return 0; }
+    char* p = (char*)malloc((long)bytes + 1);
+    if (p == 0) { return 1; }
+    p[0] = 'x';
+    printf("alloc %%c\n", p[0]);
+    free(p);
+    return 0;
+}`)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    unsigned int count = (unsigned int)input_byte(0L);
+    if (count > 170U) { printf("too big\n"); return 0; }
+    unsigned int bytes = count * 6U;
+    char* p = (char*)malloc((long)bytes + 1);
+    if (p == 0) { return 1; }
+    p[0] = 'x';
+    printf("alloc %%c\n", p[0]);
+    free(p);
+    return 0;
+}`)
+		},
+		input: func(p *params) []byte { return []byte{3} },
+	}
+	unsignedPrint := tcase{
+		tag:     "uprint",
+		stealth: true,
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    unsigned int total = 4294967295U - %dU;
+    unsigned int add = (unsigned int)input_byte(0L);
+    total = total + add;
+    printf("%%u\n", total);
+    return 0;
+}`, p.seq%16)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    unsigned long total = 4294967295UL - %dUL;
+    unsigned long add = (unsigned long)input_byte(0L);
+    total = total + add;
+    printf("%%lu\n", total);
+    return 0;
+}`, p.seq%16)
+		},
+		input: func(p *params) []byte { return []byte{99} },
+	}
+	return emit(cwe, n, []weighted{
+		{signedPrint, 3}, {widen, 2}, {branchOnly, 1}, {helperSigned, 1},
+		{unsignedAlloc, 5}, {unsignedPrint, 8},
+	})
+}
+
+// --------------------------------------------------------------- CWE-191
+
+func genIntUnderflow(cwe string, n int) []Case {
+	signedSub := tcase{
+		tag: "ssub",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int low = (0 - 2147483647) - 1 + %d;
+    int d = input_byte(0L);
+    int r = low - d;
+    printf("%%d\n", r);
+    return 0;
+}`, p.seq%4)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    long low = (0L - 2147483647L) - 1L + %dL;
+    long d = input_byte(0L);
+    long r = low - d;
+    printf("%%ld\n", r);
+    return 0;
+}`, p.seq%4)
+		},
+		input: func(p *params) []byte { return []byte{50} },
+	}
+	widenSub := tcase{
+		tag: "widen",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int a = 0 - (input_byte(0L) + %d);
+    int b = input_byte(1L) + %d;
+    long x = a * b - b;
+    printf("%%ld\n", x);
+    return 0;
+}`, p.val*2500, p.val*1500)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    long a = 0L - (input_byte(0L) + %dL);
+    long b = input_byte(1L) + %dL;
+    long x = a * b - b;
+    printf("%%ld\n", x);
+    return 0;
+}`, p.val*2500, p.val*1500)
+		},
+		input: func(p *params) []byte { return []byte{250, 250} },
+	}
+	unsignedBorrow := tcase{
+		tag:     "uborrow",
+		stealth: true,
+		bad: func(p *params) string {
+			// Classic size_t-style underflow: len - consumed wraps to a
+			// huge value; the guard keeps it defined but wrong.
+			return fmt.Sprintf(`
+int main() {
+    unsigned int have = (unsigned int)input_byte(0L);
+    unsigned int want = %dU;
+    unsigned int remaining = have - want;
+    if (remaining > 4000000000U) { printf("lots left\n"); } else { printf("rem %%u\n", remaining); }
+    return 0;
+}`, p.val%40+10)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    unsigned int have = (unsigned int)input_byte(0L);
+    unsigned int want = %dU;
+    if (have < want) { printf("short\n"); return 0; }
+    unsigned int remaining = have - want;
+    printf("rem %%u\n", remaining);
+    return 0;
+}`, p.val%40+10)
+		},
+		input: func(p *params) []byte { return []byte{1} },
+	}
+	unsignedLoop := tcase{
+		tag:     "uloop",
+		stealth: true,
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    unsigned int i = (unsigned int)input_byte(0L);
+    unsigned int steps = 0U;
+    while (i != 0U && steps < 40U) {
+        i = i - 3U;
+        steps = steps + 1U;
+    }
+    printf("%%u %%u\n", i, steps);
+    return 0;
+}`)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    unsigned int i = (unsigned int)input_byte(0L);
+    unsigned int steps = 0U;
+    while (i >= 3U && steps < 40U) {
+        i = i - 3U;
+        steps = steps + 1U;
+    }
+    printf("%%u %%u\n", i, steps);
+    return 0;
+}`)
+		},
+		input: func(p *params) []byte { return []byte{7} },
+	}
+	return emit(cwe, n, []weighted{
+		{signedSub, 4}, {widenSub, 2}, {unsignedBorrow, 8}, {unsignedLoop, 6},
+	})
+}
+
+// --------------------------------------------------------------- CWE-680
+
+func genOverflowToBufOverflow(cwe string, n int) []Case {
+	mulAlloc := tcase{
+		tag: "mulalloc",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int count = input_byte(0L) * 16777216 + 2;
+    int total = count * 4;
+    if (total < 64) {
+        int* p = (int*)malloc((long)total);
+        if (p == 0) { return 1; }
+        for (int i = 0; i < count && i < 4; i++) { p[i] = i; }
+        p[count %% 1024] = %d;
+        printf("%%d\n", p[0]);
+        free(p);
+        return 0;
+    }
+    printf("big\n");
+    return 0;
+}`, p.val)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int count = input_byte(0L) %% 8 + 2;
+    int total = count * 4;
+    int* p = (int*)malloc((long)total);
+    if (p == 0) { return 1; }
+    for (int i = 0; i < count; i++) { p[i] = i; }
+    printf("%%d\n", p[0]);
+    free(p);
+    return 0;
+}`)
+		},
+		input: func(p *params) []byte { return []byte{128} },
+	}
+	addAlloc := tcase{
+		tag: "addalloc",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int len = input_byte(0L) * 13421772 + %d;
+    int need = len + len;
+    if (need > 0 && need < 32) {
+        char* p = (char*)malloc((long)need);
+        if (p == 0) { return 1; }
+        p[24] = 'x';
+        printf("w %%c\n", p[24]);
+        free(p);
+        return 0;
+    }
+    printf("skip\n");
+    return 0;
+}`, p.seq%8)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int len = input_byte(0L) %% 8 + %d;
+    int need = len + len;
+    char* p = (char*)malloc((long)need);
+    if (p == 0) { return 1; }
+    p[need - 1] = 'x';
+    printf("w %%c\n", p[need - 1]);
+    free(p);
+    return 0;
+}`, p.seq%8+1)
+		},
+		input: func(p *params) []byte { return []byte{160} },
+	}
+	return emit(cwe, n, []weighted{{mulAlloc, 1}, {addAlloc, 1}})
+}
+
+// --------------------------------------------------------------- CWE-369
+
+func genDivZero(cwe string, n int) []Case {
+	literal := tcase{
+		tag: "literal",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int x = %d;
+    int r = x / 0;
+    printf("%%d\n", r);
+    return 0;
+}`, p.val)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int x = %d;
+    int r = x / 2;
+    printf("%%d\n", r);
+    return 0;
+}`, p.val)
+		},
+	}
+	inputDiv := tcase{
+		tag: "input",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int d = input_byte(0L);
+    int r = %d / d;
+    printf("%%d\n", r);
+    return 0;
+}`, p.val*100)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int d = input_byte(0L);
+    if (d == 0) { printf("guard\n"); return 0; }
+    int r = %d / d;
+    printf("%%d\n", r);
+    return 0;
+}`, p.val*100)
+		},
+		input: func(p *params) []byte { return []byte{0} },
+	}
+	helperDiv := tcase{
+		tag: "helper",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int ratio(int a, int b) {
+    return a / b;
+}
+int main() {
+    int d = input_byte(0L) - %d;
+    printf("%%d\n", ratio(%d, d));
+    return 0;
+}`, p.val%50+5, p.val*10)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int ratio(int a, int b) {
+    if (b == 0) { return 0; }
+    return a / b;
+}
+int main() {
+    int d = input_byte(0L) - %d;
+    printf("%%d\n", ratio(%d, d));
+    return 0;
+}`, p.val%50+5, p.val*10)
+		},
+		input: func(p *params) []byte { return []byte{byte(p.val%50 + 5)} },
+	}
+	modZero := tcase{
+		tag: "mod",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int d = input_byte(0L);
+    int r = %d %% d;
+    printf("%%d\n", r);
+    return 0;
+}`, p.val*9)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int d = input_byte(0L);
+    if (d == 0) { d = 1; }
+    int r = %d %% d;
+    printf("%%d\n", r);
+    return 0;
+}`, p.val*9)
+		},
+		input: func(p *params) []byte { return []byte{0} },
+	}
+	floatLit := tcase{
+		tag: "flit",
+		bad: func(p *params) string {
+			// IEEE division by zero: defined (infinity) and identical
+			// everywhere — no dynamic tool reports; the weakness is
+			// still real (CWE-369 covers it).
+			return fmt.Sprintf(`
+int main() {
+    double x = %d.5;
+    double zero_%d = 0.0;
+    double r = x / zero_%d;
+    if (r > 1000000.0) { printf("inf-like\n"); } else { printf("%%f\n", r); }
+    return 0;
+}`, p.val, p.seq, p.seq)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    double x = %d.5;
+    double d = 2.0;
+    double r = x / d;
+    printf("%%f\n", r);
+    return 0;
+}`, p.val)
+		},
+	}
+	floatInput := tcase{
+		tag: "finput",
+		// IEEE division by zero yields infinity everywhere: defined,
+		// identical, and guarded only by a float compare no checker
+		// trusts — invisible to the whole toolbox by design.
+		stealth: true,
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    double d = (double)input_byte(0L);
+    double r = %d.25 / d;
+    if (r > 100000.0) { printf("huge\n"); } else { printf("%%f\n", r); }
+    return 0;
+}`, p.val)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    double d = (double)input_byte(0L);
+    if (d == 0.0) { printf("guard\n"); return 0; }
+    printf("%%f\n", %d.25 / d);
+    return 0;
+}`, p.val)
+		},
+		input: func(p *params) []byte { return []byte{0} },
+	}
+	return emit(cwe, n, []weighted{
+		{literal, 1}, {inputDiv, 3}, {helperDiv, 2}, {modZero, 5},
+		{floatLit, 2}, {floatInput, 7},
+	})
+}

@@ -1,0 +1,1142 @@
+package juliet
+
+import "fmt"
+
+// Memory-error CWEs: 121, 122, 124, 126, 127, 415, 416, 590. The
+// variant axes are chosen so Table 3's structure emerges mechanically:
+//
+//   - literal-index flaws: visible to the syntactic static tier;
+//   - pointer-arithmetic constant offsets: visible to the dataflow
+//     tiers (coverity, infer) only;
+//   - helper-function flaws: invisible to all static tiers;
+//   - input-derived indexes: coverity's tainted-scalar territory;
+//   - "propagating" flaws corrupt state that reaches the output —
+//     CompDiff's territory (the victim differs per frame/heap layout);
+//   - "silent" flaws corrupt memory nothing ever reads — ASan's
+//     exclusive territory;
+//   - intra-object flaws stay inside one object — ASan's blind spot,
+//     CompDiff's unique catch when fed from uninitialized memory.
+
+// --------------------------------------------------------------- CWE-121
+
+func genStackOverflow(cwe string, n int) []Case {
+	direct := tcase{
+		tag: "literal",
+		bad: func(p *params) string {
+			return stackWriteProg(p, fmt.Sprintf("data[%d] = (char)%d;", p.size+p.off-1, p.val))
+		},
+		good: func(p *params) string {
+			return stackWriteProg(p, fmt.Sprintf("data[%d] = (char)%d;", p.size-1, p.val))
+		},
+	}
+	ptrArith := tcase{
+		tag: "ptrarith",
+		bad: func(p *params) string {
+			return stackWriteProg(p, fmt.Sprintf("*(data + %d) = (char)%d;", p.size+p.off-1, p.val))
+		},
+		good: func(p *params) string {
+			return stackWriteProg(p, fmt.Sprintf("*(data + %d) = (char)%d;", p.size-1, p.val))
+		},
+	}
+	helper := tcase{
+		tag: "helper",
+		bad: func(p *params) string {
+			return stackHelperProg(p, p.size+p.off-1)
+		},
+		good: func(p *params) string {
+			return stackHelperProg(p, p.size-1)
+		},
+	}
+	tainted := tcase{
+		tag: "tainted",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int guard_%d = %d;
+    char data[%d];
+    int spare = %d;
+    for (int i = 0; i < %d; i++) { data[i] = (char)(65 + i); }
+    int idx = input_byte(0L);
+    data[idx] = (char)%d;
+    printf("%%d %%d %%c\n", guard_%d, spare, data[0]);
+    return 0;
+}`, p.seq, p.val, p.size, p.val+1, p.size, p.val, p.seq)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int guard_%d = %d;
+    char data[%d];
+    int spare = %d;
+    for (int i = 0; i < %d; i++) { data[i] = (char)(65 + i); }
+    int idx = input_byte(0L) %% %d;
+    if (idx < 0) { idx = 0; }
+    data[idx] = (char)%d;
+    printf("%%d %%d %%c\n", guard_%d, spare, data[0]);
+    return 0;
+}`, p.seq, p.val, p.size, p.val+1, p.size, p.size, p.val, p.seq)
+		},
+		input: func(p *params) []byte { return []byte{byte(p.size + p.off - 1)} },
+	}
+	silent := tcase{
+		tag:   "silent",
+		bad:   silentStackBad,
+		good:  silentStackGood,
+		input: func(p *params) []byte { return []byte{byte(p.size + p.off - 1)} },
+	}
+	intra := tcase{
+		tag: "intra",
+		bad: func(p *params) string {
+			// memcpy overfills the buf field from uninitialized source
+			// bytes, corrupting the adjacent tag *inside* the struct:
+			// ASan-blind, static-blind, unstable (the copied garbage is
+			// the implementation's fill pattern).
+			return fmt.Sprintf(`
+struct Pair%d {
+    char buf[%d];
+    int tag;
+};
+int main() {
+    char src[64];
+    struct Pair%d s;
+    s.tag = %d;
+    memcpy(s.buf, src, %d);
+    printf("tag=%%d\n", s.tag);
+    return 0;
+}`, p.seq, pad4(p.size), p.seq, p.val, pad4(p.size)+4)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+struct Pair%d {
+    char buf[%d];
+    int tag;
+};
+int main() {
+    char src[64];
+    memset(src, 65, 64L);
+    struct Pair%d s;
+    s.tag = %d;
+    memcpy(s.buf, src, %d);
+    printf("tag=%%d\n", s.tag);
+    return 0;
+}`, p.seq, pad4(p.size), p.seq, p.val, pad4(p.size))
+		},
+	}
+	return emit(cwe, n, []weighted{
+		{direct, 2}, {ptrArith, 4}, {helper, 3}, {tainted, 1}, {silent, 9}, {intra, 1},
+	})
+}
+
+// pad4 rounds up to 4 so the struct's int field sits right after buf.
+func pad4(n int) int { return (n + 3) &^ 3 }
+
+// stackWriteProg: a frame with several printed locals around a byte
+// buffer; `write` is the flaw site. The out-of-bounds victim depends
+// on the implementation's slot ordering, so corruption propagates to
+// the output differently per binary.
+func stackWriteProg(p *params, write string) string {
+	return fmt.Sprintf(`
+int main() {
+    int guard_%d = %d;
+    char data[%d];
+    int spare = %d;
+    long wide = %dL;
+    for (int i = 0; i < %d; i++) { data[i] = (char)(65 + i); }
+    %s
+    printf("%%d %%d %%ld %%c\n", guard_%d, spare, wide, data[0]);
+    return 0;
+}`, p.seq, p.val, p.size, p.val+1, p.val*3, p.size, write, p.seq)
+}
+
+func stackHelperProg(p *params, idx int) string {
+	return fmt.Sprintf(`
+void put_at(char* p, int i, int v) {
+    p[i] = (char)v;
+}
+int main() {
+    int guard_%d = %d;
+    char data[%d];
+    int spare = %d;
+    for (int i = 0; i < %d; i++) { data[i] = (char)(65 + i); }
+    put_at(data, %d, %d);
+    printf("%%d %%d %%c\n", guard_%d, spare, data[0]);
+    return 0;
+}`, p.seq, p.val, p.size, p.val+1, p.size, idx, p.val, p.seq)
+}
+
+// silentStackProg (bad) writes out of bounds into memory that is
+// never read again: every implementation prints the same constant
+// line, so only a redzone-based tool sees the flaw. The good variant
+// validates the index through a helper and writes directly — safe,
+// but the tainted-scalar heuristic cannot see the helper's bounds
+// check, which is where the static FPs on this class come from.
+func silentStackBad(p *params) string {
+	return fmt.Sprintf(`
+void scribble(char* p, int i) {
+    p[i] = 42;
+}
+int main() {
+    char data[%d];
+    long spare_%d;
+    spare_%d = 0;
+    for (int i = 0; i < %d; i++) { data[i] = (char)(65 + i); }
+    int idx = input_byte(0L);
+    scribble(data, idx);
+    printf("done %%ld\n", spare_%d & 0L);
+    return 0;
+}`, p.size, p.seq, p.seq, p.size, p.seq)
+}
+
+func silentStackGood(p *params) string {
+	return fmt.Sprintf(`
+int index_ok(int i, int n) {
+    if (i >= 0) {
+        if (i < n) { return 1; }
+    }
+    return 0;
+}
+int main() {
+    char data[%d];
+    long spare_%d;
+    spare_%d = 0;
+    for (int i = 0; i < %d; i++) { data[i] = (char)(65 + i); }
+    int idx = input_byte(0L);
+    if (index_ok(idx, %d)) {
+        data[idx] = 42;
+    }
+    printf("done %%ld\n", spare_%d & 0L);
+    return 0;
+}`, p.size, p.seq, p.seq, p.size, p.size, p.seq)
+}
+
+// --------------------------------------------------------------- CWE-122
+
+func genHeapOverflow(cwe string, n int) []Case {
+	// Writing ~24 bytes past a chunk lands in the *next* chunk's data
+	// under one allocator personality and in its header gap under the
+	// other: printed victims diverge.
+	propagating := func(flavor string) tcase {
+		return tcase{
+			tag: "prop" + flavor,
+			bad: func(p *params) string {
+				off := 24 + p.seq%4
+				site := fmt.Sprintf("a[%d] = 88;", off)
+				if flavor == "ptr" {
+					site = fmt.Sprintf("*(a + %d) = 88;", off)
+				} else if flavor == "helper" {
+					site = fmt.Sprintf("poke(a, %d);", off)
+				}
+				return heapNeighborProg(p, site, flavor == "helper")
+			},
+			good: func(p *params) string {
+				site := fmt.Sprintf("a[%d] = 88;", p.size-1)
+				if flavor == "ptr" {
+					site = fmt.Sprintf("*(a + %d) = 88;", p.size-1)
+				} else if flavor == "helper" {
+					site = fmt.Sprintf("poke(a, %d);", p.size-1)
+				}
+				return heapNeighborProg(p, site, flavor == "helper")
+			},
+		}
+	}
+	silent := tcase{
+		tag: "silent",
+		bad: func(p *params) string {
+			// Write just past the requested size but inside the
+			// 16-byte-rounded chunk: redzones see it, nothing else.
+			sz := p.size
+			if sz%16 == 0 {
+				sz++
+			}
+			return heapSilentProg(p, sz, sz)
+		},
+		good: func(p *params) string {
+			sz := p.size
+			if sz%16 == 0 {
+				sz++
+			}
+			return heapSilentProg(p, sz, sz-1)
+		},
+	}
+	sizeofBait := tcase{
+		tag: "szbait",
+		bad: func(p *params) string {
+			return heapNeighborProg(p, fmt.Sprintf("a[%d] = 88;", 24+p.seq%4), false)
+		},
+		good: func(p *params) string {
+			// Correct code that copies a pointer value with
+			// memcpy(dst, src, sizeof(char*)) — the syntactic tier's
+			// classic "suspicious sizeof" false positive.
+			return fmt.Sprintf(`
+int main() {
+    char* a = (char*)malloc(%d);
+    if (a == 0) { return 1; }
+    a[0] = 'x';
+    char* held = 0;
+    memcpy((char*)&held, (char*)&a, sizeof(char*));
+    held[0] = 'y';
+    printf("%%c\n", a[0]);
+    free(a);
+    return 0;
+}`, p.size)
+		},
+	}
+	return emit(cwe, n, []weighted{
+		{propagating("idx"), 2}, {propagating("ptr"), 4}, {propagating("helper"), 3},
+		{silent, 10}, {sizeofBait, 1},
+	})
+}
+
+func heapNeighborProg(p *params, site string, withHelper bool) string {
+	helper := ""
+	if withHelper {
+		helper = "void poke(char* p, int i) {\n    p[i] = 88;\n}\n"
+	}
+	return fmt.Sprintf(`%s
+int main() {
+    char* a = (char*)malloc(%d);
+    char* b = (char*)malloc(8L);
+    if (a == 0 || b == 0) { return 1; }
+    for (int i = 0; i < %d; i++) { a[i] = (char)(65 + i); }
+    for (int i = 0; i < 7; i++) { b[i] = (char)(48 + i); }
+    b[7] = '\0';
+    %s
+    printf("%%s %%c\n", b, a[0]);
+    free(a);
+    free(b);
+    return 0;
+}`, helper, p.size, p.size, site)
+}
+
+func heapSilentProg(p *params, alloc, idx int) string {
+	return fmt.Sprintf(`
+void poke(char* p, int i) {
+    p[i] = 42;
+}
+int main() {
+    char* a = (char*)malloc(%d);
+    if (a == 0) { return 1; }
+    for (int i = 0; i < %d; i++) { a[i] = (char)(65 + i); }
+    poke(a, %d);
+    printf("ok %%c\n", a[0]);
+    free(a);
+    return 0;
+}`, alloc, alloc, idx)
+}
+
+// --------------------------------------------------------------- CWE-124
+
+func genUnderwrite(cwe string, n int) []Case {
+	direct := tcase{
+		tag: "literal",
+		bad: func(p *params) string {
+			return underwriteProg(p, fmt.Sprintf("data[0 - %d] = (char)%d;", p.off, p.val))
+		},
+		good: func(p *params) string {
+			return underwriteProg(p, fmt.Sprintf("data[0] = (char)%d;", p.val))
+		},
+	}
+	ptrArith := tcase{
+		tag: "ptrarith",
+		bad: func(p *params) string {
+			return underwriteProg(p, fmt.Sprintf("*(data + (0 - %d)) = (char)%d;", p.off, p.val))
+		},
+		good: func(p *params) string {
+			return underwriteProg(p, fmt.Sprintf("*(data + 0) = (char)%d;", p.val))
+		},
+	}
+	helper := tcase{
+		tag: "helper",
+		bad: func(p *params) string {
+			return underwriteHelperProg(p, -p.off)
+		},
+		good: func(p *params) string {
+			return underwriteHelperProg(p, 0)
+		},
+	}
+	heapUnder := tcase{
+		tag: "heap",
+		bad: func(p *params) string {
+			// Underwriting past the chunk header hits the previous
+			// chunk's bytes at personality-dependent distances.
+			return fmt.Sprintf(`
+void stamp(char* p, int i) {
+    p[i] = 35;
+}
+int main() {
+    char* first = (char*)malloc(16L);
+    char* second = (char*)malloc(16L);
+    if (first == 0 || second == 0) { return 1; }
+    for (int i = 0; i < 15; i++) { first[i] = (char)(97 + i); }
+    first[15] = '\0';
+    stamp(second, 0 - %d);
+    printf("%%s\n", first);
+    free(second);
+    free(first);
+    return 0;
+}`, 9+p.seq%8)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+void stamp(char* p, int i) {
+    p[i] = 35;
+}
+int main() {
+    char* first = (char*)malloc(16L);
+    char* second = (char*)malloc(16L);
+    if (first == 0 || second == 0) { return 1; }
+    for (int i = 0; i < 15; i++) { first[i] = (char)(97 + i); }
+    first[15] = '\0';
+    stamp(second, %d);
+    printf("%%s\n", first);
+    free(second);
+    free(first);
+    return 0;
+}`, p.seq%16)
+		},
+	}
+	silent := tcase{
+		tag: "silent",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+void put_at(char* p, int i, int v) {
+    p[i] = (char)v;
+}
+int main() {
+    long pad_%d;
+    char data[%d];
+    pad_%d = 0;
+    for (int i = 0; i < %d; i++) { data[i] = (char)(65 + i); }
+    int idx = input_byte(0L) - 256;
+    put_at(data, idx, 42);
+    printf("done %%ld\n", pad_%d & 0L);
+    return 0;
+}`, p.seq, p.size, p.seq, p.size, p.seq)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int index_ok(int i, int n) {
+    if (i >= 0) {
+        if (i < n) { return 1; }
+    }
+    return 0;
+}
+int main() {
+    long pad_%d;
+    char data[%d];
+    pad_%d = 0;
+    for (int i = 0; i < %d; i++) { data[i] = (char)(65 + i); }
+    int idx = input_byte(0L) - 256;
+    if (index_ok(idx, %d)) {
+        data[idx] = 42;
+    }
+    printf("done %%ld\n", pad_%d & 0L);
+    return 0;
+}`, p.seq, p.size, p.seq, p.size, p.size, p.seq)
+		},
+		input: func(p *params) []byte { return []byte{byte(256 - p.off)} },
+	}
+	return emit(cwe, n, []weighted{
+		{direct, 2}, {ptrArith, 4}, {helper, 3}, {heapUnder, 3}, {silent, 8},
+	})
+}
+
+func underwriteProg(p *params, site string) string {
+	return fmt.Sprintf(`
+int main() {
+    long lead_%d = %dL;
+    char data[%d];
+    int tail = %d;
+    for (int i = 0; i < %d; i++) { data[i] = (char)(65 + i); }
+    %s
+    printf("%%ld %%d %%c\n", lead_%d, tail, data[0]);
+    return 0;
+}`, p.seq, p.val*7, p.size, p.val, p.size, site, p.seq)
+}
+
+func underwriteHelperProg(p *params, idx int) string {
+	return fmt.Sprintf(`
+void put_at(char* p, int i, int v) {
+    p[i] = (char)v;
+}
+int main() {
+    long lead_%d = %dL;
+    char data[%d];
+    int tail = %d;
+    for (int i = 0; i < %d; i++) { data[i] = (char)(65 + i); }
+    put_at(data, %d, %d);
+    printf("%%ld %%d %%c\n", lead_%d, tail, data[0]);
+    return 0;
+}`, p.seq, p.val*7, p.size, p.val, p.size, idx, p.val, p.seq)
+}
+
+func silentUnderwriteProg(p *params, idx int) string {
+	return fmt.Sprintf(`
+void put_at(char* p, int i, int v) {
+    p[i] = (char)v;
+}
+int main() {
+    long pad_%d;
+    char data[%d];
+    pad_%d = 0;
+    for (int i = 0; i < %d; i++) { data[i] = (char)(65 + i); }
+    put_at(data, %d, 42);
+    printf("done %%ld\n", pad_%d & 0L);
+    return 0;
+}`, p.seq, p.size, p.seq, p.size, idx, p.seq)
+}
+
+// --------------------------------------------------------------- CWE-126
+
+func genOverread(cwe string, n int) []Case {
+	direct := tcase{
+		tag: "literal",
+		bad: func(p *params) string {
+			return overreadProg(p, fmt.Sprintf("int got = data[%d];", p.size+p.off-1))
+		},
+		good: func(p *params) string {
+			return overreadProg(p, fmt.Sprintf("int got = data[%d];", p.size-1))
+		},
+	}
+	ptrArith := tcase{
+		tag: "ptrarith",
+		bad: func(p *params) string {
+			return overreadProg(p, fmt.Sprintf("int got = *(data + %d);", p.size+p.off-1))
+		},
+		good: func(p *params) string {
+			return overreadProg(p, fmt.Sprintf("int got = *(data + %d);", p.size-1))
+		},
+	}
+	helper := tcase{
+		tag: "helper",
+		bad: func(p *params) string {
+			return overreadHelperProg(p, p.size+p.off-1)
+		},
+		good: func(p *params) string {
+			return overreadHelperProg(p, p.size-1)
+		},
+	}
+	strscan := tcase{
+		tag: "strlen",
+		bad: func(p *params) string {
+			// The buffer is filled completely, with no terminator:
+			// strlen runs into neighboring memory whose contents are
+			// layout- and fill-dependent.
+			return fmt.Sprintf(`
+long measure(char* s) {
+    return strlen(s);
+}
+int main() {
+    char data[%d];
+    for (int i = 0; i < %d; i++) { data[i] = (char)(65 + i %% 26); }
+    printf("%%ld\n", measure(data));
+    return 0;
+}`, p.size, p.size)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+long measure(char* s) {
+    return strlen(s);
+}
+int main() {
+    char data[%d];
+    for (int i = 0; i < %d; i++) { data[i] = (char)(65 + i %% 26); }
+    data[%d] = '\0';
+    printf("%%ld\n", measure(data));
+    return 0;
+}`, p.size, p.size-1, p.size-1)
+		},
+	}
+	silent := tcase{
+		tag: "silent",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int get_at(char* p, int i) {
+    return p[i];
+}
+int main() {
+    char data[%d];
+    for (int i = 0; i < %d; i++) { data[i] = (char)(65 + i); }
+    int idx = input_byte(0L);
+    int got = get_at(data, idx);
+    printf("done %%d\n", got & 0);
+    return 0;
+}`, p.size, p.size)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int index_ok(int i, int n) {
+    if (i >= 0) {
+        if (i < n) { return 1; }
+    }
+    return 0;
+}
+int main() {
+    char data[%d];
+    for (int i = 0; i < %d; i++) { data[i] = (char)(65 + i); }
+    int idx = input_byte(0L);
+    int got = 0;
+    if (index_ok(idx, %d)) {
+        got = data[idx];
+    }
+    printf("done %%d\n", got & 0);
+    return 0;
+}`, p.size, p.size, p.size)
+		},
+		input: func(p *params) []byte { return []byte{byte(p.size + p.off - 1)} },
+	}
+	return emit(cwe, n, []weighted{
+		{direct, 2}, {ptrArith, 4}, {helper, 4}, {strscan, 3}, {silent, 7},
+	})
+}
+
+func overreadProg(p *params, site string) string {
+	return fmt.Sprintf(`
+int main() {
+    int before_%d = %d;
+    char data[%d];
+    long after = %dL;
+    for (int i = 0; i < %d; i++) { data[i] = (char)(65 + i); }
+    %s
+    printf("%%d %%d %%ld\n", got, before_%d, after);
+    return 0;
+}`, p.seq, p.val, p.size, p.val*11, p.size, site, p.seq)
+}
+
+func overreadHelperProg(p *params, idx int) string {
+	return fmt.Sprintf(`
+int get_at(char* p, int i) {
+    return p[i];
+}
+int main() {
+    int before_%d = %d;
+    char data[%d];
+    for (int i = 0; i < %d; i++) { data[i] = (char)(65 + i); }
+    printf("%%d %%d\n", get_at(data, %d), before_%d);
+    return 0;
+}`, p.seq, p.val, p.size, p.size, idx, p.seq)
+}
+
+func silentOverreadProg(p *params, idx int) string {
+	return fmt.Sprintf(`
+int get_at(char* p, int i) {
+    return p[i];
+}
+int main() {
+    char data[%d];
+    for (int i = 0; i < %d; i++) { data[i] = (char)(65 + i); }
+    int got = get_at(data, %d);
+    printf("done %%d\n", got & 0);
+    return 0;
+}`, p.size, p.size, idx)
+}
+
+// --------------------------------------------------------------- CWE-127
+
+func genUnderread(cwe string, n int) []Case {
+	direct := tcase{
+		tag: "literal",
+		bad: func(p *params) string {
+			return underreadProg(p, fmt.Sprintf("int got = data[0 - %d];", p.off))
+		},
+		good: func(p *params) string {
+			return underreadProg(p, "int got = data[0];")
+		},
+	}
+	ptrArith := tcase{
+		tag: "ptrarith",
+		bad: func(p *params) string {
+			return underreadProg(p, fmt.Sprintf("int got = *(data + (0 - %d));", p.off))
+		},
+		good: func(p *params) string {
+			return underreadProg(p, "int got = *(data + 0);")
+		},
+	}
+	helper := tcase{
+		tag: "helper",
+		bad: func(p *params) string {
+			return underreadHelperProg(p, -p.off)
+		},
+		good: func(p *params) string {
+			return underreadHelperProg(p, 0)
+		},
+	}
+	heapUnder := tcase{
+		tag: "heap",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int peek(char* p, int i) {
+    return p[i];
+}
+int main() {
+    char* a = (char*)malloc(16L);
+    if (a == 0) { return 1; }
+    for (int i = 0; i < 16; i++) { a[i] = (char)(65 + i); }
+    printf("%%d\n", peek(a, 0 - %d));
+    free(a);
+    return 0;
+}`, 1+p.seq%12)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int peek(char* p, int i) {
+    return p[i];
+}
+int main() {
+    char* a = (char*)malloc(16L);
+    if (a == 0) { return 1; }
+    for (int i = 0; i < 16; i++) { a[i] = (char)(65 + i); }
+    printf("%%d\n", peek(a, %d));
+    free(a);
+    return 0;
+}`, p.seq%16)
+		},
+	}
+	silent := tcase{
+		tag: "silent",
+		bad: func(p *params) string {
+			return silentUnderreadProg(p, -p.off)
+		},
+		good: func(p *params) string {
+			return silentUnderreadProg(p, 0)
+		},
+	}
+	return emit(cwe, n, []weighted{
+		{direct, 2}, {ptrArith, 4}, {helper, 4}, {heapUnder, 3}, {silent, 7},
+	})
+}
+
+func underreadProg(p *params, site string) string {
+	return fmt.Sprintf(`
+int main() {
+    long lead_%d = %dL;
+    char data[%d];
+    for (int i = 0; i < %d; i++) { data[i] = (char)(65 + i); }
+    %s
+    printf("%%d %%ld\n", got, lead_%d);
+    return 0;
+}`, p.seq, p.val*5, p.size, p.size, site, p.seq)
+}
+
+func underreadHelperProg(p *params, idx int) string {
+	return fmt.Sprintf(`
+int get_at(char* p, int i) {
+    return p[i];
+}
+int main() {
+    long lead_%d = %dL;
+    char data[%d];
+    for (int i = 0; i < %d; i++) { data[i] = (char)(65 + i); }
+    printf("%%d %%ld\n", get_at(data, %d), lead_%d);
+    return 0;
+}`, p.seq, p.val*5, p.size, p.size, idx, p.seq)
+}
+
+func silentUnderreadProg(p *params, idx int) string {
+	return fmt.Sprintf(`
+int get_at(char* p, int i) {
+    return p[i];
+}
+int main() {
+    char data[%d];
+    for (int i = 0; i < %d; i++) { data[i] = (char)(65 + i); }
+    int got = get_at(data, %d);
+    printf("done %%d\n", got & 0);
+    return 0;
+}`, p.size, p.size, idx)
+}
+
+// --------------------------------------------------------------- CWE-415
+
+func genDoubleFree(cwe string, n int) []Case {
+	direct := tcase{
+		tag: "direct",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    char* p = (char*)malloc(%d);
+    if (p == 0) { return 1; }
+    p[0] = 'a';
+    free(p);
+    free(p);
+    printf("done\n");
+    return 0;
+}`, p.size)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    char* p = (char*)malloc(%d);
+    if (p == 0) { return 1; }
+    p[0] = 'a';
+    free(p);
+    printf("done\n");
+    return 0;
+}`, p.size)
+		},
+	}
+	conditional := tcase{
+		tag: "cond",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    char* p = (char*)malloc(%d);
+    if (p == 0) { return 1; }
+    p[0] = 'a';
+    int mode = input_byte(0L);
+    if (mode > 0) {
+        free(p);
+    }
+    free(p);
+    printf("done %%d\n", mode & 0);
+    return 0;
+}`, p.size)
+		},
+		good: func(p *params) string {
+			// Correct: the second free only runs when the first did
+			// not. Path-insensitive checkers still see two frees — the
+			// characteristic static FP on this class.
+			return fmt.Sprintf(`
+int main() {
+    char* p = (char*)malloc(%d);
+    if (p == 0) { return 1; }
+    p[0] = 'a';
+    int mode = input_byte(0L);
+    if (mode > 0) {
+        free(p);
+    } else {
+        free(p);
+    }
+    printf("done %%d\n", mode & 0);
+    return 0;
+}`, p.size)
+		},
+		input: func(p *params) []byte { return []byte{1} },
+	}
+	helper := tcase{
+		tag: "helper",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+void release(char* p) {
+    free(p);
+}
+int main() {
+    char* p = (char*)malloc(%d);
+    if (p == 0) { return 1; }
+    p[0] = 'a';
+    release(p);
+    release(p);
+    printf("done\n");
+    return 0;
+}`, p.size)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+void release(char* p) {
+    free(p);
+}
+int main() {
+    char* p = (char*)malloc(%d);
+    if (p == 0) { return 1; }
+    p[0] = 'a';
+    release(p);
+    printf("done\n");
+    return 0;
+}`, p.size)
+		},
+	}
+	aliased := tcase{
+		tag: "alias",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    char* p = (char*)malloc(%d);
+    if (p == 0) { return 1; }
+    char* q = p;
+    p[0] = 'a';
+    free(p);
+    free(q);
+    printf("done\n");
+    return 0;
+}`, p.size)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    char* p = (char*)malloc(%d);
+    if (p == 0) { return 1; }
+    char* q = p;
+    p[0] = 'a';
+    free(q);
+    printf("done\n");
+    return 0;
+}`, p.size)
+		},
+	}
+	return emit(cwe, n, []weighted{
+		{direct, 4}, {conditional, 6}, {helper, 6}, {aliased, 4},
+	})
+}
+
+// --------------------------------------------------------------- CWE-416
+
+func genUseAfterFree(cwe string, n int) []Case {
+	readAfter := tcase{
+		tag: "read",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int* p = (int*)malloc(16L);
+    if (p == 0) { return 1; }
+    p[0] = %d;
+    free(p);
+    int* q = (int*)malloc(16L);
+    if (q == 0) { return 1; }
+    q[0] = %d;
+    printf("%%d %%d\n", p[0], q[0]);
+    free(q);
+    return 0;
+}`, p.val, p.val*3)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int* p = (int*)malloc(16L);
+    if (p == 0) { return 1; }
+    p[0] = %d;
+    int kept = p[0];
+    free(p);
+    int* q = (int*)malloc(16L);
+    if (q == 0) { return 1; }
+    q[0] = %d;
+    printf("%%d %%d\n", kept, q[0]);
+    free(q);
+    return 0;
+}`, p.val, p.val*3)
+		},
+	}
+	helperUse := tcase{
+		tag: "helper",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int load(int* p) {
+    return p[0];
+}
+void drop(int* p) {
+    free(p);
+}
+int main() {
+    int* p = (int*)malloc(16L);
+    if (p == 0) { return 1; }
+    p[0] = %d;
+    drop(p);
+    int* q = (int*)malloc(16L);
+    if (q == 0) { return 1; }
+    q[0] = %d;
+    printf("%%d\n", load(p));
+    free(q);
+    return 0;
+}`, p.val, p.val+7)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int load(int* p) {
+    return p[0];
+}
+void drop(int* p) {
+    free(p);
+}
+int main() {
+    int* p = (int*)malloc(16L);
+    if (p == 0) { return 1; }
+    p[0] = %d;
+    int v = load(p);
+    drop(p);
+    printf("%%d\n", v);
+    return 0;
+}`, p.val)
+		},
+	}
+	writeAfter := tcase{
+		tag: "write",
+		bad: func(p *params) string {
+			// The write lands in the reused chunk under eager-reuse
+			// allocators and in dead memory otherwise.
+			return fmt.Sprintf(`
+int main() {
+    int* p = (int*)malloc(16L);
+    if (p == 0) { return 1; }
+    free(p);
+    int* q = (int*)malloc(16L);
+    if (q == 0) { return 1; }
+    q[0] = %d;
+    p[0] = %d;
+    printf("%%d\n", q[0]);
+    free(q);
+    return 0;
+}`, p.val, p.val+50)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int* p = (int*)malloc(16L);
+    if (p == 0) { return 1; }
+    p[0] = %d;
+    free(p);
+    int* q = (int*)malloc(16L);
+    if (q == 0) { return 1; }
+    q[0] = %d;
+    printf("%%d\n", q[0]);
+    free(q);
+    return 0;
+}`, p.val+50, p.val)
+		},
+	}
+	silent := tcase{
+		tag: "silent",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int load(int* p) {
+    return p[0];
+}
+int main() {
+    int* p = (int*)malloc(16L);
+    if (p == 0) { return 1; }
+    p[0] = %d;
+    free(p);
+    int v = load(p);
+    printf("done %%d\n", v & 0);
+    return 0;
+}`, p.val)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int load(int* p) {
+    return p[0];
+}
+int main() {
+    int* p = (int*)malloc(16L);
+    if (p == 0) { return 1; }
+    p[0] = %d;
+    int v = load(p);
+    free(p);
+    printf("done %%d\n", v & 0);
+    return 0;
+}`, p.val)
+		},
+	}
+	return emit(cwe, n, []weighted{
+		{readAfter, 6}, {helperUse, 5}, {writeAfter, 5}, {silent, 4},
+	})
+}
+
+// --------------------------------------------------------------- CWE-590
+
+func genBadFree(cwe string, n int) []Case {
+	freeArray := tcase{
+		tag: "array",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    char data[%d];
+    for (int i = 0; i < %d; i++) { data[i] = (char)i; }
+    free(data);
+    printf("done %%d\n", data[0] & 0);
+    return 0;
+}`, p.size, p.size)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    char* data = (char*)malloc(%d);
+    if (data == 0) { return 1; }
+    for (int i = 0; i < %d; i++) { data[i] = (char)i; }
+    free(data);
+    printf("done 0\n");
+    return 0;
+}`, p.size, p.size)
+		},
+	}
+	freeAddr := tcase{
+		tag: "addr",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    long value_%d = %dL;
+    free((char*)&value_%d);
+    printf("done %%ld\n", value_%d & 0L);
+    return 0;
+}`, p.seq, p.val, p.seq, p.seq)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    long value_%d = %dL;
+    printf("done %%ld\n", value_%d & 0L);
+    return 0;
+}`, p.seq, p.val, p.seq)
+		},
+	}
+	freeInterior := tcase{
+		tag: "interior",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    char* p = (char*)malloc(32L);
+    if (p == 0) { return 1; }
+    p[0] = 'x';
+    p = p + %d;
+    free(p);
+    printf("done\n");
+    return 0;
+}`, 4+p.seq%8)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    char* p = (char*)malloc(32L);
+    if (p == 0) { return 1; }
+    p[0] = 'x';
+    char* mid = p + %d;
+    mid[0] = 'y';
+    free(p);
+    printf("done\n");
+    return 0;
+}`, 4+p.seq%8)
+		},
+	}
+	freeGlobalHelper := tcase{
+		tag: "helper",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+char pool_%d[%d];
+void cleanup(char* p) {
+    free(p);
+}
+int main() {
+    pool_%d[0] = 'a';
+    cleanup(pool_%d);
+    printf("done\n");
+    return 0;
+}`, p.seq, p.size, p.seq, p.seq)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+char pool_%d[%d];
+void cleanup(char* p) {
+    free(p);
+}
+int main() {
+    pool_%d[0] = 'a';
+    char* heap = (char*)malloc(%d);
+    if (heap == 0) { return 1; }
+    cleanup(heap);
+    printf("done\n");
+    return 0;
+}`, p.seq, p.size, p.seq, p.size)
+		},
+	}
+	return emit(cwe, n, []weighted{
+		{freeArray, 6}, {freeAddr, 4}, {freeInterior, 5}, {freeGlobalHelper, 5},
+	})
+}

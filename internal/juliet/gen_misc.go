@@ -1,0 +1,460 @@
+package juliet
+
+import "fmt"
+
+// CWE-475 (API misuse), CWE-588 (bad struct pointer), CWE-685 (bad
+// call arity), CWE-758 (general UB), CWE-469 (pointer subtraction).
+
+// --------------------------------------------------------------- CWE-475
+
+func genAPIMisuse(cwe string, n int) []Case {
+	overlapFwd := tcase{
+		tag: "overlap",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    char buf[32];
+    for (int i = 0; i < 32; i++) { buf[i] = (char)(65 + i %% 26); }
+    memcpy(buf + %d, buf, %d);
+    for (int i = 0; i < 24; i++) { printf("%%c", buf[i]); }
+    printf("\n");
+    return 0;
+}`, 2+p.seq%3, 8+p.seq%8)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    char buf[32];
+    char tmp[32];
+    for (int i = 0; i < 32; i++) { buf[i] = (char)(65 + i %% 26); }
+    memcpy(tmp, buf, %d);
+    memcpy(buf + %d, tmp, %d);
+    for (int i = 0; i < 24; i++) { printf("%%c", buf[i]); }
+    printf("\n");
+    return 0;
+}`, 8+p.seq%8, 2+p.seq%3, 8+p.seq%8)
+		},
+	}
+	overlapBack := tcase{
+		tag: "overlapback",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    char buf[24];
+    for (int i = 0; i < 24; i++) { buf[i] = (char)(97 + i %% 26); }
+    memcpy(buf, buf + %d, %d);
+    for (int i = 0; i < 20; i++) { printf("%%c", buf[i]); }
+    printf("\n");
+    return 0;
+}`, 3+p.seq%2, 10+p.seq%6)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    char buf[24];
+    char tmp[24];
+    for (int i = 0; i < 24; i++) { buf[i] = (char)(97 + i %% 26); }
+    memcpy(tmp, buf + %d, %d);
+    memcpy(buf, tmp, %d);
+    for (int i = 0; i < 20; i++) { printf("%%c", buf[i]); }
+    printf("\n");
+    return 0;
+}`, 3+p.seq%2, 10+p.seq%6, 10+p.seq%6)
+		},
+	}
+	return emit(cwe, n, []weighted{{overlapFwd, 1}, {overlapBack, 1}})
+}
+
+// --------------------------------------------------------------- CWE-588
+
+func genBadStructPtr(cwe string, n int) []Case {
+	fromScalar := tcase{
+		tag: "scalar",
+		bad: func(p *params) string {
+			// The struct extends past the single int: the far field
+			// reads neighboring stack bytes, which depend on the frame
+			// layout. ASan's slot redzones see the overrun.
+			return fmt.Sprintf(`
+struct Wide%d {
+    int head;
+    int mid;
+    int far;
+};
+int main() {
+    int lone_%d = %d;
+    int other = %d;
+    int* p = &lone_%d;
+    struct Wide%d* w = (struct Wide%d*)p;
+    printf("%%d %%d %%d\n", w->head, w->far, other);
+    return 0;
+}`, p.seq, p.seq, p.val, p.val+9, p.seq, p.seq, p.seq)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+struct Wide%d {
+    int head;
+    int mid;
+    int far;
+};
+int main() {
+    struct Wide%d real;
+    real.head = %d;
+    real.mid = 0;
+    real.far = %d;
+    int other = %d;
+    struct Wide%d* w = &real;
+    printf("%%d %%d %%d\n", w->head, w->far, other);
+    return 0;
+}`, p.seq, p.seq, p.val, p.val+1, p.val+9, p.seq)
+		},
+	}
+	fromScalarHelper := tcase{
+		tag: "helper",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+struct Wide%d {
+    int head;
+    int mid;
+    long far;
+};
+long read_far(struct Wide%d* w) {
+    return w->far;
+}
+int main() {
+    int lone_%d = %d;
+    printf("%%ld\n", read_far((struct Wide%d*)(void*)&lone_%d));
+    return 0;
+}`, p.seq, p.seq, p.seq, p.val, p.seq, p.seq)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+struct Wide%d {
+    int head;
+    int mid;
+    long far;
+};
+long read_far(struct Wide%d* w) {
+    return w->far;
+}
+int main() {
+    struct Wide%d real;
+    real.head = %d;
+    real.mid = 1;
+    real.far = %dL;
+    printf("%%ld\n", read_far(&real));
+    return 0;
+}`, p.seq, p.seq, p.seq, p.val, p.val)
+		},
+	}
+	fromBigBuffer := tcase{
+		tag: "buffer",
+		bad: func(p *params) string {
+			// The buffer is big enough — the flaw is type confusion:
+			// the fields read *uninitialized* buffer bytes, which hold
+			// each implementation's fill pattern. In-bounds, so ASan
+			// stays silent; only the output discrepancy gives it away.
+			return fmt.Sprintf(`
+struct Rec%d {
+    int kind;
+    int count;
+    int extra;
+};
+int main() {
+    char raw[64];
+    raw[0] = (char)%d;
+    struct Rec%d* r = (struct Rec%d*)(void*)raw;
+    printf("%%d %%d\n", r->count, r->extra);
+    return 0;
+}`, p.seq, p.val, p.seq, p.seq)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+struct Rec%d {
+    int kind;
+    int count;
+    int extra;
+};
+int main() {
+    char raw[64];
+    memset(raw, 0, 64L);
+    raw[0] = (char)%d;
+    struct Rec%d* r = (struct Rec%d*)(void*)raw;
+    printf("%%d %%d\n", r->count, r->extra);
+    return 0;
+}`, p.seq, p.val, p.seq, p.seq)
+		},
+	}
+	return emit(cwe, n, []weighted{
+		{fromScalar, 6}, {fromScalarHelper, 4}, {fromBigBuffer, 10},
+	})
+}
+
+// --------------------------------------------------------------- CWE-685
+
+func genBadCall(cwe string, n int) []Case {
+	missingValue := tcase{
+		tag: "missingint",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int combine(int a, int b) {
+    return a * 1000 + b %% 1000;
+}
+int main() {
+    printf("%%d\n", combine(%d));
+    return 0;
+}`, p.val)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int combine(int a, int b) {
+    return a * 1000 + b %% 1000;
+}
+int main() {
+    printf("%%d\n", combine(%d, %d));
+    return 0;
+}`, p.val, p.val+1)
+		},
+	}
+	missingSize := tcase{
+		tag: "missingsize",
+		bad: func(p *params) string {
+			// The missing length parameter reads frame garbage; masked
+			// into a small range it decides how far the fill loop runs,
+			// sometimes past the buffer (ASan sees that overrun).
+			return fmt.Sprintf(`
+void fill(char* dst, int len) {
+    for (int i = 0; i < (len & 31); i++) { dst[i] = 'A'; }
+}
+int main() {
+    char buf[8];
+    for (int i = 0; i < 8; i++) { buf[i] = 'z'; }
+    fill(buf);
+    printf("%%c%%c\n", buf[0], buf[7]);
+    return 0;
+}`)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+void fill(char* dst, int len) {
+    for (int i = 0; i < (len & 31); i++) { dst[i] = 'A'; }
+}
+int main() {
+    char buf[8];
+    for (int i = 0; i < 8; i++) { buf[i] = 'z'; }
+    fill(buf, %d);
+    printf("%%c%%c\n", buf[0], buf[7]);
+    return 0;
+}`, p.size%8)
+		},
+	}
+	return emit(cwe, n, []weighted{{missingValue, 1}, {missingSize, 1}})
+}
+
+// --------------------------------------------------------------- CWE-758
+
+func genGeneralUB(cwe string, n int) []Case {
+	missingReturn := tcase{
+		tag: "noreturn",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int classify(int v) {
+    if (v > %d) { return 1; }
+    if (v > 0) { return 0; }
+}
+int main() {
+    printf("%%d\n", classify(0 - %d));
+    return 0;
+}`, p.val, p.val)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int classify(int v) {
+    if (v > %d) { return 1; }
+    if (v > 0) { return 0; }
+    return -1;
+}
+int main() {
+    printf("%%d\n", classify(0 - %d));
+    return 0;
+}`, p.val, p.val)
+		},
+	}
+	constShift := tcase{
+		tag: "shift",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int bits = %d;
+    int v = %d << 35;
+    printf("%%d %%d\n", v, bits);
+    return 0;
+}`, p.seq, p.val)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int bits = %d;
+    int v = %d << 5;
+    printf("%%d %%d\n", v, bits);
+    return 0;
+}`, p.seq, p.val)
+		},
+	}
+	unusedReturn := tcase{
+		tag: "noretunused",
+		bad: func(p *params) string {
+			// The garbage return value is never consumed: stable output
+			// everywhere, visible only to the static tier.
+			return fmt.Sprintf(`
+int step(int v) {
+    if (v > 0) { return v - 1; }
+}
+int main() {
+    step(0 - %d);
+    printf("done\n");
+    return 0;
+}`, p.val)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int step(int v) {
+    if (v > 0) { return v - 1; }
+    return 0;
+}
+int main() {
+    step(0 - %d);
+    printf("done\n");
+    return 0;
+}`, p.val)
+		},
+	}
+	loopReturnBait := tcase{
+		tag: "loopret",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int pick(int v) {
+    if (v > 0) { return v; }
+}
+int main() {
+    printf("%%d\n", pick(0 - %d));
+    return 0;
+}`, p.seq%9+1)
+		},
+		good: func(p *params) string {
+			// Correct (the for(;;) always returns), but the
+			// fall-off-the-end heuristic cannot prove it: static FP.
+			return fmt.Sprintf(`
+int pick(int v) {
+    for (;;) {
+        if (v > 0) { return v; }
+        v = v + %d;
+    }
+}
+int main() {
+    printf("%%d\n", pick(0 - %d));
+    return 0;
+}`, p.seq%9+1, p.seq%9+1)
+		},
+	}
+	return emit(cwe, n, []weighted{
+		{missingReturn, 9}, {constShift, 5}, {unusedReturn, 1}, {loopReturnBait, 1},
+	})
+}
+
+// --------------------------------------------------------------- CWE-469
+
+func genPtrSubtraction(cwe string, n int) []Case {
+	stackPair := tcase{
+		tag: "stack",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    char first[%d];
+    char second[%d];
+    first[0] = 'a';
+    second[0] = 'b';
+    long span = second - first;
+    printf("%%ld\n", span);
+    return 0;
+}`, p.size, p.size+4)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    char block[%d];
+    block[0] = 'a';
+    block[%d] = 'b';
+    char* first = block;
+    char* second = block + %d;
+    long span = second - first;
+    printf("%%ld\n", span);
+    return 0;
+}`, p.size+8, p.size, p.size)
+		},
+	}
+	heapPair := tcase{
+		tag: "heap",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    char* a = (char*)malloc(%d);
+    char* b = (char*)malloc(%d);
+    if (a == 0 || b == 0) { return 1; }
+    a[0] = 'a';
+    b[0] = 'b';
+    long gap = b - a;
+    printf("%%ld\n", gap);
+    free(a);
+    free(b);
+    return 0;
+}`, p.size, p.size)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    char* a = (char*)malloc(%d);
+    if (a == 0) { return 1; }
+    a[0] = 'a';
+    char* b = a + %d;
+    long gap = b - a;
+    printf("%%ld\n", gap);
+    free(a);
+    return 0;
+}`, p.size+16, p.size)
+		},
+	}
+	sizeFromSub := tcase{
+		tag: "size",
+		bad: func(p *params) string {
+			// The "size" computed from unrelated pointers decides how
+			// much to copy — bounded only by a sanity clamp.
+			return fmt.Sprintf(`
+int main() {
+    char src[32];
+    char dst[32];
+    char probe_%d;
+    probe_%d = 'p';
+    for (int i = 0; i < 32; i++) { src[i] = (char)(65 + i %% 26); dst[i] = '.'; }
+    long want = (&probe_%d - src) & 15L;
+    memcpy(dst, src, want);
+    for (int i = 0; i < 16; i++) { printf("%%c", dst[i]); }
+    printf(" %%c\n", probe_%d);
+    return 0;
+}`, p.seq, p.seq, p.seq, p.seq)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    char src[32];
+    char dst[32];
+    for (int i = 0; i < 32; i++) { src[i] = (char)(65 + i %% 26); dst[i] = '.'; }
+    long want = (src + %d) - src;
+    memcpy(dst, src, want);
+    for (int i = 0; i < 16; i++) { printf("%%c", dst[i]); }
+    printf("\n");
+    return 0;
+}`, p.size)
+		},
+	}
+	return emit(cwe, n, []weighted{{stackPair, 2}, {heapPair, 2}, {sizeFromSub, 2}})
+}

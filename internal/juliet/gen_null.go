@@ -1,0 +1,158 @@
+package juliet
+
+import "fmt"
+
+// CWE-476 NULL pointer dereference. The structural facts: optimizing
+// implementations *delete* dead dereferences and fold checked-after-
+// deref branches, so the -O0 binaries crash where the -O2 binaries
+// sail through — which is how an output-only oracle reaches 93% here.
+
+func genNullDeref(cwe string, n int) []Case {
+	deadDerefLiteral := tcase{
+		tag: "deadlit",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int* p = 0;
+    int probe_%d = %d;
+    *p;
+    printf("alive %%d\n", probe_%d);
+    return 0;
+}`, p.seq, p.val, p.seq)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int keep_%d = %d;
+    int* p = &keep_%d;
+    int probe_%d = %d;
+    *p;
+    printf("alive %%d\n", probe_%d);
+    return 0;
+}`, p.seq, p.val, p.seq, p.seq, p.val, p.seq)
+		},
+	}
+	deadDerefHelper := tcase{
+		tag: "deadhelper",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int* locate(int which) {
+    static int slot;
+    if (which > %d) { return &slot; }
+    return 0;
+}
+int main() {
+    int* p = locate(input_byte(0L));
+    *p;
+    printf("alive\n");
+    return 0;
+}`, p.val%64+64)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int* locate(int which) {
+    static int slot;
+    if (which > %d) { return &slot; }
+    return 0;
+}
+int main() {
+    int* p = locate(input_byte(0L));
+    if (p != 0) { *p; }
+    printf("alive\n");
+    return 0;
+}`, p.val%64+64)
+		},
+		input: func(p *params) []byte { return []byte{0} },
+	}
+	uncheckedAlloc := tcase{
+		tag: "alloc",
+		bad: func(p *params) string {
+			// The oversized allocation fails; the dead probe read of
+			// the null result crashes only the unoptimizing binaries.
+			return fmt.Sprintf(`
+int main() {
+    char* p = (char*)malloc(%d000000L);
+    *p;
+    printf("provisioned\n");
+    free(p);
+    return 0;
+}`, 2+p.seq%6)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    char* p = (char*)malloc(%d000000L);
+    if (p == 0) { printf("oom\n"); return 1; }
+    *p;
+    printf("provisioned\n");
+    free(p);
+    return 0;
+}`, 2+p.seq%6)
+		},
+	}
+	checkAfterDeref := tcase{
+		tag: "checkafter",
+		bad: func(p *params) string {
+			// Both the deref and the late check execute: every binary
+			// crashes identically — the share CompDiff misses.
+			return fmt.Sprintf(`
+int fetch(int* p) {
+    int v = *p;
+    if (p == 0) { return -1; }
+    return v;
+}
+int main() {
+    int* p = 0;
+    printf("%%d\n", fetch(p));
+    return 0;
+}`)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int fetch(int* p) {
+    if (p == 0) { return -1; }
+    return *p;
+}
+int main() {
+    int x = %d;
+    printf("%%d\n", fetch(&x));
+    return 0;
+}`, p.val)
+		},
+	}
+	liveNullUse := tcase{
+		tag: "live",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int* p = 0;
+    int mode = input_byte(0L);
+    if (mode > %d) {
+        static int cell;
+        p = &cell;
+    }
+    printf("%%d\n", *p);
+    return 0;
+}`, p.val%64+64)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int* p = 0;
+    int mode = input_byte(0L);
+    if (mode > %d) {
+        static int cell;
+        p = &cell;
+    }
+    if (p == 0) { printf("absent\n"); return 0; }
+    printf("%%d\n", *p);
+    return 0;
+}`, p.val%64+64)
+		},
+		input: func(p *params) []byte { return []byte{0} },
+	}
+	return emit(cwe, n, []weighted{
+		{deadDerefLiteral, 4}, {deadDerefHelper, 6}, {uncheckedAlloc, 7},
+		{checkAfterDeref, 1}, {liveNullUse, 2},
+	})
+}

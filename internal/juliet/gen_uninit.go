@@ -1,0 +1,242 @@
+package juliet
+
+import "fmt"
+
+// CWE-457 (use of uninitialized variable) and CWE-665 (improper
+// initialization). The structural facts: MSan only reports uses that
+// decide a branch (7% of Juliet's tests do); CompDiff sees almost
+// everything because uninitialized stack bytes hold each
+// implementation's own fill pattern in its own frame layout.
+
+func genUninitVar(cwe string, n int) []Case {
+	printDirect := tcase{
+		tag: "print",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int value_%d;
+    int other = %d;
+    printf("%%d %%d\n", value_%d, other);
+    return 0;
+}`, p.seq, p.val, p.seq)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int value_%d = %d;
+    int other = %d;
+    printf("%%d %%d\n", value_%d, other);
+    return 0;
+}`, p.seq, p.val*2, p.val, p.seq)
+		},
+	}
+	helperNoWrite := tcase{
+		tag: "helper",
+		bad: func(p *params) string {
+			// Listing 4's shape: the helper is *supposed* to set the
+			// value but doesn't on the empty-input path. &x makes
+			// every static tier assume initialization.
+			return fmt.Sprintf(`
+void parse_value(int* out, long have) {
+    if (have > 0L) { *out = %d; }
+}
+int main() {
+    int l;
+    parse_value(&l, input_size());
+    printf("%%d\n", (l & 65535) >> %d);
+    return 0;
+}`, p.val, p.seq%4)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+void parse_value(int* out, long have) {
+    if (have > 0L) { *out = %d; }
+}
+int main() {
+    int l = 0;
+    parse_value(&l, input_size());
+    printf("%%d\n", (l & 65535) >> %d);
+    return 0;
+}`, p.val, p.seq%4)
+		},
+	}
+	branchUse := tcase{
+		tag: "branch",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int flag_%d;
+    if (flag_%d > %d) {
+        printf("high\n");
+    } else {
+        printf("low\n");
+    }
+    return 0;
+}`, p.seq, p.seq, p.val)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int flag_%d = input_byte(0L);
+    if (flag_%d > %d) {
+        printf("high\n");
+    } else {
+        printf("low\n");
+    }
+    return 0;
+}`, p.seq, p.seq, p.val)
+		},
+	}
+	partialInit := tcase{
+		tag: "partial",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int result_%d;
+    int mode = input_byte(0L);
+    if (mode > %d) {
+        result_%d = mode * 2;
+    }
+    printf("%%d\n", result_%d);
+    return 0;
+}`, p.seq, p.val%64+64, p.seq, p.seq)
+		},
+		good: func(p *params) string {
+			// Both branches assign — correct, yet flagged by the
+			// branch-insensitive union heuristic (the FP source).
+			return fmt.Sprintf(`
+int main() {
+    int result_%d;
+    int mode = input_byte(0L);
+    if (mode > %d) {
+        result_%d = mode * 2;
+    } else {
+        result_%d = 7;
+    }
+    printf("%%d\n", result_%d);
+    return 0;
+}`, p.seq, p.val%64+64, p.seq, p.seq, p.seq)
+		},
+		input: func(p *params) []byte { return []byte{1} },
+	}
+	heapUninit := tcase{
+		tag: "heap",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int* vals = (int*)malloc(%d);
+    if (vals == 0) { return 1; }
+    vals[0] = %d;
+    printf("%%d %%d\n", vals[0], vals[2]);
+    free(vals);
+    return 0;
+}`, 16+(p.seq%2)*16, p.val)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int* vals = (int*)malloc(%d);
+    if (vals == 0) { return 1; }
+    memset((char*)vals, 0, %d);
+    vals[0] = %d;
+    printf("%%d %%d\n", vals[0], vals[2]);
+    free(vals);
+    return 0;
+}`, 16+(p.seq%2)*16, 16+(p.seq%2)*16, p.val)
+		},
+	}
+	silentUninit := tcase{
+		tag: "silent",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int noise_%d;
+    int masked = noise_%d & 0;
+    printf("done %%d\n", masked);
+    return 0;
+}`, p.seq, p.seq)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    int noise_%d = %d;
+    int masked = noise_%d & 0;
+    printf("done %%d\n", masked);
+    return 0;
+}`, p.seq, p.val, p.seq)
+		},
+	}
+	return emit(cwe, n, []weighted{
+		{printDirect, 3}, {helperNoWrite, 9}, {branchUse, 2},
+		{partialInit, 4}, {heapUninit, 1}, {silentUninit, 1},
+	})
+}
+
+// --------------------------------------------------------------- CWE-665
+
+func genImproperInit(cwe string, n int) []Case {
+	partialStruct := tcase{
+		tag: "struct",
+		bad: func(p *params) string {
+			return fmt.Sprintf(`
+struct Conf%d {
+    int mode;
+    int limit;
+};
+void setup(struct Conf%d* c) {
+    c->mode = %d;
+}
+int main() {
+    struct Conf%d c;
+    setup(&c);
+    printf("%%d %%d\n", c.mode, c.limit);
+    return 0;
+}`, p.seq, p.seq, p.val, p.seq)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+struct Conf%d {
+    int mode;
+    int limit;
+};
+void setup(struct Conf%d* c) {
+    c->mode = %d;
+    c->limit = %d;
+}
+int main() {
+    struct Conf%d c;
+    setup(&c);
+    printf("%%d %%d\n", c.mode, c.limit);
+    return 0;
+}`, p.seq, p.seq, p.val, p.val*4, p.seq)
+		},
+	}
+	truncatedCopy := tcase{
+		tag: "strncpy",
+		bad: func(p *params) string {
+			// strncpy leaves the copy unterminated: strlen keeps going
+			// through the *uninitialized in-slot tail* of the buffer —
+			// inside the object (no redzone), but layout-dependent.
+			return fmt.Sprintf(`
+int main() {
+    char name[24];
+    name[23] = '\0';
+    strncpy(name, "abcdefghijklmnop", %d);
+    printf("%%ld\n", strlen(name));
+    return 0;
+}`, p.size)
+		},
+		good: func(p *params) string {
+			return fmt.Sprintf(`
+int main() {
+    char name[24];
+    name[23] = '\0';
+    strncpy(name, "abcdefghijklmnop", %d);
+    name[%d] = '\0';
+    printf("%%ld\n", strlen(name));
+    return 0;
+}`, p.size, p.size)
+		},
+	}
+	return emit(cwe, n, []weighted{{partialStruct, 1}, {truncatedCopy, 1}})
+}

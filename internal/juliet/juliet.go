@@ -1,0 +1,217 @@
+// Package juliet generates the benchmark suite used to evaluate
+// CompDiff against sanitizers and static analyzers (paper §4.1, Tables
+// 2 and 3, Figure 1). It mirrors the structure of the NIST Juliet
+// C/C++ suite: a set of CWE categories, each with many small test
+// programs in *bad* (one planted flaw) and *good* (flaw fixed)
+// variants, built from Juliet-style flow/data variants — direct flaws,
+// helper-function indirection, conditional flows, stack/heap/global
+// data, input-derived and constant values.
+//
+// The suite is generated at 1:10 of the paper's 18,142 tests (small
+// CWEs keep their full size). The variant *mix* within each CWE is
+// what decides which tools can see which share of the bugs: syntactic
+// patterns for the static tier, redzone-visible accesses for ASan,
+// branch-decided uses for MSan, output-propagating corruption for
+// CompDiff — reproducing the detection-rate structure of Table 3
+// mechanically rather than by fiat.
+package juliet
+
+import (
+	"fmt"
+
+	"compdiff/internal/analyzer"
+)
+
+// Case is one Juliet-style test: a bad variant with exactly one
+// planted flaw, a good variant with the flaw repaired, and the input
+// that drives execution to the flaw site.
+type Case struct {
+	CWE   string
+	Name  string
+	Group analyzer.Category
+	Bad   string
+	Good  string
+	Input []byte
+
+	// Stealth marks flaws that are *defined-behaviour logic errors*
+	// (unsigned wraparound misuse): real CWE weaknesses that no tool
+	// in the evaluation can see — the reason no Table 3 row reaches
+	// 100% on the integer classes.
+	Stealth bool
+}
+
+// Suite is a generated collection of cases.
+type Suite struct {
+	Cases []Case
+}
+
+// CWEInfo describes one CWE category (Table 2 rows).
+type CWEInfo struct {
+	ID          string
+	Description string
+	Group       analyzer.Category
+	PaperCount  int // tests in the paper's extraction of Juliet
+	Count       int // tests generated here
+}
+
+// Catalog lists the 20 CWEs of Table 2 with this repo's scaled counts.
+var Catalog = []CWEInfo{
+	{"CWE-121", "Stack Based Buffer Overflow", analyzer.MemoryError, 2951, 295},
+	{"CWE-122", "Heap Based Buffer Overflow", analyzer.MemoryError, 3575, 357},
+	{"CWE-124", "Buffer Underwrite", analyzer.MemoryError, 1024, 102},
+	{"CWE-126", "Buffer Overread", analyzer.MemoryError, 721, 72},
+	{"CWE-127", "Buffer Underread", analyzer.MemoryError, 1022, 102},
+	{"CWE-415", "Double Free", analyzer.MemoryError, 820, 82},
+	{"CWE-416", "Use After Free", analyzer.MemoryError, 394, 40},
+	{"CWE-475", "Undefined Behavior for Input to API", analyzer.APIMisuse, 18, 18},
+	{"CWE-588", "Access Child of Non Struct. Pointer", analyzer.BadStructPtr, 80, 80},
+	{"CWE-590", "Free Memory Not on Heap", analyzer.MemoryError, 2280, 228},
+	{"CWE-685", "Function Call With Incorrect #Args.", analyzer.BadCall, 18, 18},
+	{"CWE-758", "Undefined Behavior", analyzer.GeneralUB, 523, 52},
+	{"CWE-190", "Integer Overflow", analyzer.IntegerError, 1564, 156},
+	{"CWE-191", "Integer Underflow", analyzer.IntegerError, 1169, 117},
+	{"CWE-369", "Divide by Zero", analyzer.DivByZero, 437, 44},
+	{"CWE-476", "NULL Pointer Dereference", analyzer.NullDeref, 306, 31},
+	{"CWE-680", "Integer Overflow to Buffer Overflow", analyzer.IntegerError, 196, 20},
+	{"CWE-457", "Use of Uninitialized Variable", analyzer.UninitMemory, 928, 93},
+	{"CWE-665", "Improper Initialization", analyzer.UninitMemory, 98, 10},
+	{"CWE-469", "Use of Pointer Sub. to Determine Size", analyzer.PtrSubtraction, 18, 18},
+}
+
+// generator builds all cases for one CWE.
+type generator func(cwe string, n int) []Case
+
+var generators = map[string]generator{
+	"CWE-121": genStackOverflow,
+	"CWE-122": genHeapOverflow,
+	"CWE-124": genUnderwrite,
+	"CWE-126": genOverread,
+	"CWE-127": genUnderread,
+	"CWE-415": genDoubleFree,
+	"CWE-416": genUseAfterFree,
+	"CWE-475": genAPIMisuse,
+	"CWE-588": genBadStructPtr,
+	"CWE-590": genBadFree,
+	"CWE-685": genBadCall,
+	"CWE-758": genGeneralUB,
+	"CWE-190": genIntOverflow,
+	"CWE-191": genIntUnderflow,
+	"CWE-369": genDivZero,
+	"CWE-476": genNullDeref,
+	"CWE-680": genOverflowToBufOverflow,
+	"CWE-457": genUninitVar,
+	"CWE-665": genImproperInit,
+	"CWE-469": genPtrSubtraction,
+}
+
+// Generate builds the full suite at the default scale.
+func Generate() *Suite {
+	return GenerateScaled(1)
+}
+
+// GenerateScaled divides every category count by scale (minimum one
+// case per template family); scale=1 is the default suite, larger
+// scales are for quick tests.
+func GenerateScaled(scale int) *Suite {
+	if scale < 1 {
+		scale = 1
+	}
+	s := &Suite{}
+	for _, info := range Catalog {
+		gen := generators[info.ID]
+		n := info.Count / scale
+		if n < 6 {
+			n = 6
+		}
+		cases := gen(info.ID, n)
+		for i := range cases {
+			cases[i].CWE = info.ID
+			cases[i].Group = info.Group
+			if cases[i].Name == "" {
+				cases[i].Name = fmt.Sprintf("%s_%04d", info.ID, i)
+			}
+		}
+		s.Cases = append(s.Cases, cases...)
+	}
+	return s
+}
+
+// ByCWE groups the cases by CWE id.
+func (s *Suite) ByCWE() map[string][]Case {
+	out := map[string][]Case{}
+	for _, c := range s.Cases {
+		out[c.CWE] = append(out[c.CWE], c)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Template machinery
+
+// tcase is a parameterized template: bad and good sources plus input.
+type tcase struct {
+	tag     string
+	bad     func(p *params) string
+	good    func(p *params) string
+	input   func(p *params) []byte
+	stealth bool
+}
+
+// params varies per generated case so no two programs are identical.
+type params struct {
+	seq  int
+	size int // buffer size, 4..12
+	off  int // overflow distance, 1..4
+	val  int // payload value
+}
+
+func newParams(seq int) *params {
+	return &params{
+		seq:  seq,
+		size: 4 + (seq*3)%9,
+		off:  1 + seq%4,
+		val:  10 + (seq*7)%80,
+	}
+}
+
+// emit round-robins the weighted templates to produce n cases. The
+// expansion interleaves templates so that even small generated counts
+// sample every template family in proportion.
+func emit(cwe string, n int, templates []weighted) []Case {
+	remaining := make([]int, len(templates))
+	total := 0
+	for i, w := range templates {
+		remaining[i] = w.weight
+		total += w.weight
+	}
+	var expanded []tcase
+	for len(expanded) < total {
+		for i := range templates {
+			if remaining[i] > 0 {
+				remaining[i]--
+				expanded = append(expanded, templates[i].t)
+			}
+		}
+	}
+	out := make([]Case, 0, n)
+	for i := 0; i < n; i++ {
+		t := expanded[i%len(expanded)]
+		p := newParams(i)
+		c := Case{
+			Name:    fmt.Sprintf("%s_%s_%04d", cwe, t.tag, i),
+			Bad:     t.bad(p),
+			Good:    t.good(p),
+			Stealth: t.stealth,
+		}
+		if t.input != nil {
+			c.Input = t.input(p)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+type weighted struct {
+	t      tcase
+	weight int
+}

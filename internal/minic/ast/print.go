@@ -1,0 +1,415 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"compdiff/internal/minic/types"
+)
+
+// Print renders a program back to MiniC source. The output reparses to
+// an equivalent AST (modulo positions), which the round-trip tests rely
+// on. It is also used by the Juliet and target generators to dump the
+// generated corpus for inspection.
+func Print(p *Program) string {
+	var pr printer
+	for _, s := range p.Structs {
+		pr.structDecl(s)
+	}
+	for _, g := range p.Globals {
+		pr.varDecl(g, true)
+		pr.buf.WriteString(";\n")
+	}
+	for _, f := range p.Funcs {
+		pr.funcDecl(f)
+	}
+	return pr.buf.String()
+}
+
+// PrintExpr renders a single expression (diagnostics, analyzer output).
+func PrintExpr(e Expr) string {
+	var pr printer
+	pr.expr(e)
+	return pr.buf.String()
+}
+
+// PrintStmt renders a single statement at indent 0.
+func PrintStmt(s Stmt) string {
+	var pr printer
+	pr.stmt(s)
+	return pr.buf.String()
+}
+
+type printer struct {
+	buf    strings.Builder
+	indent int
+}
+
+func (p *printer) in() { p.buf.WriteString(strings.Repeat("    ", p.indent)) }
+
+func (p *printer) structDecl(s *StructDecl) {
+	fmt.Fprintf(&p.buf, "struct %s {\n", s.Name)
+	for _, f := range s.Fields {
+		p.buf.WriteString("    ")
+		p.typeAndName(f.DeclType, f.Name)
+		p.buf.WriteString(";\n")
+	}
+	p.buf.WriteString("};\n")
+}
+
+// typeAndName prints a declaration like "int x", "char buf[10]",
+// "struct S* p".
+func (p *printer) typeAndName(t *types.Type, name string) {
+	base := t
+	var dims []int64
+	for base.Kind == types.Array {
+		dims = append(dims, base.Len)
+		base = base.Elem
+	}
+	p.buf.WriteString(base.String())
+	p.buf.WriteString(" ")
+	p.buf.WriteString(name)
+	for _, d := range dims {
+		fmt.Fprintf(&p.buf, "[%d]", d)
+	}
+}
+
+func (p *printer) varDecl(d *VarDecl, topLevel bool) {
+	if d.Storage == Static {
+		p.buf.WriteString("static ")
+	}
+	p.typeAndName(d.DeclType, d.Name)
+	if d.Init != nil {
+		p.buf.WriteString(" = ")
+		p.expr(d.Init)
+	}
+	_ = topLevel
+}
+
+func (p *printer) funcDecl(f *FuncDecl) {
+	p.buf.WriteString(f.Result.String())
+	p.buf.WriteString(" ")
+	p.buf.WriteString(f.Name)
+	p.buf.WriteString("(")
+	for i, prm := range f.Params {
+		if i > 0 {
+			p.buf.WriteString(", ")
+		}
+		p.typeAndName(prm.DeclType, prm.Name)
+	}
+	p.buf.WriteString(") ")
+	p.block(f.Body)
+	p.buf.WriteString("\n")
+}
+
+func (p *printer) block(b *BlockStmt) {
+	p.buf.WriteString("{\n")
+	p.indent++
+	for _, s := range b.Stmts {
+		p.in()
+		p.stmt(s)
+		p.buf.WriteString("\n")
+	}
+	p.indent--
+	p.in()
+	p.buf.WriteString("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *BlockStmt:
+		p.block(s)
+	case *DeclStmt:
+		for i, d := range s.Decls {
+			if i > 0 {
+				p.buf.WriteString(" ")
+			}
+			p.varDecl(d, false)
+			p.buf.WriteString(";")
+		}
+	case *ExprStmt:
+		p.expr(s.X)
+		p.buf.WriteString(";")
+	case *IfStmt:
+		p.buf.WriteString("if (")
+		p.expr(s.Cond)
+		p.buf.WriteString(") ")
+		p.stmtAsBlock(s.Then)
+		if s.Else != nil {
+			p.buf.WriteString(" else ")
+			p.stmtAsBlock(s.Else)
+		}
+	case *WhileStmt:
+		p.buf.WriteString("while (")
+		p.expr(s.Cond)
+		p.buf.WriteString(") ")
+		p.stmtAsBlock(s.Body)
+	case *ForStmt:
+		p.buf.WriteString("for (")
+		switch init := s.Init.(type) {
+		case nil:
+			p.buf.WriteString(";")
+		case *DeclStmt:
+			for _, d := range init.Decls {
+				p.varDecl(d, false)
+			}
+			p.buf.WriteString(";")
+		case *ExprStmt:
+			p.expr(init.X)
+			p.buf.WriteString(";")
+		}
+		p.buf.WriteString(" ")
+		if s.Cond != nil {
+			p.expr(s.Cond)
+		}
+		p.buf.WriteString("; ")
+		if s.Post != nil {
+			p.expr(s.Post)
+		}
+		p.buf.WriteString(") ")
+		p.stmtAsBlock(s.Body)
+	case *ReturnStmt:
+		p.buf.WriteString("return")
+		if s.Value != nil {
+			p.buf.WriteString(" ")
+			p.expr(s.Value)
+		}
+		p.buf.WriteString(";")
+	case *BreakStmt:
+		p.buf.WriteString("break;")
+	case *ContinueStmt:
+		p.buf.WriteString("continue;")
+	default:
+		fmt.Fprintf(&p.buf, "/* unknown stmt %T */", s)
+	}
+}
+
+func (p *printer) stmtAsBlock(s Stmt) {
+	if b, ok := s.(*BlockStmt); ok {
+		p.block(b)
+		return
+	}
+	p.buf.WriteString("{\n")
+	p.indent++
+	p.in()
+	p.stmt(s)
+	p.buf.WriteString("\n")
+	p.indent--
+	p.in()
+	p.buf.WriteString("}")
+}
+
+func (p *printer) expr(e Expr) {
+	switch e := e.(type) {
+	case *IntLit:
+		if e.T != nil && e.T.Kind == types.Long {
+			fmt.Fprintf(&p.buf, "%dL", e.Value)
+		} else if e.T != nil && !e.T.IsSigned() && e.T.IsInteger() {
+			fmt.Fprintf(&p.buf, "%dU", uint64(e.Value))
+		} else {
+			fmt.Fprintf(&p.buf, "%d", e.Value)
+		}
+	case *FloatLit:
+		s := fmt.Sprintf("%g", e.Value)
+		p.buf.WriteString(s)
+		if !strings.ContainsAny(s, ".eE") {
+			p.buf.WriteString(".0")
+		}
+	case *StrLit:
+		fmt.Fprintf(&p.buf, "%s", quoteC(e.Value))
+	case *LineExpr:
+		p.buf.WriteString("__LINE__")
+	case *Ident:
+		p.buf.WriteString(e.Name)
+	case *Unary:
+		switch e.Op {
+		case PostInc:
+			p.parenExpr(e.X)
+			p.buf.WriteString("++")
+		case PostDec:
+			p.parenExpr(e.X)
+			p.buf.WriteString("--")
+		default:
+			p.buf.WriteString(e.Op.String())
+			p.parenExpr(e.X)
+		}
+	case *Binary:
+		p.parenExpr(e.X)
+		fmt.Fprintf(&p.buf, " %s ", e.Op)
+		p.parenExpr(e.Y)
+	case *Assign:
+		p.parenExpr(e.LHS)
+		if e.Op == PlainAssign {
+			p.buf.WriteString(" = ")
+		} else {
+			fmt.Fprintf(&p.buf, " %s= ", e.Op)
+		}
+		p.parenExpr(e.RHS)
+	case *Cond:
+		p.parenExpr(e.C)
+		p.buf.WriteString(" ? ")
+		p.parenExpr(e.X)
+		p.buf.WriteString(" : ")
+		p.parenExpr(e.Y)
+	case *Call:
+		p.buf.WriteString(e.Fun.Name)
+		p.buf.WriteString("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				p.buf.WriteString(", ")
+			}
+			p.expr(a)
+		}
+		p.buf.WriteString(")")
+	case *Index:
+		p.parenExpr(e.X)
+		p.buf.WriteString("[")
+		p.expr(e.Idx)
+		p.buf.WriteString("]")
+	case *Member:
+		p.parenExpr(e.X)
+		if e.Arrow {
+			p.buf.WriteString("->")
+		} else {
+			p.buf.WriteString(".")
+		}
+		p.buf.WriteString(e.Name)
+	case *CastExpr:
+		fmt.Fprintf(&p.buf, "(%s)", e.To)
+		p.parenExpr(e.X)
+	case *SizeofExpr:
+		fmt.Fprintf(&p.buf, "sizeof(%s)", e.Of)
+	default:
+		fmt.Fprintf(&p.buf, "/* unknown expr %T */", e)
+	}
+}
+
+// parenExpr prints sub-expressions with explicit parentheses so that
+// printed output never depends on precedence subtleties.
+func (p *printer) parenExpr(e Expr) {
+	switch e.(type) {
+	case *IntLit, *FloatLit, *StrLit, *Ident, *Call, *Index, *Member, *LineExpr, *SizeofExpr:
+		p.expr(e)
+	default:
+		p.buf.WriteString("(")
+		p.expr(e)
+		p.buf.WriteString(")")
+	}
+}
+
+func quoteC(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		case 0:
+			b.WriteString(`\0`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		default:
+			if c < 32 || c >= 127 {
+				fmt.Fprintf(&b, `\x%02x`, c)
+			} else {
+				b.WriteByte(c)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// Walk traverses the statement tree rooted at s, calling f for every
+// statement. f returning false prunes the subtree.
+func Walk(s Stmt, f func(Stmt) bool) {
+	if s == nil || !f(s) {
+		return
+	}
+	switch s := s.(type) {
+	case *BlockStmt:
+		for _, c := range s.Stmts {
+			Walk(c, f)
+		}
+	case *IfStmt:
+		Walk(s.Then, f)
+		Walk(s.Else, f)
+	case *WhileStmt:
+		Walk(s.Body, f)
+	case *ForStmt:
+		Walk(s.Init, f)
+		Walk(s.Body, f)
+	}
+}
+
+// WalkExprs calls f for every expression contained in statement s,
+// including nested sub-expressions.
+func WalkExprs(s Stmt, f func(Expr)) {
+	Walk(s, func(st Stmt) bool {
+		switch st := st.(type) {
+		case *DeclStmt:
+			for _, d := range st.Decls {
+				if d.Init != nil {
+					walkExpr(d.Init, f)
+				}
+			}
+		case *ExprStmt:
+			walkExpr(st.X, f)
+		case *IfStmt:
+			walkExpr(st.Cond, f)
+		case *WhileStmt:
+			walkExpr(st.Cond, f)
+		case *ForStmt:
+			if st.Cond != nil {
+				walkExpr(st.Cond, f)
+			}
+			if st.Post != nil {
+				walkExpr(st.Post, f)
+			}
+		case *ReturnStmt:
+			if st.Value != nil {
+				walkExpr(st.Value, f)
+			}
+		}
+		return true
+	})
+}
+
+func walkExpr(e Expr, f func(Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch e := e.(type) {
+	case *Unary:
+		walkExpr(e.X, f)
+	case *Binary:
+		walkExpr(e.X, f)
+		walkExpr(e.Y, f)
+	case *Assign:
+		walkExpr(e.LHS, f)
+		walkExpr(e.RHS, f)
+	case *Cond:
+		walkExpr(e.C, f)
+		walkExpr(e.X, f)
+		walkExpr(e.Y, f)
+	case *Call:
+		for _, a := range e.Args {
+			walkExpr(a, f)
+		}
+	case *Index:
+		walkExpr(e.X, f)
+		walkExpr(e.Idx, f)
+	case *Member:
+		walkExpr(e.X, f)
+	case *CastExpr:
+		walkExpr(e.X, f)
+	}
+}

@@ -1,0 +1,420 @@
+// Package lexer implements the MiniC scanner: a hand-written,
+// single-pass lexer producing the token stream consumed by the parser.
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"compdiff/internal/minic/token"
+)
+
+// Error is a lexical error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans MiniC source text.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	errs []*Error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []*Error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next scans and returns the next token.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		return l.scanIdent(pos)
+	case c >= '0' && c <= '9':
+		return l.scanNumber(pos)
+	case c == '"':
+		return l.scanString(pos)
+	case c == '\'':
+		return l.scanChar(pos)
+	case c == '.' && l.peek2() >= '0' && l.peek2() <= '9':
+		return l.scanNumber(pos)
+	}
+	return l.scanOperator(pos)
+}
+
+// All scans the entire input and returns the token slice ending in EOF.
+func (l *Lexer) All() []token.Token {
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (l *Lexer) scanIdent(pos token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) && isIdentPart(l.peek()) {
+		l.advance()
+	}
+	text := l.src[start:l.off]
+	if kw, ok := token.Keywords[text]; ok {
+		return token.Token{Kind: kw, Text: text, Pos: pos}
+	}
+	return token.Token{Kind: token.Ident, Text: text, Pos: pos}
+}
+
+func (l *Lexer) scanNumber(pos token.Pos) token.Token {
+	start := l.off
+	isFloat := false
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		for l.off < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+	} else {
+		for l.off < len(l.src) && l.peek() >= '0' && l.peek() <= '9' {
+			l.advance()
+		}
+		if l.peek() == '.' {
+			isFloat = true
+			l.advance()
+			for l.off < len(l.src) && l.peek() >= '0' && l.peek() <= '9' {
+				l.advance()
+			}
+		}
+		if l.peek() == 'e' || l.peek() == 'E' {
+			if l.peek2() >= '0' && l.peek2() <= '9' || l.peek2() == '-' || l.peek2() == '+' {
+				isFloat = true
+				l.advance()
+				if l.peek() == '-' || l.peek() == '+' {
+					l.advance()
+				}
+				for l.off < len(l.src) && l.peek() >= '0' && l.peek() <= '9' {
+					l.advance()
+				}
+			}
+		}
+	}
+	text := l.src[start:l.off]
+
+	if isFloat {
+		// An 'f' suffix is accepted and ignored (type comes from context).
+		if l.peek() == 'f' || l.peek() == 'F' {
+			l.advance()
+		}
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			l.errorf(pos, "invalid float literal %q", text)
+		}
+		return token.Token{Kind: token.FloatLit, Text: text, Pos: pos, FloatVal: v}
+	}
+
+	var unsigned, long bool
+	for {
+		switch l.peek() {
+		case 'u', 'U':
+			unsigned = true
+			l.advance()
+			continue
+		case 'l', 'L':
+			long = true
+			l.advance()
+			continue
+		}
+		break
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(strings.TrimPrefix(text, "0x"), "0X"), base(text), 64)
+	if err != nil {
+		l.errorf(pos, "invalid integer literal %q", text)
+	}
+	return token.Token{
+		Kind: token.IntLit, Text: text, Pos: pos,
+		IntVal: int64(v), Unsigned: unsigned, Long: long,
+	}
+}
+
+func base(text string) int {
+	if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+		return 16
+	}
+	return 10
+}
+
+func isHexDigit(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (l *Lexer) scanString(pos token.Pos) token.Token {
+	l.advance() // opening quote
+	var b strings.Builder
+	start := l.off
+	for {
+		if l.off >= len(l.src) || l.peek() == '\n' {
+			l.errorf(pos, "unterminated string literal")
+			break
+		}
+		c := l.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			if l.off >= len(l.src) {
+				l.errorf(pos, "unterminated escape")
+				break
+			}
+			b.WriteByte(l.unescape(pos))
+			continue
+		}
+		b.WriteByte(c)
+	}
+	raw := ""
+	if start <= len(l.src) && l.off-1 >= start {
+		raw = l.src[start : l.off-1]
+	}
+	return token.Token{Kind: token.StrLit, Text: raw, Pos: pos, StrVal: b.String()}
+}
+
+func (l *Lexer) unescape(pos token.Pos) byte {
+	c := l.advance()
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case '\\':
+		return '\\'
+	case '\'':
+		return '\''
+	case '"':
+		return '"'
+	case 'x':
+		var v byte
+		for i := 0; i < 2 && l.off < len(l.src) && isHexDigit(l.peek()); i++ {
+			d := l.advance()
+			v = v<<4 | hexVal(d)
+		}
+		return v
+	}
+	l.errorf(pos, "unknown escape \\%c", c)
+	return c
+}
+
+func hexVal(c byte) byte {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0'
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10
+	default:
+		return c - 'A' + 10
+	}
+}
+
+func (l *Lexer) scanChar(pos token.Pos) token.Token {
+	l.advance() // opening quote
+	var v byte
+	if l.off >= len(l.src) {
+		l.errorf(pos, "unterminated char literal")
+		return token.Token{Kind: token.CharLit, Pos: pos}
+	}
+	c := l.advance()
+	if c == '\\' {
+		v = l.unescape(pos)
+	} else {
+		v = c
+	}
+	if l.off < len(l.src) && l.peek() == '\'' {
+		l.advance()
+	} else {
+		l.errorf(pos, "unterminated char literal")
+	}
+	return token.Token{Kind: token.CharLit, Text: string(v), Pos: pos, IntVal: int64(int8(v))}
+}
+
+func (l *Lexer) scanOperator(pos token.Pos) token.Token {
+	c := l.advance()
+	two := func(next byte, k2, k1 token.Kind) token.Token {
+		if l.peek() == next {
+			l.advance()
+			return token.Token{Kind: k2, Pos: pos}
+		}
+		return token.Token{Kind: k1, Pos: pos}
+	}
+	switch c {
+	case '(':
+		return token.Token{Kind: token.LParen, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RParen, Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBrace, Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBrace, Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBracket, Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBracket, Pos: pos}
+	case ';':
+		return token.Token{Kind: token.Semicolon, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.Comma, Pos: pos}
+	case '.':
+		return token.Token{Kind: token.Dot, Pos: pos}
+	case '?':
+		return token.Token{Kind: token.Question, Pos: pos}
+	case ':':
+		return token.Token{Kind: token.Colon, Pos: pos}
+	case '+':
+		if l.peek() == '+' {
+			l.advance()
+			return token.Token{Kind: token.Inc, Pos: pos}
+		}
+		return two('=', token.AddAssign, token.Add)
+	case '-':
+		if l.peek() == '-' {
+			l.advance()
+			return token.Token{Kind: token.Dec, Pos: pos}
+		}
+		if l.peek() == '>' {
+			l.advance()
+			return token.Token{Kind: token.Arrow, Pos: pos}
+		}
+		return two('=', token.SubAssign, token.Sub)
+	case '*':
+		return two('=', token.MulAssign, token.Star)
+	case '/':
+		return two('=', token.DivAssign, token.Div)
+	case '%':
+		return two('=', token.ModAssign, token.Mod)
+	case '=':
+		return two('=', token.EqEq, token.Assign)
+	case '!':
+		return two('=', token.NotEq, token.Not)
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return two('=', token.ShlAssign, token.Shl)
+		}
+		return two('=', token.Le, token.Lt)
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return two('=', token.ShrAssign, token.Shr)
+		}
+		return two('=', token.Ge, token.Gt)
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return token.Token{Kind: token.LAnd, Pos: pos}
+		}
+		return two('=', token.AndAssign, token.Amp)
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return token.Token{Kind: token.LOr, Pos: pos}
+		}
+		return two('=', token.OrAssign, token.Or)
+	case '^':
+		return two('=', token.XorAssign, token.Xor)
+	case '~':
+		return token.Token{Kind: token.Tilde, Pos: pos}
+	}
+	l.errorf(pos, "unexpected character %q", string(c))
+	return token.Token{Kind: token.Illegal, Text: string(c), Pos: pos}
+}

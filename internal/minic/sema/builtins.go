@@ -1,0 +1,71 @@
+package sema
+
+import "compdiff/internal/minic/types"
+
+// Builtin identifiers, shared between sema, the compilers and the VM.
+const (
+	BPrintf    = iota // printf(char* fmt, ...) -> int
+	BMalloc           // malloc(long) -> void*
+	BFree             // free(void*) -> void
+	BMemcpy           // memcpy(void*, void*, long) -> void*; overlap is UB (CWE-475)
+	BMemset           // memset(void*, int, long) -> void*
+	BStrlen           // strlen(char*) -> long
+	BStrcpy           // strcpy(char*, char*) -> char*
+	BStrncpy          // strncpy(char*, char*, long) -> char*
+	BStrcmp           // strcmp(char*, char*) -> int
+	BStrcat           // strcat(char*, char*) -> char*
+	BInputSize        // input_size() -> long
+	BInputByte        // input_byte(long) -> int (-1 past end)
+	BReadInput        // read_input(char* buf, long max) -> long
+	BExit             // exit(int) -> void
+	BAbs              // abs(int) -> int
+	BPow              // pow(double, double) -> double
+	BSqrt             // sqrt(double) -> double
+	BFabs             // fabs(double) -> double
+	BTimeNow          // time_now() -> long; non-deterministic (RQ5 material)
+	NumBuiltins
+)
+
+// BuiltinSig describes a builtin's signature.
+type BuiltinSig struct {
+	Name    string
+	Params  []*types.Type
+	Result  *types.Type
+	Varargs bool
+}
+
+var voidPtr = types.PointerTo(types.VoidType)
+var charPtr = types.PointerTo(types.CharType)
+
+// Builtins is the registry of runtime-provided functions, indexed by
+// the B* constants.
+var Builtins = [NumBuiltins]BuiltinSig{
+	BPrintf:    {Name: "printf", Params: []*types.Type{charPtr}, Result: types.IntType, Varargs: true},
+	BMalloc:    {Name: "malloc", Params: []*types.Type{types.LongType}, Result: voidPtr},
+	BFree:      {Name: "free", Params: []*types.Type{voidPtr}, Result: types.VoidType},
+	BMemcpy:    {Name: "memcpy", Params: []*types.Type{voidPtr, voidPtr, types.LongType}, Result: voidPtr},
+	BMemset:    {Name: "memset", Params: []*types.Type{voidPtr, types.IntType, types.LongType}, Result: voidPtr},
+	BStrlen:    {Name: "strlen", Params: []*types.Type{charPtr}, Result: types.LongType},
+	BStrcpy:    {Name: "strcpy", Params: []*types.Type{charPtr, charPtr}, Result: charPtr},
+	BStrncpy:   {Name: "strncpy", Params: []*types.Type{charPtr, charPtr, types.LongType}, Result: charPtr},
+	BStrcmp:    {Name: "strcmp", Params: []*types.Type{charPtr, charPtr}, Result: types.IntType},
+	BStrcat:    {Name: "strcat", Params: []*types.Type{charPtr, charPtr}, Result: charPtr},
+	BInputSize: {Name: "input_size", Result: types.LongType},
+	BInputByte: {Name: "input_byte", Params: []*types.Type{types.LongType}, Result: types.IntType},
+	BReadInput: {Name: "read_input", Params: []*types.Type{charPtr, types.LongType}, Result: types.LongType},
+	BExit:      {Name: "exit", Params: []*types.Type{types.IntType}, Result: types.VoidType},
+	BAbs:       {Name: "abs", Params: []*types.Type{types.IntType}, Result: types.IntType},
+	BPow:       {Name: "pow", Params: []*types.Type{types.DoubleType, types.DoubleType}, Result: types.DoubleType},
+	BSqrt:      {Name: "sqrt", Params: []*types.Type{types.DoubleType}, Result: types.DoubleType},
+	BFabs:      {Name: "fabs", Params: []*types.Type{types.DoubleType}, Result: types.DoubleType},
+	BTimeNow:   {Name: "time_now", Result: types.LongType},
+}
+
+// builtinByName maps spellings to builtin ids.
+var builtinByName = func() map[string]int {
+	m := make(map[string]int, NumBuiltins)
+	for i, b := range Builtins {
+		m[b.Name] = i
+	}
+	return m
+}()

@@ -1,0 +1,284 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"compdiff/internal/minic/ast"
+	"compdiff/internal/minic/parser"
+	"compdiff/internal/minic/types"
+)
+
+func check(t *testing.T, src string) (*Info, error) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(prog)
+}
+
+func mustCheck(t *testing.T, src string) *Info {
+	t.Helper()
+	info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return info
+}
+
+func TestResolveAndTypes(t *testing.T) {
+	info := mustCheck(t, `
+int g = 3;
+int add(int a, long b) {
+    int x = a;
+    return x + (int)b + g;
+}
+`)
+	f := info.Funcs["add"]
+	if f == nil {
+		t.Fatal("add not registered")
+	}
+	if len(info.Params[f]) != 2 {
+		t.Fatalf("params = %d", len(info.Params[f]))
+	}
+	if len(info.Locals[f]) != 1 {
+		t.Fatalf("locals = %d", len(info.Locals[f]))
+	}
+	if len(info.Globals) != 1 || info.Globals[0].Name != "g" {
+		t.Fatalf("globals = %+v", info.Globals)
+	}
+}
+
+func TestUsualArithmeticConversions(t *testing.T) {
+	info := mustCheck(t, `
+long f(int i, long l, unsigned int u, char c) {
+    return i + l;
+}
+`)
+	f := info.Funcs["f"]
+	ret := f.Body.Stmts[0].(*ast.ReturnStmt)
+	bin := ret.Value.(*ast.Binary)
+	if bin.CommonType != types.LongType {
+		t.Fatalf("int+long common = %s, want long", bin.CommonType)
+	}
+	if bin.Type() != types.LongType {
+		t.Fatalf("result type = %s", bin.Type())
+	}
+}
+
+func TestCharPromotesToInt(t *testing.T) {
+	info := mustCheck(t, `int f(char a, char b) { return a + b; }`)
+	bin := info.Funcs["f"].Body.Stmts[0].(*ast.ReturnStmt).Value.(*ast.Binary)
+	if bin.CommonType != types.IntType {
+		t.Fatalf("char+char common = %s, want int", bin.CommonType)
+	}
+}
+
+func TestUnsignedWins(t *testing.T) {
+	info := mustCheck(t, `unsigned int f(int a, unsigned int b) { return a + b; }`)
+	bin := info.Funcs["f"].Body.Stmts[0].(*ast.ReturnStmt).Value.(*ast.Binary)
+	if bin.CommonType != types.UIntType {
+		t.Fatalf("int+uint common = %s, want unsigned int", bin.CommonType)
+	}
+}
+
+func TestPointerArithmeticTypes(t *testing.T) {
+	info := mustCheck(t, `
+long f(int* p, int* q) {
+    int* r = p + 3;
+    return q - p;
+}
+`)
+	f := info.Funcs["f"]
+	ret := f.Body.Stmts[1].(*ast.ReturnStmt)
+	if ret.Value.Type() != types.LongType {
+		t.Fatalf("ptr diff type = %s", ret.Value.Type())
+	}
+}
+
+func TestArrayDecay(t *testing.T) {
+	info := mustCheck(t, `
+int f() {
+    int a[4];
+    int* p = a;
+    return p[0] + a[1];
+}
+`)
+	_ = info
+}
+
+func TestStructLayoutAndMember(t *testing.T) {
+	info := mustCheck(t, `
+struct S { char c; int i; long l; };
+long f(struct S* p) { return p->l; }
+`)
+	var st *types.Type
+	for _, sd := range info.Prog.Structs {
+		st = sd.Type
+	}
+	if st == nil {
+		t.Fatal("struct type not set")
+	}
+	fi, _ := st.FieldByName("i")
+	fl, _ := st.FieldByName("l")
+	if fi.Offset != 4 {
+		t.Errorf("i offset = %d, want 4", fi.Offset)
+	}
+	if fl.Offset != 8 {
+		t.Errorf("l offset = %d, want 8", fl.Offset)
+	}
+	if st.Size() != 16 {
+		t.Errorf("sizeof(S) = %d, want 16", st.Size())
+	}
+}
+
+func TestStaticLocalBecomesGlobal(t *testing.T) {
+	info := mustCheck(t, `
+char* f() {
+    static char buf[8];
+    return buf;
+}
+`)
+	if len(info.Globals) != 1 {
+		t.Fatalf("globals = %d, want 1 (static local)", len(info.Globals))
+	}
+	if info.Globals[0].Kind != ast.SymStaticLocal {
+		t.Fatalf("kind = %v", info.Globals[0].Kind)
+	}
+	if info.Globals[0].Name != "f.buf" {
+		t.Fatalf("name = %s", info.Globals[0].Name)
+	}
+}
+
+func TestBuiltinsResolve(t *testing.T) {
+	mustCheck(t, `
+int main() {
+    char* p = (char*)malloc(16L);
+    memset(p, 0, 16L);
+    strcpy(p, "hi");
+    printf("%s %d %ld\n", p, strcmp(p, "hi"), strlen(p));
+    free(p);
+    return 0;
+}
+`)
+}
+
+func TestArityMismatchIsWarning(t *testing.T) {
+	info := mustCheck(t, `
+int callee(int a, int b) { return a + b; }
+int main() { return callee(1); }
+`)
+	call := info.Funcs["main"].Body.Stmts[0].(*ast.ReturnStmt).Value.(*ast.Call)
+	if !call.ArityMismatch {
+		t.Fatal("ArityMismatch not set")
+	}
+	found := false
+	for _, w := range info.Warnings {
+		if strings.Contains(w, "undefined behavior") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no arity warning in %v", info.Warnings)
+	}
+}
+
+func TestLineExprStatementLine(t *testing.T) {
+	info := mustCheck(t, `
+int main() {
+    printf("%d %d\n",
+        __LINE__,
+        1);
+    return 0;
+}
+`)
+	var le *ast.LineExpr
+	ast.WalkExprs(info.Funcs["main"].Body, func(e ast.Expr) {
+		if l, ok := e.(*ast.LineExpr); ok {
+			le = l
+		}
+	})
+	if le == nil {
+		t.Fatal("no LineExpr found")
+	}
+	if le.KwPos.Line != 4 {
+		t.Errorf("token line = %d, want 4", le.KwPos.Line)
+	}
+	if le.StmtLine != 3 {
+		t.Errorf("stmt line = %d, want 3", le.StmtLine)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"undefined var", `int f() { return x; }`, "undefined: x"},
+		{"undefined func", `int f() { return g(); }`, "undefined function g"},
+		{"dup func", "int f() { return 0; }\nint f() { return 1; }", "duplicate function"},
+		{"dup global", "int g;\nint g;", "duplicate global"},
+		{"void var", `void f() { void x; }`, "void type"},
+		{"break outside", `int f() { break; return 0; }`, "break outside loop"},
+		{"assign to rvalue", `int f() { 1 = 2; return 0; }`, "non-lvalue"},
+		{"deref int", `int f(int x) { return *x; }`, "dereference of non-pointer"},
+		{"bad member", "struct S { int a; };\nint f(struct S* p) { return p->b; }", "no field b"},
+		{"dot on ptr", "struct S { int a; };\nint f(struct S* p) { return p.a; }", ". on non-struct"},
+		{"missing return value", `int f() { return; }`, "missing return value"},
+		{"return from void", `void f() { return 1; }`, "returning a value from void"},
+		{"mod on float", `double f(double d) { return d % 2.0; }`, "requires integers"},
+		{"shadow builtin", `int printf(int x) { return x; }`, "shadows a builtin"},
+		{"nonconst global init", "int a;\nint b = a;", "must be constant"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := check(t, c.src)
+			if err == nil {
+				t.Fatalf("no error, want %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestPointerComparisonAllowed(t *testing.T) {
+	// Relational comparison of unrelated pointers is *syntactically and
+	// semantically* accepted (it is run-time UB, the paper's Listing 2).
+	mustCheck(t, `
+int f(char* a, char* b) {
+    if (a <= b) { return 1; }
+    return 0;
+}
+`)
+}
+
+func TestSuspiciousCastWarning(t *testing.T) {
+	info := mustCheck(t, `
+struct S { int a; int b; };
+int f(int* p) {
+    struct S* s = (struct S*)p;
+    return s->b;
+}
+`)
+	found := false
+	for _, w := range info.Warnings {
+		if strings.Contains(w, "child of a non-struct") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected cast warning, got %v", info.Warnings)
+	}
+}
+
+func TestShiftResultTypeFromLeftOperand(t *testing.T) {
+	info := mustCheck(t, `int f(int x, long n) { return x << n; }`)
+	bin := info.Funcs["f"].Body.Stmts[0].(*ast.ReturnStmt).Value.(*ast.Binary)
+	if bin.Type() != types.IntType {
+		t.Fatalf("x<<n type = %s, want int", bin.Type())
+	}
+}

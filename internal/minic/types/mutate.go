@@ -1,0 +1,12 @@
+package types
+
+// SetStructBody fills in the fields and layout of a struct type in
+// place. The parser creates empty placeholder struct types so that
+// pointers to forward-declared structs can be formed; sema completes
+// them here once the declaration body is known.
+func (t *Type) SetStructBody(fields []Field) {
+	built := NewStruct(t.Name, fields)
+	t.Fields = built.Fields
+	t.size = built.size
+	t.align = built.align
+}

@@ -1,0 +1,329 @@
+// Package types defines the type system of MiniC, the C-like language
+// this repository uses as its unstable-code substrate. MiniC mirrors the
+// part of C17 the CompDiff paper exercises: fixed-width integers with
+// signed/unsigned distinction (signed overflow is undefined), floats,
+// pointers with provenance-relevant semantics, arrays, and structs.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates the fundamental type constructors.
+type Kind int
+
+const (
+	Invalid Kind = iota
+	Void
+	Char   // 1 byte, signed
+	Int    // 4 bytes, signed
+	Long   // 8 bytes, signed
+	UChar  // 1 byte, unsigned
+	UInt   // 4 bytes, unsigned
+	ULong  // 8 bytes, unsigned
+	Float  // 4 bytes
+	Double // 8 bytes
+	Ptr    // pointer to Elem
+	Array  // Elem[Len]
+	Struct // named struct with fields
+	Func   // function type (used for symbols, not first-class values)
+)
+
+// Type describes a MiniC type. Types are immutable after construction;
+// identical basic types are shared singletons.
+type Type struct {
+	Kind   Kind
+	Elem   *Type   // Ptr, Array
+	Len    int64   // Array
+	Name   string  // Struct
+	Fields []Field // Struct
+	Params []*Type // Func
+	Result *Type   // Func
+
+	size  int64
+	align int64
+}
+
+// Field is a struct member with its computed layout offset.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int64
+}
+
+// Shared singletons for the basic types.
+var (
+	VoidType   = &Type{Kind: Void, size: 0, align: 1}
+	CharType   = &Type{Kind: Char, size: 1, align: 1}
+	IntType    = &Type{Kind: Int, size: 4, align: 4}
+	LongType   = &Type{Kind: Long, size: 8, align: 8}
+	UCharType  = &Type{Kind: UChar, size: 1, align: 1}
+	UIntType   = &Type{Kind: UInt, size: 4, align: 4}
+	ULongType  = &Type{Kind: ULong, size: 8, align: 8}
+	FloatType  = &Type{Kind: Float, size: 4, align: 4}
+	DoubleType = &Type{Kind: Double, size: 8, align: 8}
+)
+
+// PointerTo returns a pointer type with element type elem.
+func PointerTo(elem *Type) *Type {
+	return &Type{Kind: Ptr, Elem: elem, size: 8, align: 8}
+}
+
+// ArrayOf returns an array type of n elements of elem.
+func ArrayOf(elem *Type, n int64) *Type {
+	return &Type{Kind: Array, Elem: elem, Len: n, size: elem.Size() * n, align: elem.Align()}
+}
+
+// NewStruct builds a struct type, computing field offsets with natural
+// alignment and trailing padding, like a typical C ABI. All compiler
+// implementations in this repo share one struct layout: layout freedom
+// is not one of the divergence axes under study, so keeping it fixed
+// guarantees that defined programs behave identically everywhere.
+func NewStruct(name string, fields []Field) *Type {
+	t := &Type{Kind: Struct, Name: name}
+	var off, maxAlign int64 = 0, 1
+	for i := range fields {
+		a := fields[i].Type.Align()
+		if a > maxAlign {
+			maxAlign = a
+		}
+		off = alignUp(off, a)
+		fields[i].Offset = off
+		off += fields[i].Type.Size()
+	}
+	t.Fields = fields
+	t.align = maxAlign
+	t.size = alignUp(off, maxAlign)
+	if t.size == 0 {
+		t.size = 1 // empty structs occupy one byte, as in C++
+	}
+	return t
+}
+
+// NewFunc builds a function type.
+func NewFunc(result *Type, params []*Type) *Type {
+	return &Type{Kind: Func, Result: result, Params: params}
+}
+
+func alignUp(n, a int64) int64 {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) &^ (a - 1)
+}
+
+// Size returns the storage size in bytes.
+func (t *Type) Size() int64 { return t.size }
+
+// Align returns the required alignment in bytes.
+func (t *Type) Align() int64 { return t.align }
+
+// FieldByName returns the struct field with the given name.
+func (t *Type) FieldByName(name string) (Field, bool) {
+	if t.Kind != Struct {
+		return Field{}, false
+	}
+	for _, f := range t.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// IsInteger reports whether t is an integer type (char..ulong).
+func (t *Type) IsInteger() bool {
+	switch t.Kind {
+	case Char, Int, Long, UChar, UInt, ULong:
+		return true
+	}
+	return false
+}
+
+// IsSigned reports whether t is a signed integer type.
+func (t *Type) IsSigned() bool {
+	switch t.Kind {
+	case Char, Int, Long:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether t is float or double.
+func (t *Type) IsFloat() bool { return t.Kind == Float || t.Kind == Double }
+
+// IsArithmetic reports whether t is an integer or floating type.
+func (t *Type) IsArithmetic() bool { return t.IsInteger() || t.IsFloat() }
+
+// IsPtr reports whether t is a pointer.
+func (t *Type) IsPtr() bool { return t.Kind == Ptr }
+
+// IsScalar reports whether t can appear in a boolean context.
+func (t *Type) IsScalar() bool { return t.IsArithmetic() || t.IsPtr() }
+
+// IsVoid reports whether t is void.
+func (t *Type) IsVoid() bool { return t.Kind == Void }
+
+// Bits returns the width of an integer type in bits.
+func (t *Type) Bits() int {
+	switch t.Kind {
+	case Char, UChar:
+		return 8
+	case Int, UInt:
+		return 32
+	case Long, ULong, Ptr:
+		return 64
+	}
+	return 0
+}
+
+// Unsigned returns the unsigned counterpart of an integer type.
+func (t *Type) Unsigned() *Type {
+	switch t.Kind {
+	case Char:
+		return UCharType
+	case Int:
+		return UIntType
+	case Long:
+		return ULongType
+	}
+	return t
+}
+
+// Promote applies the C integer promotions: types narrower than int
+// promote to int.
+func Promote(t *Type) *Type {
+	switch t.Kind {
+	case Char, UChar:
+		return IntType
+	}
+	return t
+}
+
+// rank orders arithmetic types for the usual arithmetic conversions.
+func rank(t *Type) int {
+	switch t.Kind {
+	case Char, UChar:
+		return 1
+	case Int:
+		return 2
+	case UInt:
+		return 3
+	case Long:
+		return 4
+	case ULong:
+		return 5
+	case Float:
+		return 6
+	case Double:
+		return 7
+	}
+	return 0
+}
+
+// Common returns the common type of a binary arithmetic expression,
+// following the usual arithmetic conversions of C17 §6.3.1.8.
+func Common(a, b *Type) *Type {
+	if a.Kind == Double || b.Kind == Double {
+		return DoubleType
+	}
+	if a.Kind == Float || b.Kind == Float {
+		return FloatType
+	}
+	a, b = Promote(a), Promote(b)
+	if rank(a) < rank(b) {
+		a, b = b, a
+	}
+	// a now has the higher rank.
+	switch {
+	case a.Kind == ULong || b.Kind == ULong:
+		return ULongType
+	case a.Kind == Long:
+		if b.Kind == UInt {
+			return LongType // long can represent all uint values
+		}
+		return LongType
+	case a.Kind == UInt || b.Kind == UInt:
+		return UIntType
+	default:
+		return IntType
+	}
+}
+
+// Equal reports structural type equality.
+func Equal(a, b *Type) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case Ptr:
+		return Equal(a.Elem, b.Elem)
+	case Array:
+		return a.Len == b.Len && Equal(a.Elem, b.Elem)
+	case Struct:
+		return a.Name == b.Name
+	case Func:
+		if !Equal(a.Result, b.Result) || len(a.Params) != len(b.Params) {
+			return false
+		}
+		for i := range a.Params {
+			if !Equal(a.Params[i], b.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// String renders the type in C-like syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case Invalid:
+		return "<invalid>"
+	case Void:
+		return "void"
+	case Char:
+		return "char"
+	case Int:
+		return "int"
+	case Long:
+		return "long"
+	case UChar:
+		return "unsigned char"
+	case UInt:
+		return "unsigned int"
+	case ULong:
+		return "unsigned long"
+	case Float:
+		return "float"
+	case Double:
+		return "double"
+	case Ptr:
+		return t.Elem.String() + "*"
+	case Array:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case Struct:
+		return "struct " + t.Name
+	case Func:
+		var b strings.Builder
+		b.WriteString(t.Result.String())
+		b.WriteString("(")
+		for i, p := range t.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(p.String())
+		}
+		b.WriteString(")")
+		return b.String()
+	}
+	return "<unknown>"
+}

@@ -1,0 +1,182 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicSizes(t *testing.T) {
+	cases := []struct {
+		t     *Type
+		size  int64
+		align int64
+	}{
+		{CharType, 1, 1}, {UCharType, 1, 1},
+		{IntType, 4, 4}, {UIntType, 4, 4},
+		{LongType, 8, 8}, {ULongType, 8, 8},
+		{FloatType, 4, 4}, {DoubleType, 8, 8},
+		{PointerTo(CharType), 8, 8},
+		{ArrayOf(IntType, 5), 20, 4},
+		{ArrayOf(ArrayOf(CharType, 3), 4), 12, 1},
+	}
+	for _, c := range cases {
+		if c.t.Size() != c.size || c.t.Align() != c.align {
+			t.Errorf("%s: size=%d align=%d, want %d/%d", c.t, c.t.Size(), c.t.Align(), c.size, c.align)
+		}
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	s := NewStruct("S", []Field{
+		{Name: "c", Type: CharType},
+		{Name: "i", Type: IntType},
+		{Name: "c2", Type: CharType},
+		{Name: "l", Type: LongType},
+	})
+	offsets := map[string]int64{"c": 0, "i": 4, "c2": 8, "l": 16}
+	for name, want := range offsets {
+		f, ok := s.FieldByName(name)
+		if !ok || f.Offset != want {
+			t.Errorf("field %s offset = %d (found=%v), want %d", name, f.Offset, ok, want)
+		}
+	}
+	if s.Size() != 24 || s.Align() != 8 {
+		t.Errorf("size=%d align=%d, want 24/8", s.Size(), s.Align())
+	}
+}
+
+func TestEmptyStructHasSizeOne(t *testing.T) {
+	if s := NewStruct("E", nil); s.Size() != 1 {
+		t.Fatalf("empty struct size = %d", s.Size())
+	}
+}
+
+func TestSetStructBody(t *testing.T) {
+	placeholder := &Type{Kind: Struct, Name: "Late"}
+	p := PointerTo(placeholder)
+	placeholder.SetStructBody([]Field{{Name: "x", Type: LongType}})
+	if placeholder.Size() != 8 {
+		t.Fatalf("size = %d", placeholder.Size())
+	}
+	if p.Elem.Size() != 8 {
+		t.Fatal("pointer does not see the completed struct")
+	}
+}
+
+func TestPromote(t *testing.T) {
+	if Promote(CharType) != IntType || Promote(UCharType) != IntType {
+		t.Error("narrow types promote to int")
+	}
+	if Promote(LongType) != LongType || Promote(UIntType) != UIntType {
+		t.Error("wide types promote to themselves")
+	}
+}
+
+func TestCommonConversions(t *testing.T) {
+	cases := []struct {
+		a, b, want *Type
+	}{
+		{CharType, CharType, IntType},
+		{IntType, LongType, LongType},
+		{IntType, UIntType, UIntType},
+		{UIntType, LongType, LongType},
+		{LongType, ULongType, ULongType},
+		{IntType, DoubleType, DoubleType},
+		{FloatType, IntType, FloatType},
+		{FloatType, DoubleType, DoubleType},
+	}
+	for _, c := range cases {
+		if got := Common(c.a, c.b); got != c.want {
+			t.Errorf("Common(%s, %s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+		if got := Common(c.b, c.a); got != c.want {
+			t.Errorf("Common(%s, %s) = %s, want %s (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestQuickCommonSymmetricAndIdempotent(t *testing.T) {
+	basics := []*Type{CharType, UCharType, IntType, UIntType, LongType, ULongType, FloatType, DoubleType}
+	f := func(i, j uint8) bool {
+		a := basics[int(i)%len(basics)]
+		b := basics[int(j)%len(basics)]
+		c := Common(a, b)
+		return Common(b, a) == c && Common(c, c) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !IntType.IsSigned() || UIntType.IsSigned() {
+		t.Error("signedness predicates")
+	}
+	if !PointerTo(VoidType).IsPtr() || !PointerTo(VoidType).IsScalar() {
+		t.Error("pointer predicates")
+	}
+	if !DoubleType.IsFloat() || DoubleType.IsInteger() {
+		t.Error("float predicates")
+	}
+	if VoidType.IsScalar() || !VoidType.IsVoid() {
+		t.Error("void predicates")
+	}
+	if ArrayOf(IntType, 2).IsScalar() {
+		t.Error("arrays are not scalar")
+	}
+}
+
+func TestBits(t *testing.T) {
+	if CharType.Bits() != 8 || IntType.Bits() != 32 || LongType.Bits() != 64 || PointerTo(IntType).Bits() != 64 {
+		t.Error("bit widths")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(PointerTo(IntType), PointerTo(IntType)) {
+		t.Error("identical pointers")
+	}
+	if Equal(PointerTo(IntType), PointerTo(LongType)) {
+		t.Error("distinct pointees")
+	}
+	if !Equal(ArrayOf(CharType, 3), ArrayOf(CharType, 3)) || Equal(ArrayOf(CharType, 3), ArrayOf(CharType, 4)) {
+		t.Error("array equality")
+	}
+	s1 := NewStruct("S", nil)
+	s2 := NewStruct("S", nil)
+	s3 := NewStruct("T", nil)
+	if !Equal(s1, s2) || Equal(s1, s3) {
+		t.Error("struct equality is nominal")
+	}
+	f1 := NewFunc(IntType, []*Type{CharType})
+	f2 := NewFunc(IntType, []*Type{CharType})
+	f3 := NewFunc(IntType, []*Type{IntType})
+	if !Equal(f1, f2) || Equal(f1, f3) {
+		t.Error("function equality")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := map[string]*Type{
+		"unsigned int":    UIntType,
+		"char*":           PointerTo(CharType),
+		"int[4]":          ArrayOf(IntType, 4),
+		"struct Pt":       NewStruct("Pt", nil),
+		"void*":           PointerTo(VoidType),
+		"int(char, long)": NewFunc(IntType, []*Type{CharType, LongType}),
+	}
+	for want, typ := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestUnsignedCounterpart(t *testing.T) {
+	if CharType.Unsigned() != UCharType || IntType.Unsigned() != UIntType || LongType.Unsigned() != ULongType {
+		t.Error("unsigned counterparts")
+	}
+	if UIntType.Unsigned() != UIntType {
+		t.Error("already-unsigned unchanged")
+	}
+}

@@ -1,0 +1,117 @@
+package progen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"compdiff/internal/compiler"
+	"compdiff/internal/minic/parser"
+	"compdiff/internal/minic/sema"
+	"compdiff/internal/vm"
+)
+
+// Failure injection: take well-defined generated programs and corrupt
+// them into UB-ridden ones, then execute under every implementation
+// and sanitizer. The guest may crash in any guest-level way; the HOST
+// must never panic, hang, or corrupt itself. This is the repo-wide
+// robustness property for running adversarial code.
+
+// injectUB applies textual corruptions that turn defined constructs
+// into undefined ones while (usually) keeping the program parseable.
+func injectUB(src string, rng *rand.Rand) string {
+	type mutation func(string) string
+	muts := []mutation{
+		// Drop the masks that keep indexes in bounds.
+		func(s string) string { return strings.Replace(s, ") & 7]", ") + 7]", 1) },
+		func(s string) string { return strings.Replace(s, ") & 15]", ") + 15]", 1) },
+		// Break the non-zero divisor guarantee.
+		func(s string) string { return strings.Replace(s, "& 15) + 1)", "& 15))", 1) },
+		// Un-initialize a variable.
+		func(s string) string { return strings.Replace(s, " = 0;", ";", 1) },
+		// Unmask a shift count.
+		func(s string) string { return strings.Replace(s, ") & 7))", ") & 255))", 1) },
+		// Turn a bounded loop unbounded-ish (step limit will catch it).
+		func(s string) string { return strings.Replace(s, "i < 3", "i < 1000000000", 1) },
+		// Free a stack object.
+		func(s string) string {
+			return strings.Replace(s, "return (acc & 63);", "free((char*)&acc);\n    return (acc & 63);", 1)
+		},
+		// Wild pointer write.
+		func(s string) string {
+			return strings.Replace(s, "return (acc & 63);", "*(long*)((long)acc * 524287L) = 1L;\n    return (acc & 63);", 1)
+		},
+	}
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		src = muts[rng.Intn(len(muts))](src)
+	}
+	return src
+}
+
+func TestHostSurvivesInjectedUB(t *testing.T) {
+	nSeeds := 40
+	if testing.Short() {
+		nSeeds = 10
+	}
+	rng := rand.New(rand.NewSource(0xc4a05))
+	cfgs := compiler.DefaultSet()
+	executed := 0
+	for seed := 0; seed < nSeeds; seed++ {
+		src := injectUB(Generate(int64(seed)).Src, rng)
+		prog, err := parser.Parse(src)
+		if err != nil {
+			continue // some corruptions break the syntax; fine
+		}
+		info, err := sema.Check(prog)
+		if err != nil {
+			continue // or the typing; fine
+		}
+		for _, cfg := range cfgs {
+			bin, err := compiler.Compile(info, cfg)
+			if err != nil {
+				t.Fatalf("seed %d %s: compile of checked program failed: %v", seed, cfg.Name(), err)
+			}
+			for _, san := range []vm.SanMode{vm.SanNone, vm.SanASan, vm.SanUBSan, vm.SanMSan} {
+				m := vm.New(bin, vm.Options{San: san, StepLimit: 300_000})
+				res := m.Run([]byte{1, 2, 3, 250})
+				executed++
+				// Any guest-level exit is acceptable; a Go panic would
+				// have failed the test already. VMFault would indicate
+				// a bug in this repo's compiler.
+				if res.Exit == vm.VMFault {
+					t.Fatalf("seed %d %s san=%v: VM fault (compiler bug)\n%s", seed, cfg.Name(), san, src)
+				}
+			}
+		}
+	}
+	if executed == 0 {
+		t.Fatal("no corrupted program survived parsing; mutations too destructive")
+	}
+	t.Logf("executed %d adversarial (program, impl, sanitizer) combinations", executed)
+}
+
+// Random byte soup must never panic the front end either.
+func TestFrontEndRobustOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pieces := []string{
+		"int", "main", "(", ")", "{", "}", ";", "if", "for", "while",
+		"x", "*", "&", "[", "]", "128", "\"s\"", "'c'", "+", "=", "==",
+		"struct", "return", ",", "->", ".", "__LINE__", "sizeof", "/", "%",
+	}
+	for i := 0; i < 300; i++ {
+		var b strings.Builder
+		n := rng.Intn(60)
+		for j := 0; j < n; j++ {
+			b.WriteString(pieces[rng.Intn(len(pieces))])
+			b.WriteString(" ")
+		}
+		src := b.String()
+		prog, err := parser.Parse(src)
+		if err != nil || prog == nil {
+			continue
+		}
+		// If it parsed, checking must not panic either.
+		_, _ = sema.Check(prog)
+	}
+}

@@ -1,0 +1,296 @@
+// Package progen generates random *well-defined* MiniC programs — a
+// Csmith-lite. Its purpose is the repository's central soundness
+// property: a program with no undefined behaviour must produce
+// bit-identical output under every compiler implementation, so
+// CompDiff can never false-positive (the paper's Finding 5).
+//
+// The generator is therefore conservative by construction:
+//
+//   - all arithmetic that could overflow a signed type is performed on
+//     masked operands (small value domains) or in unsigned types;
+//   - divisions and remainders use divisors forced non-zero;
+//   - shifts mask their counts to the operand width;
+//   - every variable is initialized at declaration;
+//   - array indexes are masked to the array length (power-of-two
+//     sizes);
+//   - pointers only ever point at single live objects and are never
+//     compared relationally across objects, subtracted, or leaked to
+//     the output;
+//   - loops have bounded trip counts;
+//   - no floating point (FP contraction legitimately changes defined
+//     results across implementations);
+//   - calls never nest two side-effecting arguments (argument
+//     evaluation order is unspecified even without UB).
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Program is one generated self-contained MiniC source.
+type Program struct {
+	Seed int64
+	Src  string
+}
+
+// Generate produces a deterministic random program for the seed.
+func Generate(seed int64) *Program {
+	g := &gen{rng: rand.New(rand.NewSource(seed))}
+	return &Program{Seed: seed, Src: g.program()}
+}
+
+type varInfo struct {
+	name     string
+	unsigned bool
+	isLong   bool
+}
+
+type arrInfo struct {
+	name string
+	size int // power of two
+}
+
+type gen struct {
+	rng    *rand.Rand
+	buf    strings.Builder
+	indent int
+
+	vars    []varInfo
+	arrs    []arrInfo
+	nameSeq int
+	depth   int
+	helpers int
+}
+
+func (g *gen) w(format string, args ...any) {
+	g.buf.WriteString(strings.Repeat("    ", g.indent))
+	fmt.Fprintf(&g.buf, format, args...)
+	g.buf.WriteString("\n")
+}
+
+func (g *gen) fresh(prefix string) string {
+	g.nameSeq++
+	return fmt.Sprintf("%s%d", prefix, g.nameSeq)
+}
+
+func (g *gen) program() string {
+	// A couple of pure helper functions over masked domains.
+	nHelpers := 1 + g.rng.Intn(3)
+	names := make([]string, nHelpers)
+	for i := range names {
+		names[i] = fmt.Sprintf("calc%d", i)
+		g.w("int %s(int a, int b) {", names[i])
+		g.indent++
+		g.w("int r = ((a & 1023) * (b & 1023)) + (a & 255);")
+		switch g.rng.Intn(3) {
+		case 0:
+			g.w("r = r ^ (b & 4095);")
+		case 1:
+			g.w("r = r + ((a >> (b & 7)) & 511);")
+		default:
+			g.w("r = r - (b & 2047);")
+		}
+		g.w("return r;")
+		g.indent--
+		g.w("}")
+		g.w("")
+	}
+	g.helpers = nHelpers
+
+	g.w("int main() {")
+	g.indent++
+	// Input-dependent state.
+	g.w("char inbuf[32];")
+	g.w("for (int i = 0; i < 32; i++) { inbuf[i] = 0; }")
+	g.w("long inlen = read_input(inbuf, 32L);")
+	g.w("int acc = (int)inlen;")
+	g.vars = append(g.vars, varInfo{name: "acc"})
+
+	nVars := 2 + g.rng.Intn(4)
+	for i := 0; i < nVars; i++ {
+		g.declareVar()
+	}
+	nArrs := 1 + g.rng.Intn(2)
+	for i := 0; i < nArrs; i++ {
+		g.declareArray()
+	}
+
+	nStmts := 4 + g.rng.Intn(8)
+	for i := 0; i < nStmts; i++ {
+		g.stmt()
+	}
+
+	// Output: every variable and a digest of every array.
+	for _, v := range g.vars {
+		switch {
+		case v.isLong:
+			g.w(`printf("%s=%%ld\n", %s);`, v.name, v.name)
+		case v.unsigned:
+			g.w(`printf("%s=%%u\n", %s);`, v.name, v.name)
+		default:
+			g.w(`printf("%s=%%d\n", %s);`, v.name, v.name)
+		}
+	}
+	for _, a := range g.arrs {
+		sum := g.fresh("sum")
+		g.w("int %s = 0;", sum)
+		g.w("for (int i = 0; i < %d; i++) { %s = %s + (%s[i] & 255); }", a.size, sum, sum, a.name)
+		g.w(`printf("%s=%%d\n", %s);`, a.name, sum)
+	}
+	g.w("return (acc & 63);")
+	g.indent--
+	g.w("}")
+	return g.buf.String()
+}
+
+func (g *gen) declareVar() {
+	v := varInfo{name: g.fresh("v")}
+	switch g.rng.Intn(4) {
+	case 0:
+		v.unsigned = true
+		g.w("unsigned int %s = %dU;", v.name, g.rng.Intn(1<<16))
+	case 1:
+		v.isLong = true
+		g.w("long %s = %dL;", v.name, g.rng.Intn(1<<20))
+	default:
+		g.w("int %s = %d;", v.name, g.rng.Intn(1<<12))
+	}
+	g.vars = append(g.vars, v)
+}
+
+func (g *gen) declareArray() {
+	sizes := []int{4, 8, 16}
+	a := arrInfo{name: g.fresh("arr"), size: sizes[g.rng.Intn(len(sizes))]}
+	g.w("int %s[%d];", a.name, a.size)
+	g.w("for (int i = 0; i < %d; i++) { %s[i] = (i * %d) & 8191; }", a.size, a.name, 1+g.rng.Intn(97))
+	g.arrs = append(g.arrs, a)
+}
+
+// pickVar returns a random declared variable.
+func (g *gen) pickVar() varInfo {
+	return g.vars[g.rng.Intn(len(g.vars))]
+}
+
+// intExpr builds a side-effect-free expression with a bounded value
+// domain. Using masked operands keeps every operation defined.
+func (g *gen) intExpr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", g.rng.Intn(1<<10))
+		case 1:
+			v := g.pickVar()
+			return fmt.Sprintf("((int)%s & 4095)", v.name)
+		default:
+			if len(g.arrs) > 0 {
+				a := g.arrs[g.rng.Intn(len(g.arrs))]
+				idx := g.intExpr(0)
+				return fmt.Sprintf("(%s[(%s) & %d] & 2047)", a.name, idx, a.size-1)
+			}
+			return fmt.Sprintf("(input_byte(%dL) & 127)", g.rng.Intn(8))
+		}
+	}
+	x := g.intExpr(depth - 1)
+	y := g.intExpr(depth - 1)
+	switch g.rng.Intn(7) {
+	case 0:
+		return fmt.Sprintf("((%s) + (%s))", x, y) // both bounded << INT_MAX
+	case 1:
+		return fmt.Sprintf("((%s) - (%s))", x, y)
+	case 2:
+		return fmt.Sprintf("(((%s) & 1023) * ((%s) & 1023))", x, y)
+	case 3:
+		return fmt.Sprintf("((%s) / (((%s) & 15) + 1))", x, y)
+	case 4:
+		return fmt.Sprintf("((%s) %% (((%s) & 15) + 1))", x, y)
+	case 5:
+		return fmt.Sprintf("((%s) ^ (%s))", x, y)
+	default:
+		return fmt.Sprintf("((%s) << ((%s) & 7))", x, y) // operand masked small
+	}
+}
+
+// cond builds a defined boolean expression.
+func (g *gen) cond() string {
+	x := g.intExpr(1)
+	y := g.intExpr(1)
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	return fmt.Sprintf("(%s) %s (%s)", x, ops[g.rng.Intn(len(ops))], y)
+}
+
+func (g *gen) stmt() {
+	if g.depth > 2 {
+		g.assign()
+		return
+	}
+	switch g.rng.Intn(6) {
+	case 0:
+		g.assign()
+	case 1: // if/else
+		g.w("if (%s) {", g.cond())
+		g.indent++
+		g.depth++
+		g.assign()
+		if g.rng.Intn(2) == 0 {
+			g.stmt()
+		}
+		g.depth--
+		g.indent--
+		if g.rng.Intn(2) == 0 {
+			g.w("} else {")
+			g.indent++
+			g.depth++
+			g.assign()
+			g.depth--
+			g.indent--
+		}
+		g.w("}")
+	case 2: // bounded loop
+		i := g.fresh("i")
+		g.w("for (int %s = 0; %s < %d; %s++) {", i, i, 2+g.rng.Intn(14), i)
+		g.indent++
+		g.depth++
+		g.assign()
+		g.depth--
+		g.indent--
+		g.w("}")
+	case 3: // array store
+		if len(g.arrs) > 0 {
+			a := g.arrs[g.rng.Intn(len(g.arrs))]
+			g.w("%s[(%s) & %d] = (%s) & 8191;", a.name, g.intExpr(1), a.size-1, g.intExpr(1))
+			return
+		}
+		g.assign()
+	case 4: // helper call (single side-effect-free args)
+		v := g.pickVar()
+		h := g.rng.Intn(g.helpers)
+		g.w("acc = acc ^ (calc%d((%s), (int)%s & 511) & 65535);", h, g.intExpr(1), v.name)
+	default: // heap round trip
+		p := g.fresh("p")
+		g.w("int* %s = (int*)malloc(16L);", p)
+		g.w("if (%s != 0) {", p)
+		g.indent++
+		g.w("%s[0] = (%s) & 4095;", p, g.intExpr(1))
+		g.w("%s[1] = %s[0] + 7;", p, p)
+		g.w("acc = acc + %s[1];", p)
+		g.w("free(%s);", p)
+		g.indent--
+		g.w("}")
+	}
+}
+
+// assign writes a defined assignment to a random variable.
+func (g *gen) assign() {
+	v := g.pickVar()
+	e := g.intExpr(2)
+	switch {
+	case v.isLong:
+		g.w("%s = (long)((%s) & 1048575);", v.name, e)
+	case v.unsigned:
+		g.w("%s = (unsigned int)(%s) * 2654435761U;", v.name, e)
+	default:
+		g.w("%s = (%s) & 1048575;", v.name, e)
+	}
+}

@@ -1,0 +1,391 @@
+package sanitizer
+
+import (
+	"strings"
+	"testing"
+
+	"compdiff/internal/minic/parser"
+	"compdiff/internal/minic/sema"
+)
+
+func runner(t *testing.T, src string, tool Tool) *Runner {
+	t.Helper()
+	info := sema.MustCheck(parser.MustParse(src))
+	r, err := NewRunner(info, tool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func reportKind(t *testing.T, src string, tool Tool) string {
+	t.Helper()
+	_, rep := runner(t, src, tool).Run(nil)
+	if rep == nil {
+		return ""
+	}
+	return rep.Kind
+}
+
+// ---------------------------------------------------------------------------
+// ASan
+
+func TestASanHeapOverflowRead(t *testing.T) {
+	src := `
+int main() {
+    char* p = (char*)malloc(8L);
+    printf("%d\n", p[9]);
+    free(p);
+    return 0;
+}`
+	if k := reportKind(t, src, ASan); k != "heap-buffer-overflow" {
+		t.Fatalf("kind = %q", k)
+	}
+}
+
+func TestASanHeapOverflowWrite(t *testing.T) {
+	src := `
+int main() {
+    char* p = (char*)malloc(8L);
+    p[8] = 1;
+    free(p);
+    return 0;
+}`
+	if k := reportKind(t, src, ASan); k != "heap-buffer-overflow" {
+		t.Fatalf("kind = %q", k)
+	}
+}
+
+func TestASanHeapUnderwrite(t *testing.T) {
+	src := `
+int main() {
+    char* p = (char*)malloc(8L);
+    p[-1] = 1;
+    free(p);
+    return 0;
+}`
+	if k := reportKind(t, src, ASan); k != "heap-buffer-overflow" {
+		t.Fatalf("kind = %q", k)
+	}
+}
+
+func TestASanUseAfterFree(t *testing.T) {
+	src := `
+int main() {
+    int* p = (int*)malloc(16L);
+    free(p);
+    printf("%d\n", p[0]);
+    return 0;
+}`
+	if k := reportKind(t, src, ASan); k != "heap-use-after-free" {
+		t.Fatalf("kind = %q", k)
+	}
+}
+
+func TestASanDoubleFree(t *testing.T) {
+	src := `
+int main() {
+    char* p = (char*)malloc(8L);
+    free(p);
+    free(p);
+    return 0;
+}`
+	if k := reportKind(t, src, ASan); k != "double-free" {
+		t.Fatalf("kind = %q", k)
+	}
+}
+
+func TestASanBadFree(t *testing.T) {
+	src := `
+int main() {
+    char buf[8];
+    buf[0] = 0;
+    free(buf);
+    return 0;
+}`
+	if k := reportKind(t, src, ASan); k != "bad-free" {
+		t.Fatalf("kind = %q", k)
+	}
+}
+
+func TestASanStackOverflowRead(t *testing.T) {
+	src := `
+int main() {
+    char a[4];
+    a[0] = 1;
+    printf("%d\n", a[6]);
+    return 0;
+}`
+	if k := reportKind(t, src, ASan); k != "stack-buffer-overflow" {
+		t.Fatalf("kind = %q", k)
+	}
+}
+
+func TestASanMemcpyOverlap(t *testing.T) {
+	src := `
+int main() {
+    char buf[16];
+    memset(buf, 65, 16L);
+    memcpy(buf + 2, buf, 8L);
+    return 0;
+}`
+	if k := reportKind(t, src, ASan); k != "memcpy-param-overlap" {
+		t.Fatalf("kind = %q", k)
+	}
+}
+
+func TestASanBlindToIntraObjectOverflow(t *testing.T) {
+	// Overflow from one struct field into the next stays inside the
+	// object: ASan's classic blind spot, where CompDiff still catches
+	// the divergence through layout-dependent corruption.
+	src := `
+struct Two { char buf[4]; int guard; };
+int main() {
+    struct Two s;
+    s.guard = 7;
+    for (int i = 0; i < 6; i++) { s.buf[i] = 1; }
+    printf("%d\n", s.guard);
+    return 0;
+}`
+	if k := reportKind(t, src, ASan); k != "" {
+		t.Fatalf("ASan should miss intra-object overflow, got %q", k)
+	}
+}
+
+func TestASanCleanProgramNoReport(t *testing.T) {
+	src := `
+int main() {
+    char* p = (char*)malloc(8L);
+    for (int i = 0; i < 8; i++) { p[i] = (char)i; }
+    int s = 0;
+    for (int i = 0; i < 8; i++) { s += p[i]; }
+    free(p);
+    printf("%d\n", s);
+    return 0;
+}`
+	if k := reportKind(t, src, ASan); k != "" {
+		t.Fatalf("false positive: %q", k)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// UBSan
+
+func TestUBSanSignedOverflow(t *testing.T) {
+	src := `
+int main() {
+    int x = 2147483647;
+    printf("%d\n", x + 1);
+    return 0;
+}`
+	if k := reportKind(t, src, UBSan); k != "signed-integer-overflow" {
+		t.Fatalf("kind = %q", k)
+	}
+}
+
+func TestUBSanDivByZero(t *testing.T) {
+	src := `
+int main() {
+    int d = 0;
+    printf("%d\n", 5 / d);
+    return 0;
+}`
+	if k := reportKind(t, src, UBSan); k != "division-by-zero" {
+		t.Fatalf("kind = %q", k)
+	}
+}
+
+func TestUBSanShiftOOB(t *testing.T) {
+	src := `
+int main() {
+    int s = 40;
+    printf("%d\n", 1 << s);
+    return 0;
+}`
+	if k := reportKind(t, src, UBSan); k != "shift-out-of-bounds" {
+		t.Fatalf("kind = %q", k)
+	}
+}
+
+func TestUBSanNullDeref(t *testing.T) {
+	src := `
+int main() {
+    int* p = 0;
+    printf("%d\n", *p);
+    return 0;
+}`
+	if k := reportKind(t, src, UBSan); k != "null-pointer-dereference" {
+		t.Fatalf("kind = %q", k)
+	}
+}
+
+func TestUBSanUnsignedWrapNotReported(t *testing.T) {
+	src := `
+int main() {
+    unsigned int x = 4294967295U;
+    printf("%u\n", x + 1U);
+    return 0;
+}`
+	if k := reportKind(t, src, UBSan); k != "" {
+		t.Fatalf("false positive: %q", k)
+	}
+}
+
+func TestUBSanMissesMemoryErrors(t *testing.T) {
+	src := `
+int main() {
+    char* p = (char*)malloc(8L);
+    p[9] = 1;
+    free(p);
+    return 0;
+}`
+	if k := reportKind(t, src, UBSan); k != "" {
+		t.Fatalf("UBSan should not see heap overflow, got %q", k)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// MSan
+
+func TestMSanUninitBranch(t *testing.T) {
+	src := `
+int main() {
+    int x;
+    if (x > 0) { printf("pos\n"); } else { printf("neg\n"); }
+    return 0;
+}`
+	if k := reportKind(t, src, MSan); k != "use-of-uninitialized-value" {
+		t.Fatalf("kind = %q", k)
+	}
+}
+
+func TestMSanUninitHeapBranch(t *testing.T) {
+	src := `
+int main() {
+    int* p = (int*)malloc(16L);
+    if (p[2] == 0) { printf("zero\n"); }
+    free(p);
+    return 0;
+}`
+	if k := reportKind(t, src, MSan); k != "use-of-uninitialized-value" {
+		t.Fatalf("kind = %q", k)
+	}
+}
+
+func TestMSanBlindToPrintedUninit(t *testing.T) {
+	// The paper's Listing 4 pattern: the uninitialized value is only
+	// printed, never branched on — the real MSan stays silent here.
+	src := `
+int main() {
+    int l;
+    printf("%d\n", l);
+    return 0;
+}`
+	if k := reportKind(t, src, MSan); k != "" {
+		t.Fatalf("MSan should miss print-only uninit use, got %q", k)
+	}
+}
+
+func TestMSanInitializedCleanRun(t *testing.T) {
+	src := `
+int main() {
+    int x = 3;
+    int a[4];
+    memset((char*)a, 0, 16L);
+    if (x > 0 && a[1] == 0) { printf("ok\n"); }
+    return 0;
+}`
+	if k := reportKind(t, src, MSan); k != "" {
+		t.Fatalf("false positive: %q", k)
+	}
+}
+
+func TestMSanTaintFlowsThroughCopy(t *testing.T) {
+	src := `
+int main() {
+    int x;
+    int y = x;
+    int z = y + 1;
+    if (z > 0) { printf("pos\n"); }
+    return 0;
+}`
+	if k := reportKind(t, src, MSan); k != "use-of-uninitialized-value" {
+		t.Fatalf("kind = %q", k)
+	}
+}
+
+func TestMSanParamsAreInitialized(t *testing.T) {
+	src := `
+int f(int v) {
+    if (v > 0) { return 1; }
+    return 0;
+}
+int main() {
+    printf("%d\n", f(3));
+    return 0;
+}`
+	if k := reportKind(t, src, MSan); k != "" {
+		t.Fatalf("false positive: %q", k)
+	}
+}
+
+func TestMSanMissingArgIsUninit(t *testing.T) {
+	// CWE-685: the missing parameter reads uninitialized frame memory.
+	src := `
+int f(int a, int b) {
+    if (b > 0) { return 1; }
+    return 0;
+}
+int main() {
+    printf("%d\n", f(3));
+    return 0;
+}`
+	if k := reportKind(t, src, MSan); k != "use-of-uninitialized-value" {
+		t.Fatalf("kind = %q", k)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Cross-tool behaviour
+
+func TestCheckAllScopes(t *testing.T) {
+	src := `
+int main() {
+    char* p = (char*)malloc(4L);
+    p[5] = 1;
+    free(p);
+    return 0;
+}`
+	info := sema.MustCheck(parser.MustParse(src))
+	got, err := CheckAll(info, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[ASan] {
+		t.Error("ASan should detect")
+	}
+	if got[UBSan] {
+		t.Error("UBSan should not detect")
+	}
+}
+
+func TestReportIncludesLocation(t *testing.T) {
+	src := `int main() {
+    int d = 0;
+    int r = 7 / d;
+    return r;
+}`
+	_, rep := runner(t, src, UBSan).Run(nil)
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	if rep.Line != 3 {
+		t.Errorf("line = %d, want 3", rep.Line)
+	}
+	if rep.Func != "main" {
+		t.Errorf("func = %q", rep.Func)
+	}
+	if !strings.Contains(rep.String(), "ubsan") {
+		t.Errorf("String() = %q", rep.String())
+	}
+}

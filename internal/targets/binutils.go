@@ -1,0 +1,392 @@
+package targets
+
+// Binary-file analyzers: objdump, readelf, nm-new, sysdump, openssl,
+// ClamAV, libzip.
+
+// objdump: prints object addresses instead of values in two dump
+// paths (the paper's "printing pointer address instead of value"
+// Misc bug), plus a heap overflow in the section-name copier.
+func objdump() *Target {
+	src := `
+void dump_symtab(char* buf, long n) {
+    printf("symtab anchor %ld entries %ld\n", (long)buf, n);
+}
+
+void dump_reloc(char* buf, long n) {
+    char* cursor = buf + (n & 7);
+    printf("reloc cursor %ld\n", (long)cursor);
+}
+
+void copy_section_name(char* buf, long n) {
+    char* name = (char*)malloc(8L);
+    char* next = (char*)malloc(8L);
+    if (name == 0 || next == 0) { return; }
+    for (int i = 0; i < 7; i++) { next[i] = (char)(97 + i); }
+    next[7] = '\0';
+    memset(name, 0, 8L);
+    long take = n;
+    if (take > 40) { take = 40; }
+    for (long i = 0; i < take; i++) { name[i] = buf[i]; }
+    printf("section %s neighbor %s\n", name, next);
+    free(name);
+    free(next);
+}
+
+int main() {
+    char buf[64];
+    long n = read_input(buf, 64L);
+    if (n < 2) { printf("objdump: empty object\n"); return 0; }
+    if (buf[0] == 'Y') { dump_symtab(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'L') { dump_reloc(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'N') { copy_section_name(buf + 1, n - 1); return 0; }
+    printf("format elf%d\n", buf[1] & 1);
+    return 0;
+}
+`
+	return &Target{
+		Name: "objdump", InputType: "Binary file", Version: "2.36.1", PaperKLoC: 74,
+		Src:   src,
+		Seeds: [][]byte{[]byte("\x7fE"), []byte("N12345")},
+		Bugs: []Bug{
+			{ID: "objdump-misc-symtabptr", Cat: Misc, Trigger: []byte("Y\x01"), San: NoSan},
+			{ID: "objdump-misc-relocptr", Cat: Misc, Trigger: []byte("L\x01"), San: NoSan},
+			{ID: "objdump-mem-sectionname", Cat: MemError, Trigger: append([]byte("N"), seqBytes(44)...), San: ByASan},
+		},
+	}
+}
+
+// readelf: the paper's Listing 2 pointer comparison between two
+// unrelated section objects, a multi-line __LINE__ diagnostic, and a
+// print-only uninitialized ABI field.
+func readelf() *Target {
+	src := `
+void display_debug_frames(char* buf, long n) {
+    char section_a[24];
+    char section_b[32];
+    for (int i = 0; i < 24; i++) { section_a[i] = (char)(65 + i % 26); }
+    for (int i = 0; i < 32; i++) { section_b[i] = (char)(97 + i % 26); }
+    char* saved_start = section_a;
+    char* look_for = section_b;
+    if (n > 1) { saved_start = section_a + (n & 7); }
+    if (look_for <= saved_start) {
+        printf("augmentation before cie\n");
+    } else {
+        printf("cie before augmentation\n");
+    }
+}
+
+void display_header(char* buf, long n) {
+    if (n < 4) {
+        printf("readelf: header truncated at line %d\n",
+            __LINE__);
+        return;
+    }
+    printf("class %d data %d\n", buf[0] & 3, buf[1] & 3);
+}
+
+void display_abi(char* buf, long n) {
+    int abiversion;
+    if (n >= 8) { abiversion = buf[7]; }
+    printf("abi version %d\n", abiversion);
+}
+
+int main() {
+    char buf[64];
+    long n = read_input(buf, 64L);
+    if (n < 1) { printf("readelf: no file\n"); return 0; }
+    if (buf[0] == 'F') { display_debug_frames(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'H') { display_header(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'B') { display_abi(buf + 1, n - 1); return 0; }
+    printf("not an ELF file\n");
+    return 0;
+}
+`
+	return &Target{
+		Name: "readelf", InputType: "Binary file", Version: "2.36.1", PaperKLoC: 72,
+		Src:   src,
+		Seeds: [][]byte{[]byte("H\x01\x02\x03\x04"), []byte("B\x01\x02\x03\x04\x05\x06\x07\x08")},
+		Bugs: []Bug{
+			{ID: "readelf-ptrcmp-frames", Cat: PointerCmp, Trigger: []byte("F\x01"), San: NoSan},
+			{ID: "readelf-line-header", Cat: Line, Trigger: []byte("H\x01"), San: NoSan},
+			{ID: "readelf-uninit-abi", Cat: UninitMem, Trigger: []byte("B\x01"), San: NoSan},
+		},
+	}
+}
+
+// nm-new: two uninitialized symbol attributes that decide output
+// branches, plus a raw-clock "profiling" line.
+func nmNew() *Target {
+	src := `
+void classify_symbol(char* buf, long n) {
+    int binding;
+    if (n >= 3) { binding = buf[2] & 3; }
+    if ((binding & 1) == 1) { printf("W weak %d\n", binding & 255); }
+    else { printf("T text %d\n", binding & 255); }
+}
+
+void size_symbol(char* buf, long n) {
+    long size;
+    if (n >= 5) { size = buf[3] * 256 + buf[4]; }
+    if ((size & 1L) == 1L) { printf("odd object %ld\n", size & 4095L); }
+    else { printf("even object %ld\n", size & 4095L); }
+}
+
+void profile_pass(long n) {
+    printf("pass finished t=%ld symbols=%ld\n", time_now(), n);
+}
+
+int main() {
+    char buf[48];
+    long n = read_input(buf, 48L);
+    if (n < 1) { printf("nm: no symbols\n"); return 0; }
+    if (buf[0] == 'C') { classify_symbol(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'Z') { size_symbol(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'P') { profile_pass(n); return 0; }
+    printf("symbols %ld\n", n);
+    return 0;
+}
+`
+	return &Target{
+		Name: "nm-new", InputType: "Binary file", Version: "2.36.1", PaperKLoC: 55,
+		Src:   src,
+		Seeds: [][]byte{[]byte("C\x01\x02\x03"), []byte("xyz")},
+		Bugs: []Bug{
+			{ID: "nm-uninit-binding", Cat: UninitMem, Trigger: []byte("C\x01"), San: ByMSan},
+			{ID: "nm-uninit-size", Cat: UninitMem, Trigger: []byte("Z\x01\x02"), San: ByMSan},
+			{ID: "nm-misc-profile", Cat: Misc, Trigger: []byte("P"), San: NoSan},
+		},
+	}
+}
+
+// sysdump: a use-after-free on the record buffer, an uninitialized
+// record checksum, and a session-id line derived from the clock.
+func sysdump() *Target {
+	src := `
+void dump_record(char* buf, long n) {
+    char* rec = (char*)malloc(16L);
+    if (rec == 0) { return; }
+    for (int i = 0; i < 15; i++) { rec[i] = (char)(48 + i % 10); }
+    rec[15] = '\0';
+    free(rec);
+    char* scratch = (char*)malloc(16L);
+    if (scratch == 0) { return; }
+    for (int i = 0; i < 15; i++) { scratch[i] = (char)(65 + i % 26); }
+    scratch[15] = '\0';
+    printf("record %c%c len %ld\n", rec[0], rec[1], n);
+    free(scratch);
+}
+
+void check_record(char* buf, long n) {
+    int checksum;
+    if (n >= 4) { checksum = buf[1] + buf[2] + buf[3]; }
+    if ((checksum & 1) == 1) { printf("checksum odd %d\n", checksum & 1023); }
+    else { printf("checksum even %d\n", checksum & 1023); }
+}
+
+void session_banner(long n) {
+    printf("sysdump session %ld records %ld\n", time_now() & 4095L, n);
+}
+
+int main() {
+    char buf[48];
+    long n = read_input(buf, 48L);
+    if (n < 1) { printf("sysdump: nothing to dump\n"); return 0; }
+    if (buf[0] == 'D') { dump_record(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'K') { check_record(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'S') { session_banner(n); return 0; }
+    printf("unknown record %d\n", buf[0]);
+    return 0;
+}
+`
+	return &Target{
+		Name: "sysdump", InputType: "Binary file", Version: "2.36.1", PaperKLoC: 10,
+		Src:   src,
+		Seeds: [][]byte{[]byte("K\x01\x02\x03\x04"), []byte("q")},
+		Bugs: []Bug{
+			{ID: "sysdump-mem-uafrecord", Cat: MemError, Trigger: []byte("D\x01"), San: ByASan},
+			{ID: "sysdump-uninit-checksum", Cat: UninitMem, Trigger: []byte("K\x01"), San: ByMSan},
+			{ID: "sysdump-misc-session", Cat: Misc, Trigger: []byte("S"), San: NoSan},
+		},
+	}
+}
+
+// openssl: a length computation that overflows 32-bit arithmetic
+// before widening, two uninitialized handshake fields, and a session
+// ticket stamped with the raw clock.
+func openssl() *Target {
+	src := `
+void compute_payload(char* buf, long n) {
+    if (n < 2) { printf("payload short\n"); return; }
+    int records = buf[0] * 131072;
+    int recsize = buf[1] * 4096;
+    long total = records * recsize;
+    printf("payload bytes %ld\n", total);
+}
+
+void handshake_state(char* buf, long n) {
+    int cipher;
+    if (n >= 6) { cipher = buf[5]; }
+    if ((cipher & 1) == 1) { printf("cipher modern %d\n", cipher & 255); }
+    else { printf("cipher legacy %d\n", cipher & 255); }
+}
+
+void verify_depth(char* buf, long n) {
+    int depth;
+    if (n >= 3 && buf[2] != 0) { depth = buf[2] & 15; }
+    if ((depth & 1) == 1) { printf("chain deep %d\n", depth & 31); }
+    else { printf("chain shallow %d\n", depth & 31); }
+}
+
+void session_ticket(long n) {
+    printf("ticket issued %ld lifetime %ld\n", time_now(), n * 300L);
+}
+
+int main() {
+    char buf[48];
+    long n = read_input(buf, 48L);
+    if (n < 1) { printf("openssl: no input\n"); return 0; }
+    if (buf[0] == 'P') { compute_payload(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'H') { handshake_state(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'V') { verify_depth(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'T') { session_ticket(n); return 0; }
+    printf("protocol %d\n", buf[0] & 3);
+    return 0;
+}
+`
+	return &Target{
+		Name: "openssl", InputType: "Binary file", Version: "3.0.0", PaperKLoC: 702,
+		Src:   src,
+		Seeds: [][]byte{[]byte("P\x01\x01"), []byte("H\x01\x02\x03\x04\x05\x06")},
+		Bugs: []Bug{
+			{ID: "openssl-int-payload", Cat: IntError, Trigger: []byte("P\xc8\xc8"), San: ByUBSan},
+			{ID: "openssl-uninit-cipher", Cat: UninitMem, Trigger: []byte("H\x01\x02"), San: ByMSan},
+			{ID: "openssl-uninit-depth", Cat: UninitMem, Trigger: []byte("V\x01\x02\x00"), San: ByMSan},
+			{ID: "openssl-misc-ticket", Cat: Misc, Trigger: []byte("T"), San: NoSan},
+		},
+	}
+}
+
+// ClamAV: two memory errors in signature matching (heap overflow and
+// use-after-free of the pattern cache) and an uninitialized verdict.
+func clamav() *Target {
+	src := `
+void scan_signature(char* buf, long n) {
+    char* sig = (char*)malloc(12L);
+    char* db = (char*)malloc(8L);
+    if (sig == 0 || db == 0) { return; }
+    for (int i = 0; i < 7; i++) { db[i] = (char)(48 + i); }
+    db[7] = '\0';
+    long take = n;
+    if (take > 40) { take = 40; }
+    for (long i = 0; i < take; i++) { sig[i] = buf[i]; }
+    printf("sig %c%c db %s\n", sig[0], sig[1], db);
+    free(sig);
+    free(db);
+}
+
+void cache_lookup(char* buf, long n) {
+    int* cache = (int*)malloc(16L);
+    if (cache == 0) { return; }
+    cache[0] = 7777;
+    free(cache);
+    int* fresh = (int*)malloc(16L);
+    if (fresh == 0) { return; }
+    fresh[0] = (int)n * 3;
+    printf("cache head %d fresh %d\n", cache[0], fresh[0]);
+    free(fresh);
+}
+
+void verdict(char* buf, long n) {
+    int infected;
+    if (n >= 4) { infected = (buf[3] & 1); }
+    if ((infected & 1) == 1) { printf("FOUND %d\n", infected & 15); }
+    else { printf("OK %d\n", infected & 15); }
+}
+
+int main() {
+    char buf[56];
+    long n = read_input(buf, 56L);
+    if (n < 1) { printf("clamscan: empty file\n"); return 0; }
+    if (buf[0] == 'G') { scan_signature(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'C') { cache_lookup(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'V') { verdict(buf + 1, n - 1); return 0; }
+    printf("scanned %ld bytes\n", n);
+    return 0;
+}
+`
+	return &Target{
+		Name: "ClamAV", InputType: "Binary file", Version: "0.103.3", PaperKLoC: 239,
+		Src:   src,
+		Seeds: [][]byte{[]byte("V\x01\x02\x03\x04"), []byte("data")},
+		Bugs: []Bug{
+			{ID: "clamav-mem-sigoverflow", Cat: MemError, Trigger: append([]byte("G"), seqBytes(44)...), San: ByASan},
+			{ID: "clamav-mem-cacheuaf", Cat: MemError, Trigger: []byte("C\x01"), San: ByASan},
+			{ID: "clamav-uninit-verdict", Cat: UninitMem, Trigger: []byte("V\x01"), San: ByMSan},
+		},
+	}
+}
+
+// libzip: central-directory parsing with a heap overflow, an
+// out-of-bounds comment read, an uninitialized compression method,
+// and an archive mtime taken from the clock.
+func libzip() *Target {
+	src := `
+void read_central_dir(char* buf, long n) {
+    char* entry = (char*)malloc(10L);
+    char* names = (char*)malloc(8L);
+    if (entry == 0 || names == 0) { return; }
+    for (int i = 0; i < 7; i++) { names[i] = (char)(65 + i); }
+    names[7] = '\0';
+    long take = n;
+    if (take > 38) { take = 38; }
+    for (long i = 0; i < take; i++) { entry[i] = buf[i]; }
+    printf("entry %c names %s\n", entry[0], names);
+    free(entry);
+    free(names);
+}
+
+void read_comment(char* buf, long n) {
+    char* comment = (char*)malloc(16L);
+    if (comment == 0) { return; }
+    for (int i = 0; i < 15; i++) { comment[i] = (char)(97 + i % 26); }
+    comment[15] = '\0';
+    long off = 10 + (n & 31);
+    printf("comment tail %d\n", comment[off]);
+    free(comment);
+}
+
+void entry_method(char* buf, long n) {
+    int method;
+    if (n >= 3) { method = buf[2] & 7; }
+    if ((method & 1) == 0) { printf("stored %d\n", method & 15); }
+    else { printf("deflated %d\n", method & 15); }
+}
+
+void stamp_archive(long n) {
+    printf("archive mtime %ld entries %ld\n", time_now(), n);
+}
+
+int main() {
+    char buf[56];
+    long n = read_input(buf, 56L);
+    if (n < 2) { printf("libzip: not an archive\n"); return 0; }
+    if (buf[0] == 'D') { read_central_dir(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'O') { read_comment(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'M') { entry_method(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'W') { stamp_archive(n); return 0; }
+    printf("local header %d%d\n", buf[0] & 1, buf[1] & 1);
+    return 0;
+}
+`
+	return &Target{
+		Name: "libzip", InputType: "Compress tool", Version: "v1.8.0", PaperKLoC: 29,
+		Src:   src,
+		Seeds: [][]byte{[]byte("M\x01\x02\x03"), []byte("PK")},
+		Bugs: []Bug{
+			{ID: "libzip-mem-centraldir", Cat: MemError, Trigger: append([]byte("D"), seqBytes(42)...), San: ByASan},
+			{ID: "libzip-mem-comment", Cat: MemError, Trigger: []byte("O\x01\x02\x03\x04\x05\x06\x07\x08\x09"), San: ByASan},
+			{ID: "libzip-uninit-method", Cat: UninitMem, Trigger: []byte("M\x01"), San: ByMSan},
+			{ID: "libzip-misc-mtime", Cat: Misc, Trigger: []byte("W\x01"), San: NoSan},
+		},
+	}
+}

@@ -1,0 +1,247 @@
+package targets
+
+// Language implementations: php, MuJS, jq, libxml2.
+
+// php: the paper's __LINE__ example — diagnostics attribute errors to
+// different lines across implementations — plus two uninitialized
+// zval-ish fields.
+func php() *Target {
+	src := `
+void runtime_error(char* buf, long n) {
+    if (n < 2) {
+        printf("PHP Fatal error: in script on line %d\n",
+            __LINE__);
+        return;
+    }
+    printf("ok statement %c\n", buf[0]);
+}
+
+void parse_warning(char* buf, long n) {
+    if (n >= 2 && buf[1] == '$') {
+        printf("PHP Warning: undefined variable on line %d\n",
+            __LINE__);
+        return;
+    }
+    printf("parsed %ld tokens\n", n);
+}
+
+void zval_type(char* buf, long n) {
+    int ztype;
+    if (n >= 3) { ztype = buf[2] & 7; }
+    if ((ztype & 1) == 1) { printf("IS_STRING %d\n", ztype & 15); }
+    else { printf("IS_LONG %d\n", ztype & 15); }
+}
+
+void refcount(char* buf, long n) {
+    int rc;
+    if (n >= 4 && buf[3] != 0) { rc = buf[3] & 31; }
+    if ((rc & 1) == 0) { printf("refcount even %d\n", rc & 63); }
+    else { printf("refcount odd %d\n", rc & 63); }
+}
+
+int main() {
+    char buf[64];
+    long n = read_input(buf, 64L);
+    if (n < 1) { printf("php: no script\n"); return 0; }
+    if (buf[0] == 'E') { runtime_error(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'W') { parse_warning(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'Z') { zval_type(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'R') { refcount(buf + 1, n - 1); return 0; }
+    printf("<?php %ld bytes\n", n);
+    return 0;
+}
+`
+	return &Target{
+		Name: "php", InputType: "PHP", Version: "7.4.26", PaperKLoC: 1400,
+		Src:   src,
+		Seeds: [][]byte{[]byte("Z\x01\x02\x03"), []byte("<?php")},
+		Bugs: []Bug{
+			{ID: "php-line-fatal", Cat: Line, Trigger: []byte("E\x01"), San: NoSan},
+			{ID: "php-line-warning", Cat: Line, Trigger: []byte("W\x01$"), San: NoSan},
+			{ID: "php-uninit-zval", Cat: UninitMem, Trigger: []byte("Z\x01"), San: ByMSan},
+			{ID: "php-uninit-refcount", Cat: UninitMem, Trigger: []byte("R\x01\x02\x03\x00"), San: ByMSan},
+		},
+	}
+}
+
+// MuJS: the paper found three compiler miscompilations here. This
+// repo's compilers are correct by construction, so the same *symptom*
+// — numeric results that differ per compiler despite a bug-free
+// interpreter — is reproduced through implementation-divergent
+// floating-point lowering (FMA contraction) in the number formatter,
+// the JS arithmetic core, and the string-index hash (substitution
+// documented in DESIGN.md).
+func mujs() *Target {
+	src := `
+void js_tostring(char* buf, long n) {
+    double mantissa = 0.1;
+    double exponent = (double)((buf[0] & 7) + 10);
+    double round = 0.0 - 1.0;
+    double repr = mantissa * exponent + round;
+    printf("Number(%.17f)\n", repr * 10000000000000000.0);
+}
+
+void js_arith(char* buf, long n) {
+    double a = 0.2;
+    double b = (double)((buf[0] & 3) + 5);
+    double c = 0.0 - 1.0;
+    double v = a * b + c;
+    printf("eval %.17f\n", v * 1000000000000000.0);
+}
+
+void js_strindex(char* buf, long n) {
+    double x = 0.7;
+    double y = (double)((buf[0] & 7) + 3);
+    double z = 0.0 - 2.0;
+    double h = x * y + z;
+    printf("idx %.17f\n", h * 100000000000000.0);
+}
+
+int main() {
+    char buf[40];
+    long n = read_input(buf, 40L);
+    if (n < 2) { printf("mujs: empty program\n"); return 0; }
+    if (buf[0] == 'N') { js_tostring(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'A') { js_arith(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'X') { js_strindex(buf + 1, n - 1); return 0; }
+    printf("undefined %ld\n", n);
+    return 0;
+}
+`
+	return &Target{
+		Name: "MuJS", InputType: "JavaScript", Version: "1.1.3", PaperKLoC: 18,
+		Src:              src,
+		NonDeterministic: true,
+		Seeds:            [][]byte{[]byte("var x"), []byte("1+1")},
+		Bugs: []Bug{
+			{ID: "mujs-misc-tostring", Cat: Misc, Trigger: []byte("N\x00"), San: NoSan},
+			{ID: "mujs-misc-arith", Cat: Misc, Trigger: []byte("A\x00"), San: NoSan},
+			{ID: "mujs-misc-strindex", Cat: Misc, Trigger: []byte("X\x00"), San: NoSan},
+		},
+	}
+}
+
+// jq: two uninitialized parser fields, a precision overflow before
+// widening, and number formatting through pow().
+func jq() *Target {
+	src := `
+void parse_number(char* buf, long n) {
+    int exponent;
+    if (n >= 3 && buf[2] != '0') { exponent = buf[2] - '0'; }
+    if ((exponent & 1) == 1) { printf("exp odd %d\n", exponent & 31); }
+    else { printf("exp even %d\n", exponent & 31); }
+}
+
+void parse_depth(char* buf, long n) {
+    int depth;
+    if (n >= 2) { depth = buf[1] & 63; }
+    if ((depth & 2) == 0) { printf("shallow %d\n", depth & 127); }
+    else { printf("nested %d\n", depth & 127); }
+}
+
+void array_prealloc(char* buf, long n) {
+    if (n < 2) { printf("alloc default\n"); return; }
+    int elems = buf[0] * 196608;
+    int esize = buf[1] * 16384;
+    long bytes = elems * esize;
+    printf("prealloc %ld\n", bytes);
+}
+
+void format_number(char* buf, long n) {
+    double v = pow(10.0, (double)((buf[0] & 7)) + 0.5);
+    printf("%.15f\n", v);
+}
+
+int main() {
+    char buf[48];
+    long n = read_input(buf, 48L);
+    if (n < 1) { printf("jq: null\n"); return 0; }
+    if (buf[0] == 'N') { parse_number(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'D') { parse_depth(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'A') { array_prealloc(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'F' && n >= 2) { format_number(buf + 1, n - 1); return 0; }
+    printf("{} %ld\n", n);
+    return 0;
+}
+`
+	return &Target{
+		Name: "jq", InputType: "json", Version: "1.6", PaperKLoC: 46,
+		Src:   src,
+		Seeds: [][]byte{[]byte("{\"a\":1}"), []byte("D\x01\x02")},
+		Bugs: []Bug{
+			{ID: "jq-uninit-exponent", Cat: UninitMem, Trigger: []byte("N\x011\x30"), San: ByMSan},
+			{ID: "jq-uninit-depth", Cat: UninitMem, Trigger: []byte("D"), San: ByMSan},
+			{ID: "jq-int-prealloc", Cat: IntError, Trigger: []byte("A\xd4\xd4"), San: ByUBSan},
+			{ID: "jq-misc-format", Cat: Misc, Trigger: []byte("F\x06"), San: NoSan},
+		},
+	}
+}
+
+// libxml2: entity-buffer overflow, a namespace-cache use-after-free,
+// and two uninitialized parser-state fields.
+func libxml2() *Target {
+	src := `
+void expand_entity(char* buf, long n) {
+    char* entity = (char*)malloc(7L);
+    char* dict = (char*)malloc(8L);
+    if (entity == 0 || dict == 0) { return; }
+    for (int i = 0; i < 7; i++) { dict[i] = (char)(110 + i); }
+    dict[7] = '\0';
+    long take = n;
+    if (take > 38) { take = 38; }
+    for (long i = 0; i < take; i++) { entity[i] = buf[i]; }
+    printf("entity %c dict %s\n", entity[0], dict);
+    free(entity);
+    free(dict);
+}
+
+void ns_cache(char* buf, long n) {
+    int* ns = (int*)malloc(16L);
+    if (ns == 0) { return; }
+    ns[0] = 31337;
+    free(ns);
+    int* reuse = (int*)malloc(16L);
+    if (reuse == 0) { return; }
+    reuse[0] = (int)n * 11;
+    printf("ns %d reuse %d\n", ns[0], reuse[0]);
+    free(reuse);
+}
+
+void parser_state(char* buf, long n) {
+    int standalone;
+    if (n >= 3) { standalone = buf[2] & 1; }
+    if ((standalone & 1) == 1) { printf("standalone yes %d\n", standalone & 3); }
+    else { printf("standalone no %d\n", standalone & 3); }
+}
+
+void doc_encoding(char* buf, long n) {
+    int enc;
+    if (n >= 4 && buf[3] != 0) { enc = buf[3] & 15; }
+    if ((enc & 4) == 0) { printf("utf8-ish %d\n", enc & 31); }
+    else { printf("legacy %d\n", enc & 31); }
+}
+
+int main() {
+    char buf[56];
+    long n = read_input(buf, 56L);
+    if (n < 1) { printf("xml: empty document\n"); return 0; }
+    if (buf[0] == 'X') { expand_entity(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'M') { ns_cache(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'P') { parser_state(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'C') { doc_encoding(buf + 1, n - 1); return 0; }
+    printf("<doc len=%ld>\n", n);
+    return 0;
+}
+`
+	return &Target{
+		Name: "libxml2", InputType: "XML", Version: "2.9.12", PaperKLoC: 458,
+		Src:   src,
+		Seeds: [][]byte{[]byte("<a/>"), []byte("P\x01\x02\x03")},
+		Bugs: []Bug{
+			{ID: "libxml2-mem-entity", Cat: MemError, Trigger: append([]byte("X"), seqBytes(40)...), San: ByASan},
+			{ID: "libxml2-mem-nsuaf", Cat: MemError, Trigger: []byte("M\x01"), San: ByASan},
+			{ID: "libxml2-uninit-standalone", Cat: UninitMem, Trigger: []byte("P\x01"), San: ByMSan},
+			{ID: "libxml2-uninit-encoding", Cat: UninitMem, Trigger: []byte("C\x01\x02\x03\x00"), San: ByMSan},
+		},
+	}
+}

@@ -1,0 +1,524 @@
+package targets
+
+// Media decoders: libsndfile, brotli, pdftotext, pdftoppm, exiv2,
+// libtiff, ImageMagick, grok, gpac.
+
+// libsndfile: frame-count arithmetic that overflows before widening, a
+// heap overflow in the channel map, and a resampler coefficient whose
+// fused-multiply-add rounding differs per implementation.
+func libsndfile() *Target {
+	src := `
+void count_frames(char* buf, long n) {
+    if (n < 2) { printf("wav short\n"); return; }
+    int rate = buf[0] * 262144;
+    int chans = buf[1] * 2048;
+    long frames = rate * chans;
+    printf("frames %ld\n", frames);
+}
+
+void channel_map(char* buf, long n) {
+    char* map = (char*)malloc(6L);
+    char* order = (char*)malloc(8L);
+    if (map == 0 || order == 0) { return; }
+    for (int i = 0; i < 7; i++) { order[i] = (char)(49 + i); }
+    order[7] = '\0';
+    long take = n;
+    if (take > 36) { take = 36; }
+    for (long i = 0; i < take; i++) { map[i] = buf[i]; }
+    printf("map %c order %s\n", map[0], order);
+    free(map);
+    free(order);
+}
+
+void resample(char* buf, long n) {
+    double ratio = 0.1;
+    double gain = (double)(buf[0] & 7) + 10.0;
+    double acc = 0.0 - 1.0;
+    double coeff = ratio * gain + acc;
+    printf("coeff %.17f\n", coeff * 1000000000000000.0);
+}
+
+int main() {
+    char buf[48];
+    long n = read_input(buf, 48L);
+    if (n < 1) { printf("sndfile: no audio\n"); return 0; }
+    if (buf[0] == 'F') { count_frames(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'C') { channel_map(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'R' && n >= 2) { resample(buf + 1, n - 1); return 0; }
+    printf("riff %ld\n", n);
+    return 0;
+}
+`
+	return &Target{
+		Name: "libsndfile", InputType: "Audio", Version: "1.0.31", PaperKLoC: 66,
+		Src:   src,
+		Seeds: [][]byte{[]byte("F\x01\x01"), []byte("riff")},
+		Bugs: []Bug{
+			{ID: "sndfile-int-frames", Cat: IntError, Trigger: []byte("F\xd0\xd0"), San: ByUBSan},
+			{ID: "sndfile-mem-chanmap", Cat: MemError, Trigger: append([]byte("C"), seqBytes(40)...), San: ByASan},
+			{ID: "sndfile-misc-resample", Cat: Misc, Trigger: []byte("R\x00"), San: NoSan},
+		},
+	}
+}
+
+// brotli: the paper's confirmed floating-point bug — FP imprecision
+// feeding the compressor's internal state — plus a window-size
+// overflow before widening.
+func brotli() *Target {
+	src := `
+void estimate_ratio(char* buf, long n) {
+    double bits = 0.1;
+    double symbols = (double)((buf[0] & 15) + 10);
+    double bias = 0.0 - 1.0;
+    double state = bits * symbols + bias;
+    long bucket = (long)(state * 100000000000000000.0);
+    if (bucket > 0L) { printf("ratio bucket %ld\n", bucket); } else { printf("dense %ld\n", bucket); }
+}
+
+void window_size(char* buf, long n) {
+    if (n < 2) { printf("window default\n"); return; }
+    int lgwin = buf[0] * 524288;
+    int blocks = buf[1] * 8192;
+    long need = lgwin * blocks;
+    printf("window bytes %ld\n", need);
+}
+
+int main() {
+    char buf[40];
+    long n = read_input(buf, 40L);
+    if (n < 1) { printf("brotli: empty stream\n"); return 0; }
+    if (buf[0] == 'Q' && n >= 2) { estimate_ratio(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'W') { window_size(buf + 1, n - 1); return 0; }
+    printf("stream %ld bytes\n", n);
+    return 0;
+}
+`
+	return &Target{
+		Name: "brotli", InputType: "Compress tool", Version: "v1.0.9", PaperKLoC: 55,
+		Src:   src,
+		Seeds: [][]byte{[]byte("W\x00\x01"), []byte("data")},
+		Bugs: []Bug{
+			{ID: "brotli-misc-fpstate", Cat: Misc, Trigger: []byte("Q\x00"), San: NoSan},
+			{ID: "brotli-int-window", Cat: IntError, Trigger: []byte("W\xc0\xc0"), San: ByUBSan},
+		},
+	}
+}
+
+// pdftotext: a glyph-table overflow, two uninitialized text-state
+// fields, and a document-id derived from the clock.
+func pdftotext() *Target {
+	src := `
+void extract_glyphs(char* buf, long n) {
+    char* glyphs = (char*)malloc(9L);
+    char* widths = (char*)malloc(8L);
+    if (glyphs == 0 || widths == 0) { return; }
+    for (int i = 0; i < 7; i++) { widths[i] = (char)(48 + i); }
+    widths[7] = '\0';
+    long take = n;
+    if (take > 42) { take = 42; }
+    for (long i = 0; i < take; i++) { glyphs[i] = buf[i]; }
+    printf("glyph %c widths %s\n", glyphs[0], widths);
+    free(glyphs);
+    free(widths);
+}
+
+void text_state(char* buf, long n) {
+    int fontsize;
+    if (n >= 4) { fontsize = buf[3] & 63; }
+    if ((fontsize & 1) == 1) { printf("italic pt %d\n", fontsize & 127); }
+    else { printf("roman pt %d\n", fontsize & 127); }
+}
+
+void char_spacing(char* buf, long n) {
+    int spacing;
+    if (n >= 5 && buf[4] != 0) { spacing = buf[4]; }
+    if ((spacing & 1) == 0) { printf("spacing even %d\n", spacing & 255); }
+    else { printf("spacing odd %d\n", spacing & 255); }
+}
+
+void doc_id(long n) {
+    printf("docid %ld pages %ld\n", time_now() & 65535L, n);
+}
+
+int main() {
+    char buf[56];
+    long n = read_input(buf, 56L);
+    if (n < 1) { printf("pdftotext: not a pdf\n"); return 0; }
+    if (buf[0] == 'G') { extract_glyphs(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'X') { text_state(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'S') { char_spacing(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'I') { doc_id(n); return 0; }
+    printf("%%PDF %ld\n", n);
+    return 0;
+}
+`
+	return &Target{
+		Name: "pdftotext", InputType: "PDF", Version: "4.03", PaperKLoC: 130,
+		Src:   src,
+		Seeds: [][]byte{[]byte("X\x01\x02\x03\x0c"), []byte("%PDF")},
+		Bugs: []Bug{
+			{ID: "pdftotext-mem-glyphs", Cat: MemError, Trigger: append([]byte("G"), seqBytes(44)...), San: ByASan},
+			{ID: "pdftotext-uninit-fontsize", Cat: UninitMem, Trigger: []byte("X\x01\x02"), San: ByMSan},
+			{ID: "pdftotext-uninit-spacing", Cat: UninitMem, Trigger: []byte("S\x01\x02\x03\x00"), San: ByMSan},
+			{ID: "pdftotext-misc-docid", Cat: Misc, Trigger: []byte("I"), San: NoSan},
+		},
+	}
+}
+
+// pdftoppm: a scanline buffer overflow, an uninitialized gamma, and a
+// bitmap dimension overflow before widening.
+func pdftoppm() *Target {
+	src := `
+void render_scanline(char* buf, long n) {
+    char* line = (char*)malloc(11L);
+    char* palette = (char*)malloc(8L);
+    if (line == 0 || palette == 0) { return; }
+    for (int i = 0; i < 7; i++) { palette[i] = (char)(65 + i); }
+    palette[7] = '\0';
+    long take = n;
+    if (take > 44) { take = 44; }
+    for (long i = 0; i < take; i++) { line[i] = buf[i]; }
+    printf("line %c palette %s\n", line[0], palette);
+    free(line);
+    free(palette);
+}
+
+void apply_gamma(char* buf, long n) {
+    int gamma;
+    if (n >= 3) { gamma = buf[2] & 31; }
+    if ((gamma & 1) == 0) { printf("gamma even %d\n", gamma & 63); }
+    else { printf("gamma odd %d\n", gamma & 63); }
+}
+
+void bitmap_size(char* buf, long n) {
+    if (n < 2) { printf("dims missing\n"); return; }
+    int width = buf[0] * 98304;
+    int height = buf[1] * 24576;
+    long pixels = width * height;
+    printf("pixels %ld\n", pixels);
+}
+
+int main() {
+    char buf[56];
+    long n = read_input(buf, 56L);
+    if (n < 1) { printf("pdftoppm: not a pdf\n"); return 0; }
+    if (buf[0] == 'L') { render_scanline(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'A') { apply_gamma(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'Z') { bitmap_size(buf + 1, n - 1); return 0; }
+    printf("ppm P%d\n", (buf[0] & 3) + 1);
+    return 0;
+}
+`
+	return &Target{
+		Name: "pdftoppm", InputType: "PDF", Version: "21.11.0", PaperKLoC: 203,
+		Src:   src,
+		Seeds: [][]byte{[]byte("A\x01\x02\x03"), []byte("Z\x00\x01")},
+		Bugs: []Bug{
+			{ID: "pdftoppm-mem-scanline", Cat: MemError, Trigger: append([]byte("L"), seqBytes(46)...), San: ByASan},
+			{ID: "pdftoppm-uninit-gamma", Cat: UninitMem, Trigger: []byte("A\x01"), San: ByMSan},
+			{ID: "pdftoppm-int-bitmap", Cat: IntError, Trigger: []byte("Z\xe0\xe0"), San: ByUBSan},
+		},
+	}
+}
+
+// exiv2: three uninitialized-read bugs in maker-note printers, the
+// paper's Listing 4 shape: the value is only parsed when the field is
+// present, then printed regardless — all three invisible to MSan.
+func exiv2() *Target {
+	src := `
+void print_0x000c(char* buf, long n) {
+    int l;
+    if (n >= 2 && buf[1] != 0) { l = buf[1] * 7; }
+    printf("serial %d\n", (l & 65535) >> 1);
+}
+
+void print_0x0095(char* buf, long n) {
+    int lens;
+    if (n >= 3 && buf[2] != 0) { lens = buf[2] + 100; }
+    printf("lens id %d\n", lens & 4095);
+}
+
+void print_0x00b4(char* buf, long n) {
+    int wb;
+    if (n >= 4 && buf[3] != 0) { wb = buf[3] & 15; }
+    printf("white balance %d\n", wb & 255);
+}
+
+int main() {
+    char buf[40];
+    long n = read_input(buf, 40L);
+    if (n < 1) { printf("exiv2: no image\n"); return 0; }
+    if (buf[0] == 'S') { print_0x000c(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'L') { print_0x0095(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'W') { print_0x00b4(buf + 1, n - 1); return 0; }
+    printf("exif entries %ld\n", n);
+    return 0;
+}
+`
+	return &Target{
+		Name: "exiv2", InputType: "Exiv2 image", Version: "0.27.5", PaperKLoC: 384,
+		Src:   src,
+		Seeds: [][]byte{[]byte("S\x01\x05"), []byte("II*")},
+		Bugs: []Bug{
+			{ID: "exiv2-uninit-serial", Cat: UninitMem, Trigger: []byte("S\x01\x00"), San: NoSan},
+			{ID: "exiv2-uninit-lens", Cat: UninitMem, Trigger: []byte("L\x01\x02\x00"), San: NoSan},
+			{ID: "exiv2-uninit-wb", Cat: UninitMem, Trigger: []byte("W\x01\x02\x03\x00"), San: NoSan},
+		},
+	}
+}
+
+// libtiff: a strip offset diagnostic printed with __LINE__, the
+// paper's "bad random value" (clock-seeded), a predictor whose FMA
+// rounding differs, and an uninitialized fill order that decides a
+// branch.
+func libtiff() *Target {
+	src := `
+void read_strip(char* buf, long n) {
+    if (n < 4) {
+        printf("tiff: strip offset missing at line %d\n",
+            __LINE__);
+        return;
+    }
+    printf("strip %d at %d\n", buf[0], buf[1] * 256 + buf[2]);
+}
+
+void tile_hash(long n) {
+    long seed = time_now();
+    long h = (seed * 1103515245L + 12345L) & 262143L;
+    printf("tile hash %ld of %ld\n", h, n);
+}
+
+void predictor(char* buf, long n) {
+    double delta = 0.1;
+    double scale = (double)((buf[0] & 7) + 10);
+    double base = 0.0 - 1.0;
+    double pred = delta * scale + base;
+    printf("pred %.17f\n", pred * 1000000000000000.0);
+}
+
+void fill_order(char* buf, long n) {
+    int order;
+    if (n >= 3) { order = buf[2] & 1; }
+    if ((order & 1) == 1) { printf("msb2lsb %d\n", order & 7); }
+    else { printf("lsb2msb %d\n", order & 7); }
+}
+
+int main() {
+    char buf[48];
+    long n = read_input(buf, 48L);
+    if (n < 1) { printf("libtiff: empty\n"); return 0; }
+    if (buf[0] == 'T') { read_strip(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'H') { tile_hash(n); return 0; }
+    if (buf[0] == 'P' && n >= 2) { predictor(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'O') { fill_order(buf + 1, n - 1); return 0; }
+    printf("II magic %ld\n", n);
+    return 0;
+}
+`
+	return &Target{
+		Name: "libtiff", InputType: "Tiff image", Version: "4.3.0", PaperKLoC: 37,
+		Src:   src,
+		Seeds: [][]byte{[]byte("T\x01\x02\x03\x04"), []byte("II*\x00")},
+		Bugs: []Bug{
+			{ID: "libtiff-line-strip", Cat: Line, Trigger: []byte("T\x01"), San: NoSan},
+			{ID: "libtiff-misc-badrandom", Cat: Misc, Trigger: []byte("H"), San: NoSan},
+			{ID: "libtiff-misc-predictor", Cat: Misc, Trigger: []byte("P\x00"), San: NoSan},
+			{ID: "libtiff-uninit-fillorder", Cat: UninitMem, Trigger: []byte("O\x01"), San: ByMSan},
+		},
+	}
+}
+
+// ImageMagick: a delegate error printed with __LINE__, pixel-cache
+// overflow and use-after-free, and two uninitialized channel values.
+func imagemagick() *Target {
+	src := `
+void delegate_error(char* buf, long n) {
+    if (n < 3) {
+        printf("magick: delegate failed at line %d\n",
+            __LINE__);
+        return;
+    }
+    printf("delegate %c ok\n", buf[0]);
+}
+
+void pixel_cache(char* buf, long n) {
+    char* pixels = (char*)malloc(13L);
+    char* morph = (char*)malloc(8L);
+    if (pixels == 0 || morph == 0) { return; }
+    for (int i = 0; i < 7; i++) { morph[i] = (char)(77 + i); }
+    morph[7] = '\0';
+    long take = n;
+    if (take > 46) { take = 46; }
+    for (long i = 0; i < take; i++) { pixels[i] = buf[i]; }
+    printf("cache %c morph %s\n", pixels[0], morph);
+    free(pixels);
+    free(morph);
+}
+
+void clone_image(char* buf, long n) {
+    int* frame = (int*)malloc(16L);
+    if (frame == 0) { return; }
+    frame[0] = 4242;
+    free(frame);
+    int* clone = (int*)malloc(16L);
+    if (clone == 0) { return; }
+    clone[0] = (int)n * 17;
+    printf("frame %d clone %d\n", frame[0], clone[0]);
+    free(clone);
+}
+
+void alpha_channel(char* buf, long n) {
+    int alpha;
+    if (n >= 5) { alpha = buf[4] & 127; }
+    if ((alpha & 1) == 0) { printf("alpha even %d\n", alpha & 255); }
+    else { printf("alpha odd %d\n", alpha & 255); }
+}
+
+void gamma_channel(char* buf, long n) {
+    int gamma;
+    if (n >= 6 && buf[5] != 0) { gamma = buf[5]; }
+    if ((gamma & 2) == 0) { printf("gamma lo %d\n", gamma & 255); }
+    else { printf("gamma hi %d\n", gamma & 255); }
+}
+
+int main() {
+    char buf[64];
+    long n = read_input(buf, 64L);
+    if (n < 1) { printf("magick: no image\n"); return 0; }
+    if (buf[0] == 'D') { delegate_error(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'P') { pixel_cache(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'C') { clone_image(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'A') { alpha_channel(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'M') { gamma_channel(buf + 1, n - 1); return 0; }
+    printf("geometry %ldx%d\n", n, buf[0] & 7);
+    return 0;
+}
+`
+	return &Target{
+		Name: "ImageMagick", InputType: "Image", Version: "7.1.0-23", PaperKLoC: 655,
+		Src:              src,
+		NonDeterministic: true,
+		Seeds:            [][]byte{[]byte("D\x01\x02\x03"), []byte("GIF8")},
+		Bugs: []Bug{
+			{ID: "magick-line-delegate", Cat: Line, Trigger: []byte("D\x01"), San: NoSan},
+			{ID: "magick-mem-pixelcache", Cat: MemError, Trigger: append([]byte("P"), seqBytes(48)...), San: ByASan},
+			{ID: "magick-mem-cloneuaf", Cat: MemError, Trigger: []byte("C\x01"), San: ByASan},
+			{ID: "magick-uninit-alpha", Cat: UninitMem, Trigger: []byte("A\x01\x02"), San: ByMSan},
+			{ID: "magick-uninit-gamma", Cat: UninitMem, Trigger: []byte("M\x01\x02\x03\x04\x00"), San: ByMSan},
+		},
+	}
+}
+
+// grok: two tile-arithmetic overflows before widening, an
+// uninitialized quality layer, and a rate-distortion estimate whose
+// pow() path differs per implementation.
+func grok() *Target {
+	src := `
+void tile_grid(char* buf, long n) {
+    if (n < 2) { printf("grid default\n"); return; }
+    int tw = buf[0] * 147456;
+    int th = buf[1] * 18432;
+    long tiles = tw * th;
+    printf("tiles %ld\n", tiles);
+}
+
+void precinct_size(char* buf, long n) {
+    if (n < 3) { printf("precinct default\n"); return; }
+    int pw = buf[1] * 229376;
+    int ph = buf[2] * 12288;
+    long area = pw * ph;
+    printf("precinct %ld\n", area);
+}
+
+void quality_layer(char* buf, long n) {
+    int layers;
+    if (n >= 4) { layers = buf[3] & 31; }
+    if ((layers & 1) == 1) { printf("layers odd %d\n", layers & 63); }
+    else { printf("layers even %d\n", layers & 63); }
+}
+
+void rate_estimate(char* buf, long n) {
+    double rate = pow(1.5, (double)((buf[0] & 7)) + 0.5);
+    printf("rd %.15f\n", rate);
+}
+
+int main() {
+    char buf[48];
+    long n = read_input(buf, 48L);
+    if (n < 1) { printf("grok: no codestream\n"); return 0; }
+    if (buf[0] == 'G') { tile_grid(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'P') { precinct_size(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'Q') { quality_layer(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'E' && n >= 2) { rate_estimate(buf + 1, n - 1); return 0; }
+    printf("soc marker %ld\n", n);
+    return 0;
+}
+`
+	return &Target{
+		Name: "grok", InputType: "JPEG 2000", Version: "9.7.0", PaperKLoC: 127,
+		Src:              src,
+		NonDeterministic: true,
+		Seeds:            [][]byte{[]byte("G\x00\x01"), []byte("Q\x01\x02\x03\x04")},
+		Bugs: []Bug{
+			{ID: "grok-int-tilegrid", Cat: IntError, Trigger: []byte("G\xd0\xd0"), San: ByUBSan},
+			{ID: "grok-int-precinct", Cat: IntError, Trigger: []byte("P\x01\xd0\xd0"), San: ByUBSan},
+			{ID: "grok-uninit-layers", Cat: UninitMem, Trigger: []byte("Q\x01\x02"), San: ByMSan},
+			{ID: "grok-misc-rate", Cat: Misc, Trigger: []byte("E\x03"), San: NoSan},
+		},
+	}
+}
+
+// gpac: a track-duration sum printed against the wall clock, a
+// bitrate estimate through pow(), and a sample-count overflow.
+func gpac() *Target {
+	src := `
+void track_timeline(char* buf, long n) {
+    printf("track imported at %ld duration %ld\n", time_now() & 1048575L, n * 40L);
+}
+
+void bitrate_estimate(char* buf, long n) {
+    double mbps = pow(2.2, (double)((buf[0] & 7)) + 0.25);
+    printf("bitrate %.15f\n", mbps);
+}
+
+void sample_count(char* buf, long n) {
+    if (n < 2) { printf("samples default\n"); return; }
+    int chunks = buf[0] * 180224;
+    int per = buf[1] * 14336;
+    long samples = chunks * per;
+    printf("samples %ld\n", samples);
+}
+
+int main() {
+    char buf[48];
+    long n = read_input(buf, 48L);
+    if (n < 1) { printf("gpac: no mp4\n"); return 0; }
+    if (buf[0] == 'K') { track_timeline(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'B' && n >= 2) { bitrate_estimate(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'S') { sample_count(buf + 1, n - 1); return 0; }
+    printf("ftyp %ld\n", n);
+    return 0;
+}
+`
+	return &Target{
+		Name: "gpac", InputType: "Video", Version: "2.0.0", PaperKLoC: 597,
+		Src:              src,
+		NonDeterministic: true,
+		Seeds:            [][]byte{[]byte("S\x00\x01"), []byte("ftyp")},
+		Bugs: []Bug{
+			{ID: "gpac-misc-timeline", Cat: Misc, Trigger: []byte("K"), San: NoSan},
+			{ID: "gpac-misc-bitrate", Cat: Misc, Trigger: []byte("B\x05"), San: NoSan},
+			{ID: "gpac-int-samples", Cat: IntError, Trigger: []byte("S\xd8\xd8"), San: ByUBSan},
+		},
+	}
+}
+
+// seqBytes returns n distinct non-zero bytes, used by overflow
+// triggers whose corruption must be position-dependent.
+func seqBytes(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(1 + i%250)
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package targets
+
+// Network-facing targets: tcpdump, wireshark, curl.
+
+// tcpdump: the paper's flagship EvalOrder case (Listing 3). Two print
+// routines share static buffers and are both called inside one printf
+// argument list; a third handler leaves a length field uninitialized
+// on truncated packets.
+func tcpdump() *Target {
+	src := `
+static char addrbuf[16];
+char* fmt_addr(int hi, int lo) {
+    addrbuf[0] = (char)(48 + (hi & 7));
+    addrbuf[1] = '.';
+    addrbuf[2] = (char)(48 + (lo & 7));
+    addrbuf[3] = '\0';
+    return addrbuf;
+}
+
+static char portbuf[16];
+char* fmt_port(int p) {
+    int v = p & 255;
+    portbuf[0] = (char)(48 + v / 100);
+    portbuf[1] = (char)(48 + (v / 10) % 10);
+    portbuf[2] = (char)(48 + v % 10);
+    portbuf[3] = '\0';
+    return portbuf;
+}
+
+void print_arp(char* pkt, long n) {
+    if (n < 4) { printf("arp truncated\n"); return; }
+    printf("who-is %s tell %s\n",
+        fmt_addr(pkt[0], pkt[1]),
+        fmt_addr(pkt[2], pkt[3]));
+}
+
+void print_tcp(char* pkt, long n) {
+    if (n < 4) { printf("tcp truncated\n"); return; }
+    printf("ports %s > %s\n",
+        fmt_port(pkt[0]),
+        fmt_port(pkt[2]));
+}
+
+void print_udp(char* pkt, long n) {
+    int len;
+    if (n >= 6) { len = pkt[4] * 256 + pkt[5]; }
+    printf("udp payload len %d\n", len);
+}
+
+int main() {
+    char pkt[64];
+    long n = read_input(pkt, 64L);
+    if (n < 1) { printf("no capture\n"); return 0; }
+    if (pkt[0] == 'A') { print_arp(pkt + 1, n - 1); return 0; }
+    if (pkt[0] == 'T') { print_tcp(pkt + 1, n - 1); return 0; }
+    if (pkt[0] == 'U') { print_udp(pkt + 1, n - 1); return 0; }
+    printf("ether type %d\n", pkt[0]);
+    return 0;
+}
+`
+	return &Target{
+		Name: "tcpdump", InputType: "Network packet", Version: "4.99.1", PaperKLoC: 99,
+		Src:              src,
+		NonDeterministic: true,
+		Seeds:            [][]byte{[]byte("A"), []byte("T\x11"), {0x7f}},
+		Bugs: []Bug{
+			{ID: "tcpdump-evalorder-arp", Cat: EvalOrder, Trigger: []byte("A\x01\x02\x03\x04"), San: NoSan},
+			{ID: "tcpdump-evalorder-tcp", Cat: EvalOrder, Trigger: []byte("T\x01\x02\x03\x04"), San: NoSan},
+			{ID: "tcpdump-uninit-udplen", Cat: UninitMem, Trigger: []byte("U\x01\x02\x03\x04"), San: NoSan},
+		},
+	}
+}
+
+// wireshark: legitimate output carries wall-clock timestamps (the RQ5
+// normalization example); the bugs are a raw capture-time leak, a
+// pointer-identity print ("unknown reason" in the paper's triage), a
+// multi-line __LINE__ diagnostic, and an uninitialized flags field.
+func wireshark() *Target {
+	src := `
+void epan_banner() {
+    long ts = time_now();
+    printf("1%d:0%d:2%d.40583%d [Epan WARNING]\n",
+        (int)(ts & 7), (int)((ts >> 3) & 7) % 6, (int)((ts >> 6) & 7), (int)(ts & 7));
+}
+
+void dissect_frame(char* buf, long n) {
+    epan_banner();
+    if (n < 3) { printf("frame short\n"); return; }
+    printf("frame proto %d len %ld\n", buf[0], n);
+}
+
+void dissect_stats(char* buf, long n) {
+    epan_banner();
+    printf("capture started at %ld\n", time_now());
+    printf("packets %ld\n", n);
+}
+
+void dissect_ring(char* buf, long n) {
+    epan_banner();
+    printf("ring buffer id %ld\n", (long)buf);
+    printf("slots %ld\n", n);
+}
+
+void dissect_expert(char* buf, long n) {
+    epan_banner();
+    if (n < 2) {
+        printf("expert info missing at line %d\n",
+            __LINE__);
+        return;
+    }
+    printf("expert severity %d\n", buf[1]);
+}
+
+void dissect_vlan(char* buf, long n) {
+    epan_banner();
+    int flags;
+    if (n >= 4) { flags = buf[2] * 8 + buf[3]; }
+    if ((flags & 1) == 1) { printf("vlan tagged %d\n", flags & 255); }
+    else { printf("vlan plain %d\n", flags & 255); }
+}
+
+int main() {
+    char buf[96];
+    long n = read_input(buf, 96L);
+    if (n < 1) { printf("empty capture\n"); return 0; }
+    if (buf[0] == 'S') { dissect_stats(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'R') { dissect_ring(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'E') { dissect_expert(buf + 1, n - 1); return 0; }
+    if (buf[0] == 'V') { dissect_vlan(buf + 1, n - 1); return 0; }
+    dissect_frame(buf, n);
+    return 0;
+}
+`
+	return &Target{
+		Name: "wireshark", InputType: "Network packet", Version: "3.4.5", PaperKLoC: 4600,
+		Src:              src,
+		NonDeterministic: true,
+		NeedsNormalizer:  true,
+		Seeds:            [][]byte{[]byte("\x01\x02\x03"), []byte("E\x05\x06")},
+		Bugs: []Bug{
+			{ID: "wireshark-misc-rawtime", Cat: Misc, Trigger: []byte("S\x01"), San: NoSan},
+			{ID: "wireshark-misc-ringptr", Cat: Misc, Trigger: []byte("R\x01"), San: NoSan},
+			{ID: "wireshark-line-expert", Cat: Line, Trigger: []byte("E"), San: NoSan},
+			{ID: "wireshark-uninit-vlan", Cat: UninitMem, Trigger: []byte("V\x01\x02"), San: ByMSan},
+		},
+	}
+}
+
+// curl: URL parser. The retry planner prints the raw clock; the port
+// field stays uninitialized when the URL has no colon and is printed
+// as-is (MSan-invisible: never branched on).
+func curl() *Target {
+	src := `
+long find_colon(char* s, long n) {
+    for (long i = 0; i < n; i++) {
+        if (s[i] == ':') { return i; }
+    }
+    return 0 - 1;
+}
+
+void handle_retry(char* buf, long n) {
+    printf("retry-after baseline %ld\n", time_now());
+    printf("attempts %ld\n", n);
+}
+
+void handle_url(char* buf, long n) {
+    int port;
+    long c = find_colon(buf, n);
+    if (c >= 0 && c + 1 < n) {
+        port = buf[c + 1] * 256 + (c + 2 < n ? buf[c + 2] : 0);
+    }
+    printf("host bytes %ld port %d\n", n, port);
+}
+
+int main() {
+    char buf[80];
+    long n = read_input(buf, 80L);
+    if (n < 1) { printf("usage: curl URL\n"); return 0; }
+    if (buf[0] == 'R') { handle_retry(buf + 1, n - 1); return 0; }
+    handle_url(buf, n);
+    return 0;
+}
+`
+	return &Target{
+		Name: "curl", InputType: "URL", Version: "7.80.0", PaperKLoC: 13,
+		Src:   src,
+		Seeds: [][]byte{[]byte("example:80"), []byte("host:x1")},
+		Bugs: []Bug{
+			{ID: "curl-misc-retrytime", Cat: Misc, Trigger: []byte("R1"), San: NoSan},
+			{ID: "curl-uninit-port", Cat: UninitMem, Trigger: []byte("example"), San: NoSan},
+		},
+	}
+}

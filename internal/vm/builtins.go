@@ -1,0 +1,414 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"compdiff/internal/ir"
+	"compdiff/internal/minic/sema"
+)
+
+// builtin dispatches a runtime-library call. args are in declaration
+// order regardless of the binary's evaluation order.
+func (m *Machine) builtin(id int, args []uint64, taints []bool, line int32) {
+	switch id {
+	case sema.BPrintf:
+		m.doPrintf(args, line)
+	case sema.BMalloc:
+		m.push(m.malloc(int64(arg(args, 0))))
+	case sema.BFree:
+		m.free(arg(args, 0), line)
+	case sema.BMemcpy:
+		m.doMemcpy(arg(args, 0), arg(args, 1), int64(arg(args, 2)), line)
+	case sema.BMemset:
+		m.doMemset(arg(args, 0), byte(arg(args, 1)), int64(arg(args, 2)), line)
+	case sema.BStrlen:
+		if n, ok := m.cStringLen(arg(args, 0), line); ok {
+			m.push(uint64(n))
+		}
+	case sema.BStrcpy:
+		m.doStrcpy(arg(args, 0), arg(args, 1), line)
+	case sema.BStrncpy:
+		m.doStrncpy(arg(args, 0), arg(args, 1), int64(arg(args, 2)), line)
+	case sema.BStrcmp:
+		m.doStrcmp(arg(args, 0), arg(args, 1), line)
+	case sema.BStrcat:
+		m.doStrcat(arg(args, 0), arg(args, 1), line)
+	case sema.BInputSize:
+		m.push(uint64(len(m.input)))
+	case sema.BInputByte:
+		i := int64(arg(args, 0))
+		if i >= 0 && i < int64(len(m.input)) {
+			m.push(uint64(m.input[i]))
+		} else {
+			m.push(ir.Canon(ir.I32, ^uint64(0))) // -1
+		}
+	case sema.BReadInput:
+		m.doReadInput(arg(args, 0), int64(arg(args, 1)), line)
+	case sema.BExit:
+		m.exitNormally(int32(arg(args, 0)))
+	case sema.BAbs:
+		v := int32(arg(args, 0))
+		if v == math.MinInt32 {
+			if m.opts.San == SanUBSan {
+				m.report("ubsan", "signed-integer-overflow", line)
+				return
+			}
+			m.push(ir.Canon(ir.I32, uint64(int64(v))))
+			return
+		}
+		if v < 0 {
+			v = -v
+		}
+		m.push(ir.Canon(ir.I32, uint64(v)))
+	case sema.BPow:
+		x := math.Float64frombits(arg(args, 0))
+		y := math.Float64frombits(arg(args, 1))
+		var r float64
+		if m.prof.PowViaExp2 {
+			// The exp2 libcall substitution: same math, last-ulp
+			// differences (the paper's FP-imprecision category).
+			r = math.Exp2(y * math.Log2(x))
+		} else {
+			r = math.Pow(x, y)
+		}
+		m.push(math.Float64bits(r))
+	case sema.BSqrt:
+		m.push(math.Float64bits(math.Sqrt(math.Float64frombits(arg(args, 0)))))
+	case sema.BFabs:
+		m.push(math.Float64bits(math.Abs(math.Float64frombits(arg(args, 0)))))
+	case sema.BTimeNow:
+		m.timeCnt++
+		if m.opts.TimeNow != nil {
+			m.push(uint64(m.opts.TimeNow(m.runSeq, m.timeCnt)))
+			return
+		}
+		// A wall clock: different per binary, per run, per call.
+		m.push(uint64(int64(m.prof.Key>>33) + m.runSeq*997 + int64(m.timeCnt)*31))
+	default:
+		m.trap(VMFault)
+	}
+	_ = taints
+}
+
+func arg(args []uint64, i int) uint64 {
+	if i < len(args) {
+		return args[i]
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// printf
+
+// doPrintf implements a C-like printf over guest memory.
+func (m *Machine) doPrintf(args []uint64, line int32) {
+	format, ok := m.readCString(arg(args, 0), line)
+	if !ok {
+		return
+	}
+	var out []byte
+	ai := 1
+	next := func() uint64 {
+		v := arg(args, ai)
+		ai++
+		return v
+	}
+	i := 0
+	for i < len(format) {
+		c := format[i]
+		if c != '%' {
+			out = append(out, c)
+			i++
+			continue
+		}
+		i++
+		if i >= len(format) {
+			out = append(out, '%')
+			break
+		}
+		// Optional precision like %.12f and length modifier l/ll.
+		prec := -1
+		if format[i] == '.' {
+			i++
+			p := 0
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				p = p*10 + int(format[i]-'0')
+				i++
+			}
+			prec = p
+		}
+		longMod := false
+		for i < len(format) && format[i] == 'l' {
+			longMod = true
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		switch format[i] {
+		case 'd':
+			if longMod {
+				out = strconv.AppendInt(out, int64(next()), 10)
+			} else {
+				out = strconv.AppendInt(out, int64(int32(next())), 10)
+			}
+		case 'u':
+			if longMod {
+				out = strconv.AppendUint(out, next(), 10)
+			} else {
+				out = strconv.AppendUint(out, uint64(uint32(next())), 10)
+			}
+		case 'x':
+			if longMod {
+				out = strconv.AppendUint(out, next(), 16)
+			} else {
+				out = strconv.AppendUint(out, uint64(uint32(next())), 16)
+			}
+		case 'c':
+			out = append(out, byte(next()))
+		case 's':
+			s, ok := m.readCString(next(), line)
+			if !ok {
+				return
+			}
+			out = append(out, s...)
+		case 'p':
+			out = append(out, fmt.Sprintf("0x%x", next())...)
+		case 'f', 'g':
+			f := math.Float64frombits(next())
+			p := 6
+			if prec >= 0 {
+				p = prec
+			}
+			if format[i] == 'g' {
+				out = strconv.AppendFloat(out, f, 'g', -1, 64)
+			} else {
+				out = strconv.AppendFloat(out, f, 'f', p, 64)
+			}
+		case '%':
+			out = append(out, '%')
+		default:
+			out = append(out, '%', format[i])
+		}
+		i++
+	}
+	m.writeOut(string(out))
+	m.push(ir.Canon(ir.I32, uint64(len(out))))
+}
+
+// readCString reads a NUL-terminated string from guest memory with
+// full access checking.
+func (m *Machine) readCString(addr uint64, line int32) (string, bool) {
+	var out []byte
+	for {
+		if !m.checkAccess(addr, 1, false, line) {
+			return "", false
+		}
+		c := m.mem[addr]
+		if c == 0 {
+			return string(out), true
+		}
+		out = append(out, c)
+		addr++
+		if len(out) > 1<<16 {
+			// Unterminated garbage: stop like a crashed puts would.
+			m.trap(SigSegv)
+			return "", false
+		}
+	}
+}
+
+// cStringLen is strlen with checking.
+func (m *Machine) cStringLen(addr uint64, line int32) (int64, bool) {
+	n := int64(0)
+	for {
+		if !m.checkAccess(addr, 1, false, line) {
+			return 0, false
+		}
+		if m.mem[addr] == 0 {
+			return n, true
+		}
+		addr++
+		n++
+		if n > 1<<20 {
+			m.trap(SigSegv)
+			return 0, false
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Memory builtins
+
+func rangesOverlap(a, b uint64, n int64) bool {
+	an, bn := a+uint64(n), b+uint64(n)
+	return a < bn && b < an
+}
+
+func (m *Machine) doMemcpy(dst, src uint64, n int64, line int32) {
+	if n <= 0 {
+		m.push(dst)
+		return
+	}
+	if !m.checkAccess(src, uint64(n), false, line) || !m.checkAccess(dst, uint64(n), true, line) {
+		return
+	}
+	if rangesOverlap(dst, src, n) {
+		if m.asanShadow != nil {
+			m.report("asan", "memcpy-param-overlap", line)
+			return
+		}
+		// Overlapping memcpy is UB (CWE-475): the copy direction is an
+		// implementation artifact and decides the result.
+		m.markDirty(dst, uint64(n))
+		if m.prof.MemcpyBackward {
+			for i := n - 1; i >= 0; i-- {
+				m.mem[dst+uint64(i)] = m.mem[src+uint64(i)]
+			}
+		} else {
+			for i := int64(0); i < n; i++ {
+				m.mem[dst+uint64(i)] = m.mem[src+uint64(i)]
+			}
+		}
+	} else {
+		m.markDirty(dst, uint64(n))
+		copy(m.mem[dst:dst+uint64(n)], m.mem[src:src+uint64(n)])
+	}
+	if m.msanInit != nil {
+		copy(m.msanInit[dst:dst+uint64(n)], m.msanInit[src:src+uint64(n)])
+	}
+	m.push(dst)
+}
+
+func (m *Machine) doMemset(p uint64, c byte, n int64, line int32) {
+	if n < 0 {
+		m.trap(SigSegv)
+		return
+	}
+	if n > 0 {
+		if !m.checkAccess(p, uint64(n), true, line) {
+			return
+		}
+		m.markDirty(p, uint64(n))
+		for i := int64(0); i < n; i++ {
+			m.mem[p+uint64(i)] = c
+		}
+		m.markInit(p, uint64(n), true)
+	}
+	m.push(p)
+}
+
+func (m *Machine) doStrcpy(dst, src uint64, line int32) {
+	for i := uint64(0); ; i++ {
+		if !m.checkAccess(src+i, 1, false, line) || !m.checkAccess(dst+i, 1, true, line) {
+			return
+		}
+		c := m.mem[src+i]
+		m.markDirty(dst+i, 1)
+		m.mem[dst+i] = c
+		m.markInit(dst+i, 1, true)
+		if c == 0 {
+			break
+		}
+		if i > 1<<20 {
+			m.trap(SigSegv)
+			return
+		}
+	}
+	m.push(dst)
+}
+
+func (m *Machine) doStrncpy(dst, src uint64, n int64, line int32) {
+	copying := true
+	for i := int64(0); i < n; i++ {
+		if !m.checkAccess(dst+uint64(i), 1, true, line) {
+			return
+		}
+		m.markDirty(dst+uint64(i), 1)
+		var c byte
+		if copying {
+			if !m.checkAccess(src+uint64(i), 1, false, line) {
+				return
+			}
+			c = m.mem[src+uint64(i)]
+			if c == 0 {
+				copying = false
+			}
+		}
+		m.mem[dst+uint64(i)] = c
+		m.markInit(dst+uint64(i), 1, true)
+	}
+	m.push(dst)
+}
+
+func (m *Machine) doStrcmp(a, b uint64, line int32) {
+	for i := uint64(0); ; i++ {
+		if !m.checkAccess(a+i, 1, false, line) || !m.checkAccess(b+i, 1, false, line) {
+			return
+		}
+		ca, cb := m.mem[a+i], m.mem[b+i]
+		if ca != cb {
+			r := int64(-1)
+			if ca > cb {
+				r = 1
+			}
+			m.push(ir.Canon(ir.I32, uint64(r)))
+			return
+		}
+		if ca == 0 {
+			m.push(0)
+			return
+		}
+		if i > 1<<20 {
+			m.trap(SigSegv)
+			return
+		}
+	}
+}
+
+func (m *Machine) doStrcat(dst, src uint64, line int32) {
+	end := dst
+	for {
+		if !m.checkAccess(end, 1, false, line) {
+			return
+		}
+		if m.mem[end] == 0 {
+			break
+		}
+		end++
+	}
+	for i := uint64(0); ; i++ {
+		if !m.checkAccess(src+i, 1, false, line) || !m.checkAccess(end+i, 1, true, line) {
+			return
+		}
+		c := m.mem[src+i]
+		m.markDirty(end+i, 1)
+		m.mem[end+i] = c
+		m.markInit(end+i, 1, true)
+		if c == 0 {
+			break
+		}
+	}
+	m.push(dst)
+}
+
+func (m *Machine) doReadInput(buf uint64, max int64, line int32) {
+	n := int64(len(m.input))
+	if max < n {
+		n = max
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n > 0 {
+		if !m.checkAccess(buf, uint64(n), true, line) {
+			return
+		}
+		m.markDirty(buf, uint64(n))
+		copy(m.mem[buf:buf+uint64(n)], m.input[:n])
+		m.markInit(buf, uint64(n), true)
+	}
+	m.push(uint64(n))
+}

@@ -1,0 +1,492 @@
+package vm
+
+import (
+	"compdiff/internal/hash"
+	"compdiff/internal/ir"
+)
+
+// SanMode selects sanitizer instrumentation for a machine.
+type SanMode int
+
+const (
+	SanNone SanMode = iota
+	SanASan
+	SanUBSan
+	SanMSan
+)
+
+// String names the mode.
+func (m SanMode) String() string {
+	switch m {
+	case SanASan:
+		return "asan"
+	case SanUBSan:
+		return "ubsan"
+	case SanMSan:
+		return "msan"
+	default:
+		return "none"
+	}
+}
+
+// Options configures a Machine.
+type Options struct {
+	// StepLimit bounds executed instructions per run (timeout analog).
+	// Zero means DefaultStepLimit.
+	StepLimit int64
+	// MaxOutput caps each captured stream in bytes. Zero means 256 KiB.
+	MaxOutput int
+	// San selects sanitizer instrumentation.
+	San SanMode
+	// Coverage enables the AFL-style edge bitmap (for instrumented
+	// binaries).
+	Coverage bool
+	// TimeNow supplies the wall clock for the time_now builtin. The
+	// default derives a value from the binary's personality and a run
+	// counter — deliberately unstable across implementations and runs,
+	// like a real clock (RQ5 material). Tests may pin it.
+	TimeNow func(runSeq int64, call int) int64
+
+	// TraceLines records the sequence of executed source lines in
+	// Result.Trace (consecutive duplicates collapsed), the raw
+	// material for trace-diff fault localization (paper §5). Bounded
+	// by MaxTrace (default 1<<16 entries).
+	TraceLines bool
+	MaxTrace   int
+}
+
+// DefaultStepLimit is the per-run instruction budget.
+const DefaultStepLimit = 4_000_000
+
+// CovMapSize is the coverage bitmap size (AFL's classic 64 KiB).
+const CovMapSize = 1 << 16
+
+// Machine executes one compiled binary. It plays the role of the
+// AFL++ forkserver: the binary is loaded once, and each Run resets
+// memory from a pristine snapshot instead of re-launching.
+type Machine struct {
+	prog *ir.Program
+	opts Options
+	prof ir.Profile
+
+	mem      []byte
+	pristine []byte
+
+	// Sanitizer shadow state.
+	asanShadow []byte // 0 ok, else poison kind
+	msanInit   []byte // 1 = initialized
+
+	cov      []byte
+	edgeHash []uint16
+
+	// Run state.
+	input   []byte
+	stdout  []byte
+	stderr  []byte
+	steps   int64
+	limit   int64
+	runSeq  int64
+	timeCnt int
+
+	stack  []uint64
+	taint  []bool
+	temp   []uint64
+	tempT  []bool
+	frames []frame
+
+	// Stack segment allocation.
+	stackLow, stackHigh uint64
+
+	heap heapState
+
+	halt    bool
+	exit    ExitKind
+	code    int32
+	san     *SanReport
+	prevLoc uint16
+
+	// Dirty span: the byte range writes may have touched since the
+	// last reset. Reset restores only this range from the pristine
+	// image, which keeps the fork-server loop fast.
+	dirtyLo, dirtyHi uint64
+
+	// Line trace (TraceLines mode).
+	trace     []int32
+	lastTrace int32
+
+	msanPristine []byte
+}
+
+// markDirty widens the dirty span to include [addr, addr+size).
+func (m *Machine) markDirty(addr, size uint64) {
+	if addr < m.dirtyLo {
+		m.dirtyLo = addr
+	}
+	if addr+size > m.dirtyHi {
+		m.dirtyHi = addr + size
+	}
+}
+
+type frame struct {
+	fn   *ir.Func
+	base uint64
+	pc   int
+}
+
+// New loads prog into a fresh machine.
+func New(prog *ir.Program, opts Options) *Machine {
+	if opts.StepLimit <= 0 {
+		opts.StepLimit = DefaultStepLimit
+	}
+	if opts.MaxOutput <= 0 {
+		opts.MaxOutput = 256 << 10
+	}
+	if opts.TraceLines && opts.MaxTrace <= 0 {
+		opts.MaxTrace = 1 << 16
+	}
+	m := &Machine{prog: prog, opts: opts, prof: prog.Profile}
+	m.buildPristine()
+	m.mem = make([]byte, ir.MemSize)
+	copy(m.mem, m.pristine)
+	if opts.San == SanASan {
+		m.asanShadow = make([]byte, ir.MemSize)
+	}
+	if opts.San == SanMSan {
+		m.msanInit = make([]byte, ir.MemSize)
+		m.msanPristine = make([]byte, ir.MemSize)
+		for i := ir.RodataBase; i < ir.GlobalsBase+int(m.prog.GlobalsLen); i++ {
+			m.msanPristine[i] = 1
+		}
+		copy(m.msanInit, m.msanPristine)
+	}
+	m.dirtyLo, m.dirtyHi = ir.MemSize, 0 // memory is pristine: first reset skips the copy
+	if opts.Coverage {
+		m.cov = make([]byte, CovMapSize)
+		n := prog.NumEdges
+		if n == 0 {
+			n = 1
+		}
+		m.edgeHash = make([]uint16, n)
+		for i := range m.edgeHash {
+			m.edgeHash[i] = uint16(hash.Sum32([]byte{byte(i), byte(i >> 8), byte(i >> 16)}, 0xed9e) & (CovMapSize - 1))
+		}
+	}
+	return m
+}
+
+// buildPristine constructs the initial memory image: the
+// implementation's fill pattern everywhere (what "uninitialized"
+// memory contains), rodata, and zeroed+initialized globals.
+func (m *Machine) buildPristine() {
+	img := make([]byte, ir.MemSize)
+	var pat [64]byte
+	k := m.prof.Key
+	for i := 0; i < 64; i += 8 {
+		k = k*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+		for j := 0; j < 8; j++ {
+			pat[i+j] = byte(k >> (8 * j))
+		}
+	}
+	for i := ir.NullTop; i < len(img); i += 64 {
+		copy(img[i:], pat[:])
+	}
+	copy(img[ir.RodataBase:], m.prog.Rodata)
+	// C guarantees zero-initialization of the data segment.
+	gl := img[ir.GlobalsBase : ir.GlobalsBase+m.prog.GlobalsLen]
+	for i := range gl {
+		gl[i] = 0
+	}
+	for _, gi := range m.prog.GlobalInit {
+		copy(img[ir.GlobalsBase+gi.Offset:], gi.Data)
+	}
+	m.pristine = img
+}
+
+// Program returns the loaded binary.
+func (m *Machine) Program() *ir.Program { return m.prog }
+
+// Coverage returns the edge bitmap of the last run (nil when coverage
+// is disabled).
+func (m *Machine) Coverage() []byte { return m.cov }
+
+// Run executes the binary on input and returns the observable result.
+func (m *Machine) Run(input []byte) *Result {
+	m.reset(input)
+	m.call(m.prog.Main, nil)
+	for !m.halt {
+		m.step()
+	}
+	res := &Result{
+		Exit:   m.exit,
+		Code:   m.code,
+		Stdout: append([]byte(nil), m.stdout...),
+		Stderr: append([]byte(nil), m.stderr...),
+		Steps:  m.steps,
+		San:    m.san,
+	}
+	if m.opts.TraceLines {
+		res.Trace = append([]int32(nil), m.trace...)
+	}
+	return res
+}
+
+// RunWithLimit runs with a one-off step limit (the CompDiff
+// partial-timeout re-run policy uses it).
+func (m *Machine) RunWithLimit(input []byte, limit int64) *Result {
+	saved := m.opts.StepLimit
+	m.opts.StepLimit = limit
+	defer func() { m.opts.StepLimit = saved }()
+	return m.Run(input)
+}
+
+func (m *Machine) reset(input []byte) {
+	if m.dirtyHi > m.dirtyLo {
+		lo, hi := m.dirtyLo, m.dirtyHi
+		if hi > ir.MemSize {
+			hi = ir.MemSize
+		}
+		copy(m.mem[lo:hi], m.pristine[lo:hi])
+		if m.asanShadow != nil {
+			sh := m.asanShadow[lo:hi]
+			for i := range sh {
+				sh[i] = 0
+			}
+		}
+		if m.msanInit != nil {
+			copy(m.msanInit[lo:hi], m.msanPristine[lo:hi])
+		}
+	}
+	m.dirtyLo, m.dirtyHi = ir.MemSize, 0
+	if m.cov != nil {
+		for i := range m.cov {
+			m.cov[i] = 0
+		}
+	}
+	m.input = input
+	m.stdout = m.stdout[:0]
+	m.stderr = m.stderr[:0]
+	m.steps = 0
+	m.limit = m.opts.StepLimit
+	m.stack = m.stack[:0]
+	m.taint = m.taint[:0]
+	m.temp = m.temp[:0]
+	m.tempT = m.tempT[:0]
+	m.frames = m.frames[:0]
+	m.stackLow = ir.StackMax
+	m.stackHigh = ir.StackBase
+	m.heap.reset()
+	m.halt = false
+	m.exit = Exited
+	m.code = 0
+	m.san = nil
+	m.prevLoc = 0
+	m.runSeq++
+	m.timeCnt = 0
+	m.trace = m.trace[:0]
+	m.lastTrace = -1
+}
+
+// traceLine records an executed source line (collapsing repeats).
+func (m *Machine) traceLine(line int32) {
+	if line <= 0 || line == m.lastTrace || len(m.trace) >= m.opts.MaxTrace {
+		return
+	}
+	m.lastTrace = line
+	m.trace = append(m.trace, line)
+}
+
+// trap ends execution abnormally.
+func (m *Machine) trap(kind ExitKind) {
+	if m.halt {
+		return
+	}
+	m.halt = true
+	m.exit = kind
+	switch kind {
+	case SigSegv:
+		m.writeErr("Segmentation fault (core dumped)\n")
+	case SigFpe:
+		m.writeErr("Floating point exception (core dumped)\n")
+	case Abort:
+		m.writeErr("free(): invalid pointer\nAborted (core dumped)\n")
+	}
+}
+
+// report fires a sanitizer finding and halts.
+func (m *Machine) report(tool, kind string, line int32) {
+	if m.halt {
+		return
+	}
+	fn := "?"
+	if len(m.frames) > 0 {
+		fn = m.frames[len(m.frames)-1].fn.Name
+	}
+	m.san = &SanReport{Tool: tool, Kind: kind, Func: fn, Line: line}
+	m.writeErr("==1==ERROR: " + m.san.String() + "\n")
+	m.halt = true
+	m.exit = SanAbort
+}
+
+func (m *Machine) exitNormally(code int32) {
+	m.halt = true
+	m.exit = Exited
+	m.code = code
+}
+
+func (m *Machine) writeOut(s string) {
+	if len(m.stdout) < m.opts.MaxOutput {
+		m.stdout = append(m.stdout, s...)
+	}
+}
+
+func (m *Machine) writeErr(s string) {
+	if len(m.stderr) < m.opts.MaxOutput {
+		m.stderr = append(m.stderr, s...)
+	}
+}
+
+// push/pop maintain the operand stack and, in MSan mode, the parallel
+// taint stack.
+func (m *Machine) push(v uint64) {
+	m.stack = append(m.stack, v)
+	if m.msanInit != nil {
+		m.taint = append(m.taint, false)
+	}
+}
+
+func (m *Machine) pushT(v uint64, t bool) {
+	m.stack = append(m.stack, v)
+	if m.msanInit != nil {
+		m.taint = append(m.taint, t)
+	}
+}
+
+func (m *Machine) pop() uint64 {
+	n := len(m.stack) - 1
+	v := m.stack[n]
+	m.stack = m.stack[:n]
+	if m.msanInit != nil {
+		m.taint = m.taint[:n]
+	}
+	return v
+}
+
+func (m *Machine) popT() (uint64, bool) {
+	n := len(m.stack) - 1
+	v := m.stack[n]
+	m.stack = m.stack[:n]
+	t := false
+	if m.msanInit != nil {
+		t = m.taint[n]
+		m.taint = m.taint[:n]
+	}
+	return v, t
+}
+
+// call invokes function fi with the given argument words (already in
+// declaration order). Extra arguments are dropped; missing ones leave
+// the parameter slots holding stack garbage (CWE-685 semantics).
+func (m *Machine) call(fi int, args []uint64) {
+	m.callT(fi, args, nil)
+}
+
+func (m *Machine) callT(fi int, args []uint64, taints []bool) {
+	fn := m.prog.Funcs[fi]
+	var base uint64
+	if m.prof.StackDown {
+		if m.stackLow < uint64(fn.FrameSize)+ir.StackBase {
+			m.trap(SigSegv) // stack overflow
+			return
+		}
+		m.stackLow -= uint64(fn.FrameSize)
+		base = m.stackLow
+	} else {
+		base = m.stackHigh
+		if base+uint64(fn.FrameSize) > ir.StackMax {
+			m.trap(SigSegv)
+			return
+		}
+		m.stackHigh += uint64(fn.FrameSize)
+	}
+
+	if m.msanInit != nil {
+		// A fresh frame is uninitialized memory.
+		m.markDirty(base, uint64(fn.FrameSize))
+		for i := base; i < base+uint64(fn.FrameSize); i++ {
+			m.msanInit[i] = 0
+		}
+	}
+	if m.asanShadow != nil {
+		// Poison everything in the frame that is not a variable slot
+		// (the redzones the ASan compile layout inserted).
+		m.markDirty(base, uint64(fn.FrameSize))
+		for i := base; i < base+uint64(fn.FrameSize); i++ {
+			m.asanShadow[i] = shadowStackRZ
+		}
+		for _, s := range fn.Slots {
+			for i := base + uint64(s.Off); i < base+uint64(s.Off+s.Size); i++ {
+				m.asanShadow[i] = 0
+			}
+		}
+	}
+
+	for i := 0; i < len(fn.ParamOff) && i < len(args); i++ {
+		addr := base + uint64(fn.ParamOff[i])
+		w := paramWidth(fn.ParamKind[i])
+		v := args[i]
+		if fn.ParamKind[i] == ir.F32 {
+			v = ir.ConvWord(ir.F64, ir.F32, v)
+			v = uint64(f32bits(v))
+		}
+		m.rawStore(addr, w, v)
+		if m.msanInit != nil {
+			t := i < len(taints) && taints[i]
+			m.markInit(addr, uint64(w), !t)
+		}
+	}
+	m.frames = append(m.frames, frame{fn: fn, base: base})
+}
+
+func paramWidth(tc ir.TypeCode) int {
+	switch tc {
+	case ir.I8, ir.U8:
+		return 1
+	case ir.I32, ir.U32, ir.F32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+func (m *Machine) ret(hasValue bool) {
+	var v uint64
+	var t bool
+	if hasValue {
+		v, t = m.popT()
+	}
+	fr := m.frames[len(m.frames)-1]
+	m.frames = m.frames[:len(m.frames)-1]
+	if m.prof.StackDown {
+		m.stackLow += uint64(fr.fn.FrameSize)
+	} else {
+		m.stackHigh -= uint64(fr.fn.FrameSize)
+	}
+	if m.asanShadow != nil {
+		base := fr.base
+		for i := base; i < base+uint64(fr.fn.FrameSize); i++ {
+			m.asanShadow[i] = 0
+		}
+	}
+	if len(m.frames) == 0 {
+		// main returned: its value is the exit status.
+		code := int32(0)
+		if hasValue {
+			code = int32(v)
+		}
+		m.exitNormally(code)
+		return
+	}
+	if hasValue {
+		m.pushT(v, t)
+	}
+}

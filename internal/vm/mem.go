@@ -1,0 +1,253 @@
+package vm
+
+import (
+	"math"
+
+	"compdiff/internal/ir"
+)
+
+// ASan shadow byte values.
+const (
+	shadowOK      = 0
+	shadowHeapRZ  = 1
+	shadowFreed   = 2
+	shadowStackRZ = 3
+)
+
+// mapped reports whether [addr, addr+size) is inside the process image.
+func mapped(addr, size uint64) bool {
+	if addr < ir.NullTop {
+		return false
+	}
+	end := addr + size
+	return end >= addr && end <= ir.MemSize
+}
+
+// checkAccess validates a data access, firing traps and sanitizer
+// reports. Returns false when execution must stop.
+func (m *Machine) checkAccess(addr, size uint64, write bool, line int32) bool {
+	if !mapped(addr, size) {
+		if m.opts.San == SanUBSan && addr < ir.NullTop {
+			m.report("ubsan", "null-pointer-dereference", line)
+			return false
+		}
+		m.trap(SigSegv)
+		return false
+	}
+	if write && addr < ir.GlobalsBase {
+		// String literals live in read-only memory.
+		m.trap(SigSegv)
+		return false
+	}
+	if m.asanShadow != nil {
+		for i := addr; i < addr+size; i++ {
+			switch m.asanShadow[i] {
+			case shadowHeapRZ:
+				m.report("asan", "heap-buffer-overflow", line)
+				return false
+			case shadowFreed:
+				m.report("asan", "heap-use-after-free", line)
+				return false
+			case shadowStackRZ:
+				m.report("asan", "stack-buffer-overflow", line)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// rawLoad reads width bytes little-endian without checks.
+func (m *Machine) rawLoad(addr uint64, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		v |= uint64(m.mem[addr+uint64(i)]) << (8 * i)
+	}
+	return v
+}
+
+// rawStore writes width bytes little-endian without checks.
+func (m *Machine) rawStore(addr uint64, width int, v uint64) {
+	m.markDirty(addr, uint64(width))
+	for i := 0; i < width; i++ {
+		m.mem[addr+uint64(i)] = byte(v >> (8 * i))
+	}
+}
+
+// loadTaint reports whether any byte in the range is uninitialized.
+func (m *Machine) loadTaint(addr, size uint64) bool {
+	if m.msanInit == nil {
+		return false
+	}
+	for i := addr; i < addr+size; i++ {
+		if m.msanInit[i] == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// markInit marks a range initialized (or uninitialized, when a tainted
+// value is stored — taint propagates through memory).
+func (m *Machine) markInit(addr, size uint64, init bool) {
+	if m.msanInit == nil {
+		return
+	}
+	m.markDirty(addr, size)
+	v := byte(0)
+	if init {
+		v = 1
+	}
+	for i := addr; i < addr+size; i++ {
+		m.msanInit[i] = v
+	}
+}
+
+func f32bits(w uint64) uint32 {
+	return math.Float32bits(float32(math.Float64frombits(w)))
+}
+
+func f32val(bits uint32) uint64 {
+	return math.Float64bits(float64(math.Float32frombits(bits)))
+}
+
+// ---------------------------------------------------------------------------
+// Heap allocator
+//
+// A deliberately simple bump allocator with an optional LIFO freelist,
+// parameterized by the binary's profile: header size shifts addresses,
+// reuse policy decides what use-after-free observes, and the integrity
+// policy decides whether a bad free aborts (glibc-style) or silently
+// corrupts the allocator state. All bookkeeping lives host-side; the
+// *addresses* are what the guest observes.
+
+type heapChunk struct {
+	addr uint64
+	size uint64
+}
+
+type heapState struct {
+	next  uint64
+	live  map[uint64]uint64 // addr -> usable size
+	freed map[uint64]uint64
+	frees []heapChunk // LIFO freelist (exact-fit reuse)
+}
+
+func (h *heapState) reset() {
+	h.next = ir.HeapBase
+	if h.live == nil {
+		h.live = map[uint64]uint64{}
+		h.freed = map[uint64]uint64{}
+	} else {
+		clear(h.live)
+		clear(h.freed)
+	}
+	h.frees = h.frees[:0]
+}
+
+const asanHeapRZ = 16
+
+// malloc returns the guest address of a fresh chunk, or 0 when the
+// arena is exhausted.
+func (m *Machine) malloc(n int64) uint64 {
+	if n < 0 {
+		return 0
+	}
+	if n == 0 {
+		n = 1
+	}
+	size := uint64(n+15) &^ 15
+
+	if m.prof.HeapReuse && m.asanShadow == nil {
+		for i := len(m.heap.frees) - 1; i >= 0; i-- {
+			c := m.heap.frees[i]
+			if c.size == size {
+				m.heap.frees = append(m.heap.frees[:i], m.heap.frees[i+1:]...)
+				delete(m.heap.freed, c.addr)
+				m.heap.live[c.addr] = size
+				return c.addr
+			}
+		}
+	}
+
+	rz := uint64(0)
+	if m.asanShadow != nil {
+		rz = asanHeapRZ
+	}
+	start := m.heap.next
+	addr := start + uint64(m.prof.HeapHeader) + rz
+	end := addr + size + rz
+	if end > ir.HeapMax {
+		return 0
+	}
+	m.heap.next = end
+	m.heap.live[addr] = size
+
+	if m.asanShadow != nil {
+		// The redzone begins at the *requested* size, not the rounded
+		// chunk size, so off-by-small overflows are caught.
+		m.markDirty(start, end-start)
+		req := uint64(n)
+		for i := start; i < addr; i++ {
+			m.asanShadow[i] = shadowHeapRZ
+		}
+		for i := addr; i < addr+req; i++ {
+			m.asanShadow[i] = shadowOK
+		}
+		for i := addr + req; i < end; i++ {
+			m.asanShadow[i] = shadowHeapRZ
+		}
+	}
+	if m.msanInit != nil {
+		m.markInit(addr, size, false) // malloc'd memory is uninitialized
+	}
+	return addr
+}
+
+// free releases a chunk. Freeing an invalid or already-freed pointer
+// is UB: depending on the profile it aborts or corrupts the allocator.
+func (m *Machine) free(addr uint64, line int32) {
+	if addr == 0 {
+		return
+	}
+	size, ok := m.heap.live[addr]
+	if !ok {
+		if _, wasFreed := m.heap.freed[addr]; wasFreed {
+			if m.asanShadow != nil {
+				m.report("asan", "double-free", line)
+				return
+			}
+			if m.prof.FreeErrAbort {
+				m.trap(Abort)
+				return
+			}
+			// Silent corruption: the allocator's internal state skews,
+			// changing every later allocation address.
+			m.heap.next += 16 + (m.prof.Key & 0x30)
+			return
+		}
+		if m.asanShadow != nil {
+			m.report("asan", "bad-free", line)
+			return
+		}
+		if m.prof.FreeErrAbort {
+			m.trap(Abort)
+			return
+		}
+		m.heap.next += 32 + (m.prof.Key & 0x70)
+		return
+	}
+	delete(m.heap.live, addr)
+	m.heap.freed[addr] = size
+	if m.asanShadow != nil {
+		// Quarantine: poison and never reuse.
+		m.markDirty(addr, size)
+		for i := addr; i < addr+size; i++ {
+			m.asanShadow[i] = shadowFreed
+		}
+		return
+	}
+	if m.prof.HeapReuse {
+		m.heap.frees = append(m.heap.frees, heapChunk{addr: addr, size: size})
+	}
+}

@@ -1,0 +1,111 @@
+// Package vm executes compiled MiniC binaries. The machine provides a
+// flat byte memory with rodata/globals/stack/heap segments, captures
+// stdout/stderr, enforces a step limit (the timeout analog), exposes a
+// fork-server-style reset so one loaded binary can run many inputs
+// cheaply, and optionally applies sanitizer instrumentation
+// (ASan/UBSan/MSan analogs).
+//
+// Execution behaviour on undefined behaviour is governed by the
+// binary's ir.Profile — the personality its compiler implementation
+// baked in — which is what makes unstable code observable across
+// implementations while keeping defined programs bit-identical.
+package vm
+
+import (
+	"fmt"
+	"strconv"
+
+	"compdiff/internal/hash"
+)
+
+// ExitKind classifies how an execution ended.
+type ExitKind int
+
+const (
+	Exited    ExitKind = iota // normal termination, Code holds the status
+	SigSegv                   // unmapped or protected memory access
+	SigFpe                    // integer division trap
+	Abort                     // allocator integrity abort (glibc-style)
+	StepLimit                 // exceeded the step budget (timeout analog)
+	SanAbort                  // a sanitizer reported an error and halted
+	VMFault                   // malformed bytecode (a compiler bug in this repo)
+)
+
+// String names the exit kind.
+func (k ExitKind) String() string {
+	switch k {
+	case Exited:
+		return "exited"
+	case SigSegv:
+		return "SIGSEGV"
+	case SigFpe:
+		return "SIGFPE"
+	case Abort:
+		return "SIGABRT"
+	case StepLimit:
+		return "timeout"
+	case SanAbort:
+		return "sanitizer-abort"
+	default:
+		return "vm-fault"
+	}
+}
+
+// SanReport is a sanitizer finding.
+type SanReport struct {
+	Tool string // "asan", "ubsan", "msan"
+	Kind string // e.g. "heap-buffer-overflow", "signed-integer-overflow"
+	Func string
+	Line int32
+}
+
+// String renders the report like a sanitizer one-liner.
+func (r *SanReport) String() string {
+	return fmt.Sprintf("%s: %s in %s at line %d", r.Tool, r.Kind, r.Func, r.Line)
+}
+
+// Result is the observable outcome of one execution.
+type Result struct {
+	Exit   ExitKind
+	Code   int32 // exit status when Exit == Exited
+	Stdout []byte
+	Stderr []byte
+	Steps  int64
+	San    *SanReport // non-nil iff Exit == SanAbort
+
+	// Trace is the executed source-line sequence, populated only in
+	// TraceLines mode (fault-localization support, paper §5).
+	Trace []int32
+}
+
+// Crashed reports whether the run ended in a crash-like state (what a
+// fuzzer would save as a crash).
+func (r *Result) Crashed() bool {
+	switch r.Exit {
+	case SigSegv, SigFpe, Abort, SanAbort:
+		return true
+	}
+	return false
+}
+
+// Encode renders the observable output as a canonical byte string:
+// exit status plus both streams. This is the byte string CompDiff
+// checksums and compares across compiler implementations.
+func (r *Result) Encode() []byte {
+	out := make([]byte, 0, len(r.Stdout)+len(r.Stderr)+32)
+	out = append(out, "exit:"...)
+	out = append(out, r.Exit.String()...)
+	out = append(out, ':')
+	out = strconv.AppendInt(out, int64(r.Code), 10)
+	out = append(out, "\n--stdout--\n"...)
+	out = append(out, r.Stdout...)
+	out = append(out, "\n--stderr--\n"...)
+	out = append(out, r.Stderr...)
+	return out
+}
+
+// OutputHash is the MurmurHash3 checksum of the canonical output,
+// matching the paper's use of MurmurHash3 for output comparison.
+func (r *Result) OutputHash() uint64 {
+	return hash.Sum64(r.Encode(), 0xc0de)
+}

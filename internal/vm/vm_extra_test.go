@@ -1,0 +1,284 @@
+package vm_test
+
+import (
+	"strings"
+	"testing"
+
+	"compdiff/internal/compiler"
+	"compdiff/internal/minic/parser"
+	"compdiff/internal/minic/sema"
+	"compdiff/internal/vm"
+)
+
+// Supplementary VM behaviour: printf formats, string builtins, float
+// paths, resource limits, coverage, and the injectable clock.
+
+func TestPrintfFormats(t *testing.T) {
+	got := stdoutOf(t, `
+int main() {
+    printf("%d|%u|%x|%c|%s|%%|", -7, 7U, 255, 'Z', "str");
+    printf("%ld|%lu|%lx|", 0L - 9L, 9UL, 255L);
+    printf("%f|%.2f|%g|", 1.5, 1.256, 0.5);
+    printf("%q|");
+    return 0;
+}`, nil)
+	want := "-7|7|ff|Z|str|%|-9|9|ff|1.500000|1.26|0.5|%q|"
+	if got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestPrintfPointerFormat(t *testing.T) {
+	got := stdoutOf(t, `
+int main() {
+    char buf[4];
+    buf[0] = 'a';
+    printf("%p\n", buf);
+    return 0;
+}`, nil)
+	if !strings.HasPrefix(got, "0x") {
+		t.Fatalf("%%p output = %q", got)
+	}
+}
+
+func TestStringBuiltinEdgeCases(t *testing.T) {
+	got := stdoutOf(t, `
+int main() {
+    char a[16];
+    char b[16];
+    strcpy(a, "");
+    printf("[%s]%ld|", a, strlen(a));
+    strcpy(a, "xy");
+    strcat(a, "");
+    strcat(a, "z");
+    printf("%s|", a);
+    strncpy(b, "abc", 6L);
+    printf("%d%d%d|", b[3], b[4], b[5]);
+    printf("%d %d\n", strcmp("abc", "abd"), strcmp("b", "abd"));
+    return 0;
+}`, nil)
+	want := "[]0|xyz|000|-1 1\n"
+	if got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestMemsetNegativeSizeFaults(t *testing.T) {
+	res := run(t, `
+int main() {
+    char buf[8];
+    memset(buf, 0, 0L - 4L);
+    return 0;
+}`, nil)
+	if res.Exit != vm.SigSegv {
+		t.Fatalf("exit = %v", res.Exit)
+	}
+}
+
+func TestFloatMathBuiltins(t *testing.T) {
+	got := stdoutOf(t, `
+int main() {
+    printf("%.1f %.1f %.1f\n", sqrt(25.0), fabs(0.0 - 2.5), pow(2.0, 3.0));
+    printf("%d\n", abs(0 - 41));
+    return 0;
+}`, nil)
+	if got != "5.0 2.5 8.0\n41\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFloatComparisonsAndConversions(t *testing.T) {
+	got := stdoutOf(t, `
+int main() {
+    double d = 2.75;
+    float f = (float)d;
+    int i = (int)d;
+    long l = (long)(d * 2.0);
+    printf("%d %d %ld %d %d\n", (int)f, i, l, d > 2.5, f < 3.0);
+    double neg = 0.0 - 2.75;
+    printf("%d\n", (int)neg);
+    return 0;
+}`, nil)
+	if got != "2 2 5 1 1\n-2\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDeepRecursionOverflowsStack(t *testing.T) {
+	res := run(t, `
+int burn(int n) {
+    char pad[512];
+    pad[0] = (char)n;
+    if (n <= 0) { return pad[0]; }
+    return burn(n - 1) + 1;
+}
+int main() {
+    printf("%d\n", burn(100000));
+    return 0;
+}`, nil)
+	if res.Exit != vm.SigSegv {
+		t.Fatalf("exit = %v, want stack-overflow SIGSEGV", res.Exit)
+	}
+}
+
+func TestHeapExhaustionReturnsNull(t *testing.T) {
+	got := stdoutOf(t, `
+int main() {
+    long total = 0;
+    for (int i = 0; i < 100; i++) {
+        char* p = (char*)malloc(65536L);
+        if (p == 0) { printf("oom after %ld bytes\n", total); return 0; }
+        total += 65536L;
+    }
+    printf("never\n");
+    return 0;
+}`, nil)
+	if !strings.Contains(got, "oom after") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMaxOutputTruncation(t *testing.T) {
+	src := `
+int main() {
+    for (int i = 0; i < 10000; i++) { printf("0123456789"); }
+    return 0;
+}`
+	info := sema.MustCheck(parser.MustParse(src))
+	bin := compiler.MustCompile(info, compiler.Config{Family: compiler.GCC, Opt: compiler.O1})
+	m := vm.New(bin, vm.Options{MaxOutput: 1024})
+	res := m.Run(nil)
+	if res.Exit != vm.Exited {
+		t.Fatalf("exit = %v", res.Exit)
+	}
+	if len(res.Stdout) > 2048 {
+		t.Fatalf("stdout = %d bytes despite 1 KiB cap", len(res.Stdout))
+	}
+}
+
+func TestTimeNowInjectable(t *testing.T) {
+	src := `int main() { printf("%ld %ld\n", time_now(), time_now()); return 0; }`
+	info := sema.MustCheck(parser.MustParse(src))
+	bin := compiler.MustCompile(info, compiler.Config{Family: compiler.Clang, Opt: compiler.O0})
+	m := vm.New(bin, vm.Options{TimeNow: func(runSeq int64, call int) int64 {
+		return 1000*runSeq + int64(call)
+	}})
+	r1 := m.Run(nil)
+	if string(r1.Stdout) != "1001 1002\n" {
+		t.Fatalf("run1 = %q", r1.Stdout)
+	}
+	r2 := m.Run(nil)
+	if string(r2.Stdout) != "2001 2002\n" {
+		t.Fatalf("run2 = %q", r2.Stdout)
+	}
+}
+
+func TestCoverageBitmapReflectsPaths(t *testing.T) {
+	src := `
+int main() {
+    char b[4];
+    long n = read_input(b, 4L);
+    if (n > 0 && b[0] == 'x') { printf("x\n"); } else { printf("o\n"); }
+    return 0;
+}`
+	info := sema.MustCheck(parser.MustParse(src))
+	bin := compiler.MustCompile(info, compiler.Config{Family: compiler.Clang, Opt: compiler.O1, Instrument: true})
+	m := vm.New(bin, vm.Options{Coverage: true})
+	m.Run([]byte("x"))
+	covX := append([]byte(nil), m.Coverage()...)
+	m.Run([]byte("o"))
+	covO := m.Coverage()
+	same := true
+	for i := range covX {
+		if covX[i] != covO[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different paths produced identical coverage maps")
+	}
+}
+
+func TestEncodeAndHashes(t *testing.T) {
+	res := run(t, `int main() { printf("out\n"); return 3; }`, nil)
+	enc := string(res.Encode())
+	for _, want := range []string{"exit:exited:3", "out\n", "--stderr--"} {
+		if !strings.Contains(enc, want) {
+			t.Errorf("encode missing %q:\n%s", want, enc)
+		}
+	}
+	if res.OutputHash() == 0 {
+		t.Error("hash should be nonzero for nonempty output")
+	}
+	if res.Crashed() {
+		t.Error("normal exit is not a crash")
+	}
+}
+
+func TestInputByteBounds(t *testing.T) {
+	got := stdoutOf(t, `
+int main() {
+    printf("%d %d %d\n", input_byte(0L), input_byte(0L - 1L), input_byte(100L));
+    return 0;
+}`, []byte{0xff})
+	if got != "255 -1 -1\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestReadInputTruncatesToMax(t *testing.T) {
+	got := stdoutOf(t, `
+int main() {
+    char buf[4];
+    long n = read_input(buf, 4L);
+    printf("%ld %c%c%c%c\n", n, buf[0], buf[1], buf[2], buf[3]);
+    return 0;
+}`, []byte("abcdefgh"))
+	if got != "4 abcd\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestNestedStructsAndArrays(t *testing.T) {
+	got := stdoutOf(t, `
+struct Inner { int v[3]; };
+struct Outer { struct Inner in; int tail; };
+int main() {
+    struct Outer o;
+    for (int i = 0; i < 3; i++) { o.in.v[i] = i * 10; }
+    o.tail = 99;
+    struct Outer* p = &o;
+    printf("%d %d %d %ld\n", p->in.v[1], o.in.v[2], p->tail, sizeof(struct Outer));
+    return 0;
+}`, nil)
+	if got != "10 20 99 16\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCharSignedness(t *testing.T) {
+	got := stdoutOf(t, `
+int main() {
+    char c = (char)200;
+    unsigned char u = (unsigned char)200;
+    printf("%d %d\n", c, u);
+    return 0;
+}`, nil)
+	if got != "-56 200\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestLogicalOperatorsProduceBooleans(t *testing.T) {
+	got := stdoutOf(t, `
+int main() {
+    int a = 5;
+    double d = 0.5;
+    printf("%d %d %d %d\n", a && 2, a || 0, !a, d && 1.0);
+    return 0;
+}`, nil)
+	if got != "1 1 0 1\n" {
+		t.Fatalf("got %q", got)
+	}
+}
