@@ -1,0 +1,34 @@
+# Tier-1 gate and developer targets. `make check` is what CI runs:
+# vet, build, the full test suite under the race detector, and a short
+# native-fuzz smoke over the parser and the differential engine.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: check vet build test race fuzz-smoke bench golden
+
+check: vet build race fuzz-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) -run='^$$' ./internal/minic/parser
+	$(GO) test -fuzz=FuzzSuiteRun -fuzztime=$(FUZZTIME) -run='^$$' .
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x .
+
+# Regenerate testdata/golden/*.golden after an *intentional* semantic
+# change; review the diff before committing.
+golden:
+	$(GO) test -run TestGoldenCorpus -update .

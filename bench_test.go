@@ -7,6 +7,7 @@ package compdiff_test
 // unique bugs, overhead factors) next to the timings.
 
 import (
+	"context"
 	"testing"
 
 	"compdiff"
@@ -166,6 +167,58 @@ func overheadBench(b *testing.B, k int) {
 	for i := 0; i < b.N; i++ {
 		suite.Run(input)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Parallel execution layer: the same differential run fanned across a
+// worker pool. On a multi-core runner BenchmarkSuiteRunParallel
+// should beat BenchmarkSuiteRunSequential by ~min(Parallelism, k,
+// cores); on one core the pair bounds the pool's overhead instead.
+
+func BenchmarkSuiteRunSequential(b *testing.B) { suiteRunBench(b, 1) }
+func BenchmarkSuiteRunParallel(b *testing.B)   { suiteRunBench(b, 4) }
+
+func suiteRunBench(b *testing.B, parallelism int) {
+	tg := targets.ByName("readelf")
+	input := tg.Seeds[0]
+	suite, err := compdiff.New(tg.Src, compdiff.DefaultImplementations(), compdiff.Options{Parallelism: parallelism})
+	if err != nil {
+		b.Fatal(err)
+	}
+	suite.Warm(parallelism)
+	b.ReportMetric(float64(parallelism), "workers")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		suite.Run(input)
+	}
+}
+
+// Sharded campaigns: one fuzzer instance vs. an AFL -M/-S-style pool
+// of four at the same per-shard budget. Throughput (execs covered per
+// wall-clock second) is the headline; unique diffs come along as a
+// sanity metric.
+
+func BenchmarkCampaignSingleShard(b *testing.B) { campaignShardBench(b, 1) }
+func BenchmarkCampaignFourShards(b *testing.B)  { campaignShardBench(b, 4) }
+
+func campaignShardBench(b *testing.B, shards int) {
+	tg := targets.ByName("readelf")
+	var execs int64
+	var diffs int
+	for i := 0; i < b.N; i++ {
+		pool, err := compdiff.NewCampaignPool(tg.Src, tg.Seeds, compdiff.CampaignOptions{
+			FuzzSeed: 7,
+			Shards:   shards,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats := pool.Run(context.Background(), 2_000)
+		execs = stats.Execs
+		diffs = stats.UniqueDiffs
+	}
+	b.ReportMetric(float64(execs), "execs")
+	b.ReportMetric(float64(diffs), "unique-diffs")
 }
 
 // ---------------------------------------------------------------------------

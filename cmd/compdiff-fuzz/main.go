@@ -12,17 +12,27 @@
 //	-target NAME   fuzz a built-in target (see -list)
 //	-src FILE      fuzz a MiniC source file
 //	-execs N       execution budget on the instrumented binary
+//	               (per shard when -shards > 1)
 //	-seed N        fuzzer RNG seed
+//	-shards N      parallel fuzzer instances, AFL -M/-S style
+//	-jobs N        worker goroutines per differential cross-check
+//	-sync N        executions between shard synchronization barriers
 //	-san MODE      sanitizer on the fuzzing binary: none|asan|ubsan|msan
 //	-diffdir DIR   persist diverging inputs under DIR/diffs/
 //	-list          list built-in targets and exit
+//
+// With -shards > 1, SIGINT/SIGTERM cancels the campaign gracefully at
+// the next synchronization barrier and prints what was found so far.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"compdiff"
 	"compdiff/internal/targets"
@@ -45,8 +55,11 @@ func main() {
 	log.SetPrefix("compdiff-fuzz: ")
 	targetName := flag.String("target", "", "built-in target to fuzz")
 	srcPath := flag.String("src", "", "MiniC source file to fuzz")
-	execs := flag.Int64("execs", 50_000, "execution budget")
+	execs := flag.Int64("execs", 50_000, "execution budget (per shard)")
 	seed := flag.Int64("seed", 1, "fuzzer RNG seed")
+	shards := flag.Int("shards", 1, "parallel fuzzer instances (AFL -M/-S style)")
+	jobs := flag.Int("jobs", 1, "worker goroutines per differential cross-check")
+	syncEvery := flag.Int64("sync", 0, "executions between shard sync barriers (0 = budget/8)")
 	sanFlag := flag.String("san", "none", "sanitizer on the fuzz binary: none|asan|ubsan|msan")
 	diffdir := flag.String("diffdir", "", "persist diverging inputs")
 	list := flag.Bool("list", false, "list built-in targets")
@@ -99,12 +112,57 @@ func main() {
 		log.Fatalf("unknown -san %q", *sanFlag)
 	}
 
-	campaign, err := compdiff.NewCampaign(src, corpus, compdiff.CampaignOptions{
-		FuzzSeed:   *seed,
-		Sanitizer:  san,
-		Normalizer: normalizer,
-		DiffDir:    *diffdir,
-	})
+	opts := compdiff.CampaignOptions{
+		FuzzSeed:    *seed,
+		Sanitizer:   san,
+		Normalizer:  normalizer,
+		DiffDir:     *diffdir,
+		Shards:      *shards,
+		SyncEvery:   *syncEvery,
+		Parallelism: *jobs,
+	}
+
+	if *shards > 1 {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		pool, err := compdiff.NewCampaignPool(src, corpus, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats := pool.Run(ctx, *execs)
+
+		fmt.Printf("shards         : %d\n", stats.Shards)
+		fmt.Printf("executions     : %d (all shards)\n", stats.Execs)
+		fmt.Printf("unique crashes : %d\n", stats.UniqueCrashes)
+		fmt.Printf("diff inputs    : %d (%d unique discrepancies)\n",
+			stats.TotalDiffInputs, stats.UniqueDiffs)
+		fmt.Printf("diff execs     : %d across %d implementations\n",
+			stats.DiffExecs, len(pool.ImplNames()))
+		for si, fs := range stats.ShardStats {
+			role := "S"
+			if si == 0 {
+				role = "M"
+			}
+			status := ""
+			if stats.ShardErrors[si] != nil {
+				status = "  [retired: panic]"
+			}
+			fmt.Printf("  shard %d (-%s): %d execs, %d seeds%s\n", si, role, fs.Execs, fs.Seeds, status)
+		}
+		fmt.Println()
+		for _, d := range pool.Diffs() {
+			fmt.Println(d.Report(pool.ImplNames()))
+		}
+		for _, c := range pool.Crashes() {
+			fmt.Printf("crash %s on input %q\n", c.Result.Exit, c.Input)
+			if c.Result.San != nil {
+				fmt.Printf("  %s\n", c.Result.San)
+			}
+		}
+		return
+	}
+
+	campaign, err := compdiff.NewCampaign(src, corpus, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -25,6 +25,13 @@
 //	c, err := compdiff.NewCampaign(src, seeds, compdiff.CampaignOptions{})
 //	c.Run(100000)
 //	for _, d := range c.Diffs() { fmt.Println(d.Report(c.ImplNames())) }
+//
+// Sharded campaigns (the paper's 64-core AFL++ -M/-S topology, §4)
+// and parallel differential execution:
+//
+//	p, err := compdiff.NewCampaignPool(src, seeds, compdiff.CampaignOptions{Shards: 8, Parallelism: 4})
+//	p.Run(ctx, 100000) // per-shard budget; barriers sync corpora and diffs
+//	for _, d := range p.Diffs() { fmt.Println(d.Report(p.ImplNames())) }
 package compdiff
 
 import (
@@ -81,6 +88,14 @@ type Campaign = difffuzz.Campaign
 // CampaignOptions configures a campaign.
 type CampaignOptions = difffuzz.Options
 
+// CampaignPool runs CampaignOptions.Shards fuzzer instances AFL
+// -M/-S-style with periodic corpus/diff synchronization through a
+// shared DiffStore — the paper's 64-core campaign topology (§4).
+type CampaignPool = difffuzz.Pool
+
+// PoolStats summarizes a sharded campaign run.
+type PoolStats = difffuzz.PoolStats
+
 // SanMode selects sanitizer instrumentation for the fuzzing binary.
 type SanMode = vm.SanMode
 
@@ -119,6 +134,15 @@ func New(src string, impls []Implementation, opts Options) (*Suite, error) {
 // the given seed corpus.
 func NewCampaign(src string, seeds [][]byte, opts CampaignOptions) (*Campaign, error) {
 	return difffuzz.New(src, seeds, opts)
+}
+
+// NewCampaignPool builds a sharded campaign: opts.Shards fuzzer
+// instances with distinct RNG seeds derived from opts.FuzzSeed,
+// synchronized every opts.SyncEvery executions. With Shards <= 1 the
+// pool degenerates to (and byte-identically reproduces) a single
+// Campaign.
+func NewCampaignPool(src string, seeds [][]byte, opts CampaignOptions) (*CampaignPool, error) {
+	return difffuzz.NewPool(src, seeds, opts)
 }
 
 // DefaultNormalizer filters the non-determinism classes the paper's

@@ -1,0 +1,123 @@
+package compdiff_test
+
+// The golden-corpus regression layer: a small corpus of MiniC
+// programs under testdata/golden/, each with a pinned input and the
+// expected per-implementation output checksums. Any compiler or VM
+// change that silently shifts execution semantics — a different fill
+// pattern, a reordered optimization, a changed personality — fails
+// these tests loudly instead of quietly altering the paper's
+// reproduction numbers. Refresh intentionally changed expectations
+// with:
+//
+//	go test -run TestGoldenCorpus -update .
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"compdiff"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden/*.golden expectation files")
+
+// renderOutcome formats everything the golden files pin: the verdict,
+// the triage signature, and each implementation's output checksum and
+// exit status.
+func renderOutcome(names []string, o *compdiff.Outcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "diverged %v\n", o.Diverged)
+	fmt.Fprintf(&b, "timeout_suspect %v\n", o.TimeoutSuspect)
+	if o.Diverged {
+		fmt.Fprintf(&b, "signature %016x\n", o.Signature())
+	}
+	for i, name := range names {
+		r := o.Results[i]
+		fmt.Fprintf(&b, "%-12s hash=%016x exit=%s code=%d\n", name, o.Hashes[i], r.Exit, r.Code)
+	}
+	return b.String()
+}
+
+func TestGoldenCorpus(t *testing.T) {
+	srcs, err := filepath.Glob(filepath.Join("testdata", "golden", "*.mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) == 0 {
+		t.Fatal("no golden corpus programs found under testdata/golden/")
+	}
+	for _, srcPath := range srcs {
+		name := strings.TrimSuffix(filepath.Base(srcPath), ".mc")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(srcPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var input []byte
+			if data, err := os.ReadFile(strings.TrimSuffix(srcPath, ".mc") + ".input"); err == nil {
+				input = data
+			}
+			suite, err := compdiff.New(string(src), compdiff.DefaultImplementations(), compdiff.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := renderOutcome(suite.Names(), suite.Run(input))
+
+			// The corpus also guards reproducibility itself: a second
+			// run on the same warm suite must render identically.
+			if again := renderOutcome(suite.Names(), suite.Run(input)); again != got {
+				t.Fatalf("non-deterministic outcome:\nfirst:\n%s\nsecond:\n%s", got, again)
+			}
+
+			goldenPath := strings.TrimSuffix(srcPath, ".mc") + ".golden"
+			if *updateGolden {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("golden mismatch for %s\n--- want\n%s--- got\n%s", name, want, got)
+			}
+		})
+	}
+}
+
+// TestGoldenCorpusParallel replays the corpus through the parallel
+// execution path: Parallelism must never change a golden outcome.
+func TestGoldenCorpusParallel(t *testing.T) {
+	srcs, err := filepath.Glob(filepath.Join("testdata", "golden", "*.mc"))
+	if err != nil || len(srcs) == 0 {
+		t.Fatalf("golden corpus unavailable: %v", err)
+	}
+	for _, srcPath := range srcs {
+		name := strings.TrimSuffix(filepath.Base(srcPath), ".mc")
+		goldenPath := strings.TrimSuffix(srcPath, ".mc") + ".golden"
+		want, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("missing golden file (regenerate with -update): %v", err)
+		}
+		src, err := os.ReadFile(srcPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var input []byte
+		if data, err := os.ReadFile(strings.TrimSuffix(srcPath, ".mc") + ".input"); err == nil {
+			input = data
+		}
+		suite, err := compdiff.New(string(src), compdiff.DefaultImplementations(), compdiff.Options{Parallelism: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := renderOutcome(suite.Names(), suite.Run(input)); got != string(want) {
+			t.Errorf("parallel golden mismatch for %s\n--- want\n%s--- got\n%s", name, want, got)
+		}
+	}
+}

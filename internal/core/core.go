@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"compdiff/internal/compiler"
 	"compdiff/internal/hash"
@@ -24,12 +25,43 @@ import (
 )
 
 // Implementation is one compiler implementation with its compiled
-// binary and a reusable executor.
+// binary and a free list of reusable executors.
 type Implementation struct {
 	Config compiler.Config
 	Prog   *ir.Program
 
-	machine *vm.Machine
+	stepLimit int64
+
+	// Machines are borrowed per run and returned afterwards
+	// (forkserver style: loaded once, memory reset between runs), so
+	// warm machines are reused with no per-run reallocation while
+	// concurrent Suite.Run calls never share mutable state. A plain
+	// mutex-guarded free list is used instead of sync.Pool so pooled
+	// machines survive GC cycles.
+	mu   sync.Mutex
+	free []*vm.Machine
+}
+
+// acquire returns a warm machine for this binary, creating one only
+// when every pooled machine is already in use.
+func (im *Implementation) acquire() *vm.Machine {
+	im.mu.Lock()
+	if n := len(im.free); n > 0 {
+		m := im.free[n-1]
+		im.free[n-1] = nil
+		im.free = im.free[:n-1]
+		im.mu.Unlock()
+		return m
+	}
+	im.mu.Unlock()
+	return vm.New(im.Prog, vm.Options{StepLimit: im.stepLimit})
+}
+
+// release returns a machine to the free list for the next run.
+func (im *Implementation) release(m *vm.Machine) {
+	im.mu.Lock()
+	im.free = append(im.free, m)
+	im.mu.Unlock()
 }
 
 // Name returns the implementation name, e.g. "gcc -O2".
@@ -46,6 +78,15 @@ type Options struct {
 	MaxTimeoutRetries int
 	// Normalizer, if set, rewrites outputs before comparison (RQ5).
 	Normalizer *Normalizer
+	// Parallelism is the number of worker goroutines each Run fans
+	// its k per-binary executions across. Values <= 1 keep the
+	// sequential path (byte-identical to the historical behavior).
+	// Suite.Run is safe for concurrent use at any setting: runs
+	// borrow machines from per-implementation free lists instead of
+	// mutating shared state, and outcomes are identical regardless of
+	// Parallelism for any program whose output does not depend on the
+	// wall clock.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -77,11 +118,13 @@ func Build(info *sema.Info, cfgs []compiler.Config, opts Options) (*Suite, error
 		if err != nil {
 			return nil, err
 		}
-		s.Impls = append(s.Impls, &Implementation{
-			Config:  cfg,
-			Prog:    prog,
-			machine: vm.New(prog, vm.Options{StepLimit: opts.StepLimit}),
-		})
+		im := &Implementation{
+			Config:    cfg,
+			Prog:      prog,
+			stepLimit: opts.StepLimit,
+		}
+		im.free = []*vm.Machine{vm.New(prog, vm.Options{StepLimit: opts.StepLimit})}
+		s.Impls = append(s.Impls, im)
 	}
 	return s, nil
 }
@@ -146,13 +189,24 @@ func (o *Outcome) Signature() uint64 {
 }
 
 // Run executes input on every implementation and cross-checks outputs
-// (Algorithm 1, lines 9-12, plus the RQ5/RQ6 policies).
+// (Algorithm 1, lines 9-12, plus the RQ5/RQ6 policies). With
+// Options.Parallelism > 1 the k executions fan out across a worker
+// pool; the outcome is positionally identical either way.
 func (s *Suite) Run(input []byte) *Outcome {
 	out := &Outcome{Input: input}
 	out.Results = make([]*vm.Result, len(s.Impls))
+	machines := make([]*vm.Machine, len(s.Impls))
 	for i, im := range s.Impls {
-		out.Results[i] = im.machine.Run(input)
+		machines[i] = im.acquire()
 	}
+	defer func() {
+		for i, im := range s.Impls {
+			im.release(machines[i])
+		}
+	}()
+	s.forEach(len(s.Impls), func(i int) {
+		out.Results[i] = machines[i].Run(input)
+	})
 
 	// Partial-timeout policy (RQ6): when only some binaries hit the
 	// step limit, their truncated output is not comparable. Re-run the
@@ -160,24 +214,24 @@ func (s *Suite) Run(input []byte) *Outcome {
 	// it do we report (flagged for manual scrutiny).
 	retries := 0
 	for retries < s.opts.MaxTimeoutRetries {
-		timedOut, finished := 0, 0
-		for _, r := range out.Results {
+		var rerun []int
+		finished := 0
+		for i, r := range out.Results {
 			if r.Exit == vm.StepLimit {
-				timedOut++
+				rerun = append(rerun, i)
 			} else {
 				finished++
 			}
 		}
-		if timedOut == 0 || finished == 0 {
+		if len(rerun) == 0 || finished == 0 {
 			break
 		}
 		retries++
 		budget := s.opts.StepLimit << (2 * uint(retries))
-		for i, r := range out.Results {
-			if r.Exit == vm.StepLimit {
-				out.Results[i] = s.Impls[i].machine.RunWithLimit(input, budget)
-			}
-		}
+		s.forEach(len(rerun), func(j int) {
+			i := rerun[j]
+			out.Results[i] = machines[i].RunWithLimit(input, budget)
+		})
 	}
 	for _, r := range out.Results {
 		if r.Exit == vm.StepLimit {

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"compdiff/internal/vm"
+)
+
+// The parallel execution layer. The paper's evaluation drove CompDiff
+// on a 64-core server (§4); here the same fan-out is a worker pool
+// over the k per-binary executions of one input. Determinism is
+// preserved by construction: workers claim implementation indices
+// from an atomic counter but write results positionally, so the
+// outcome — results, hashes, divergence verdict, triage signature —
+// is byte-identical to the sequential path for any clock-independent
+// program, regardless of scheduling.
+
+// forEach runs fn(i) for every i in [0, n), fanning across
+// Options.Parallelism workers. Parallelism <= 1 (or a single task)
+// stays on the calling goroutine, preserving the historical
+// sequential execution exactly.
+func (s *Suite) forEach(n int, fn func(int)) {
+	p := s.opts.Parallelism
+	if p > n {
+		p = n
+	}
+	if p <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Warm pre-populates every implementation's machine free list with
+// enough machines for the given concurrency level, so that the first
+// parallel runs do not pay machine construction on the hot path.
+func (s *Suite) Warm(workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	for _, im := range s.Impls {
+		im.mu.Lock()
+		for len(im.free) < workers {
+			im.free = append(im.free, vm.New(im.Prog, vm.Options{StepLimit: im.stepLimit}))
+		}
+		im.mu.Unlock()
+	}
+}

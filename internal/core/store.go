@@ -5,14 +5,21 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 )
 
 // DiffStore collects bug-triggering inputs, the analog of the "diffs/"
 // directory CompDiff-AFL++ writes. Inputs are deduplicated by triage
 // signature: many inputs trigger the same discrepancy, and manual
 // diagnosis starts from one representative per signature (§3.2).
+//
+// All methods are safe for concurrent use: a sharded campaign merges
+// shard-local stores into one shared store at synchronization
+// barriers, and parallel suite runs may feed one store directly.
 type DiffStore struct {
-	dir      string // optional persistence directory; "" keeps all in memory
+	dir string // optional persistence directory; "" keeps all in memory
+
+	mu       sync.Mutex
 	bySig    map[uint64]*StoredDiff
 	sigOrder []uint64
 	total    int
@@ -37,13 +44,19 @@ func (st *DiffStore) Add(o *Outcome) (bool, error) {
 	if !o.Diverged {
 		return false, nil
 	}
-	st.total++
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.addLocked(o, 1)
+}
+
+func (st *DiffStore) addLocked(o *Outcome, count int) (bool, error) {
+	st.total += count
 	sig := o.Signature()
 	if d, ok := st.bySig[sig]; ok {
-		d.Count++
+		d.Count += count
 		return false, nil
 	}
-	st.bySig[sig] = &StoredDiff{Signature: sig, Outcome: o, Count: 1}
+	st.bySig[sig] = &StoredDiff{Signature: sig, Outcome: o, Count: count}
 	st.sigOrder = append(st.sigOrder, sig)
 	if st.dir != "" {
 		dir := filepath.Join(st.dir, "diffs")
@@ -58,8 +71,79 @@ func (st *DiffStore) Add(o *Outcome) (bool, error) {
 	return true, nil
 }
 
+// Absorb merges stored discrepancies (typically a shard-local store's
+// delta) into st, summing counts for known signatures. It returns the
+// entries whose signatures were new to st. The first persistence
+// error is reported; the in-memory merge always completes.
+func (st *DiffStore) Absorb(diffs []*StoredDiff) ([]*StoredDiff, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var fresh []*StoredDiff
+	var firstErr error
+	for _, d := range diffs {
+		isNew, err := st.addLocked(d.Outcome, d.Count)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if isNew {
+			fresh = append(fresh, st.bySig[d.Signature])
+		}
+	}
+	return fresh, firstErr
+}
+
+// Since returns the stored discrepancies from discovery index `from`
+// on — the delta a synchronization barrier hands to Absorb.
+func (st *DiffStore) Since(from int) []*StoredDiff {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from > len(st.sigOrder) {
+		from = len(st.sigOrder)
+	}
+	out := make([]*StoredDiff, 0, len(st.sigOrder)-from)
+	for _, sig := range st.sigOrder[from:] {
+		out = append(out, st.bySig[sig])
+	}
+	return out
+}
+
+// Counts snapshots the per-signature input counts.
+func (st *DiffStore) Counts() map[uint64]int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[uint64]int, len(st.bySig))
+	for sig, d := range st.bySig {
+		out[sig] = d.Count
+	}
+	return out
+}
+
+// Recount overwrites per-signature counts and the pre-dedup total
+// with authoritative values. The sharded campaign pool calls it at
+// every barrier so the shared store's counts equal the sum over the
+// shard-local stores, independent of merge interleaving.
+func (st *DiffStore) Recount(counts map[uint64]int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	st.total = total
+	for sig, d := range st.bySig {
+		if c, ok := counts[sig]; ok {
+			d.Count = c
+		}
+	}
+}
+
 // Unique returns the stored discrepancies in discovery order.
 func (st *DiffStore) Unique() []*StoredDiff {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	out := make([]*StoredDiff, 0, len(st.sigOrder))
 	for _, sig := range st.sigOrder {
 		out = append(out, st.bySig[sig])
@@ -67,8 +151,19 @@ func (st *DiffStore) Unique() []*StoredDiff {
 	return out
 }
 
+// Len is the number of unique discrepancies stored.
+func (st *DiffStore) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.sigOrder)
+}
+
 // Total is the number of diverging inputs seen (before deduplication).
-func (st *DiffStore) Total() int { return st.total }
+func (st *DiffStore) Total() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.total
+}
 
 // Report renders a human-readable bug report for one discrepancy,
 // with the three ingredients the paper's reports carry: the input, the

@@ -1,0 +1,322 @@
+package difffuzz
+
+// The sharded campaign orchestrator: the AFL++ -M/-S topology the
+// paper's evaluation used on its 64-core server (§4, Tables 5-6),
+// reproduced as a pool of N in-process fuzzer shards. Shard 0 is the
+// main instance (deterministic stage enabled, like -M); secondaries
+// run havoc-only (like -S). Each shard owns its fuzzer, its B_fuzz
+// machine, its CompDiff suite, and a shard-local DiffStore, so the
+// shards never contend mid-epoch and a fixed FuzzSeed yields the same
+// findings regardless of goroutine scheduling.
+//
+// Shards meet at synchronization barriers every SyncEvery executions.
+// A barrier, run single-threaded in shard-index order, does what
+// AFL's periodic queue-directory scans do: it merges each shard's new
+// discrepancies into the shared mutex-guarded DiffStore, recounts the
+// shared totals, and cross-pollinates both the diff-triggering inputs
+// and the coverage-fresh queue entries into every sibling shard.
+// Because barriers are the only cross-shard channel, the set of
+// discrepancy signatures a pool finds is a deterministic function of
+// (source, seeds, options) — discovery *order* inside an epoch is the
+// only thing scheduling can vary, and the shared store absorbs in
+// shard order, so even that is stable.
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"compdiff/internal/core"
+	"compdiff/internal/fuzz"
+	"compdiff/internal/minic/parser"
+	"compdiff/internal/minic/sema"
+)
+
+// Pool runs N campaign shards over one target.
+type Pool struct {
+	opts   Options
+	shards []*shard
+	store  *core.DiffStore // shared; shard stores merge into it at barriers
+
+	mu sync.Mutex // guards shard health fields during an epoch
+
+	// epochHook, when set, runs at the start of every shard epoch
+	// inside the panic-recovery scope. Tests use it to wedge a shard.
+	epochHook func(shardIndex int)
+}
+
+// shard is one fuzzer instance plus its synchronization bookkeeping.
+type shard struct {
+	c *Campaign
+
+	diffsSynced int             // shard-local store entries already merged
+	queueSeen   map[uint64]bool // queue entry hashes already cross-pollinated
+	dead        bool            // a panicking shard is retired, not restarted
+	err         error
+}
+
+// PoolStats summarizes a pool run.
+type PoolStats struct {
+	Shards int
+	// Execs is the total number of B_fuzz executions across shards.
+	Execs int64
+	// DiffExecs is the total spent on the CompDiff binaries.
+	DiffExecs int64
+	// UniqueDiffs and TotalDiffInputs mirror the shared store.
+	UniqueDiffs     int
+	TotalDiffInputs int
+	// UniqueCrashes counts content-distinct B_fuzz crashes pool-wide.
+	UniqueCrashes int
+	// ShardStats holds each shard's fuzzer statistics.
+	ShardStats []fuzz.Stats
+	// ShardErrors has one entry per shard; non-nil marks a shard that
+	// panicked and was retired. The campaign itself keeps running.
+	ShardErrors []error
+}
+
+// NewPool parses and checks src once, then builds opts.Shards
+// campaign shards with AFL -M/-S roles and ShardSeed-derived RNG
+// seeds. Bug-triggering inputs persist (when opts.DiffDir is set)
+// only through the shared store, so shards never contend on files.
+func NewPool(src string, seeds [][]byte, opts Options) (*Pool, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("difffuzz: parse: %w", err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		return nil, fmt.Errorf("difffuzz: check: %w", err)
+	}
+	return NewPoolChecked(info, seeds, opts)
+}
+
+// NewPoolChecked builds a pool from an already-checked program.
+func NewPoolChecked(info *sema.Info, seeds [][]byte, opts Options) (*Pool, error) {
+	n := opts.Shards
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{opts: opts, store: core.NewDiffStore(opts.DiffDir)}
+	for si := 0; si < n; si++ {
+		sopts := opts
+		sopts.FuzzSeed = ShardSeed(opts.FuzzSeed, si)
+		sopts.DiffDir = "" // shard-local stores stay in memory
+		if si > 0 {
+			// Secondaries skip the deterministic stage, AFL -S style:
+			// systematic shallow exploration is the main's job.
+			sopts.SkipDeterministic = true
+		}
+		c, err := NewChecked(info, seeds, sopts)
+		if err != nil {
+			return nil, fmt.Errorf("difffuzz: shard %d: %w", si, err)
+		}
+		p.shards = append(p.shards, &shard{c: c, queueSeen: map[uint64]bool{}})
+	}
+	return p, nil
+}
+
+// ShardSeed derives shard si's fuzzer RNG seed from the base seed.
+// Shard 0 keeps the base seed verbatim, so a single-shard pool is
+// byte-identical to a plain Campaign; the rest get splitmix64-mixed
+// values, distinct even for adjacent bases.
+func ShardSeed(base int64, si int) int64 {
+	if si == 0 {
+		return base
+	}
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(si)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Run fuzzes every live shard for budget executions (per shard),
+// pausing at synchronization barriers. Cancellation is checked at
+// every barrier: on ctx.Done the current epoch finishes (epochs are
+// bounded by SyncEvery, and every VM run is step-limited, so a shard
+// cannot wedge an epoch open), findings so far are merged, and Run
+// returns. A shard that panics is retired with its error recorded;
+// the remaining shards keep fuzzing.
+func (p *Pool) Run(ctx context.Context, budget int64) PoolStats {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	chunk := p.opts.SyncEvery
+	if chunk <= 0 {
+		chunk = budget / 8
+	}
+	if chunk < 1 || len(p.shards) == 1 {
+		chunk = budget
+	}
+	var spent int64
+	for spent < budget && ctx.Err() == nil {
+		step := chunk
+		if rem := budget - spent; step > rem {
+			step = rem
+		}
+		var wg sync.WaitGroup
+		for si, s := range p.shards {
+			if s.dead {
+				continue
+			}
+			wg.Add(1)
+			go func(si int, s *shard) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						p.mu.Lock()
+						s.dead = true
+						s.err = fmt.Errorf("difffuzz: shard %d panicked: %v\n%s", si, r, debug.Stack())
+						p.mu.Unlock()
+					}
+				}()
+				if p.epochHook != nil {
+					p.epochHook(si)
+				}
+				s.c.Run(step)
+			}(si, s)
+		}
+		wg.Wait()
+		spent += step
+		p.synchronize()
+		if p.liveShards() == 0 {
+			break
+		}
+	}
+	return p.Stats()
+}
+
+func (p *Pool) liveShards() int {
+	n := 0
+	for _, s := range p.shards {
+		if !s.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// synchronize is the barrier body. It runs single-threaded (all
+// shard goroutines have joined), in shard-index order, which keeps
+// the shared store's discovery order deterministic.
+func (p *Pool) synchronize() {
+	// 1. Merge each shard's new discrepancies into the shared store
+	// and remember the diff-triggering inputs that were new pool-wide.
+	var freshInputs [][]byte
+	for _, s := range p.shards {
+		delta := s.c.diffs.Since(s.diffsSynced)
+		s.diffsSynced += len(delta)
+		// A persistence error must not stop the campaign; the
+		// in-memory merge always completes.
+		fresh, _ := p.store.Absorb(delta)
+		for _, d := range fresh {
+			freshInputs = append(freshInputs, d.Outcome.Input)
+		}
+	}
+
+	// 2. Recount: the shared store's per-signature counts become the
+	// exact sum over shard-local stores.
+	totals := map[uint64]int{}
+	for _, s := range p.shards {
+		for sig, c := range s.c.diffs.Counts() {
+			totals[sig] += c
+		}
+	}
+	p.store.Recount(totals)
+
+	// 3. Cross-pollinate, AFL -M/-S style: every sibling imports the
+	// coverage-fresh queue entries and new diff inputs it has not
+	// seen. ForceSeed content-deduplicates on the receiving side.
+	for _, s := range p.shards {
+		var newSeeds [][]byte
+		for _, q := range s.c.fuzzer.Queue() {
+			if !s.queueSeen[q.Hash] {
+				s.queueSeen[q.Hash] = true
+				newSeeds = append(newSeeds, q.Data)
+			}
+		}
+		for _, other := range p.shards {
+			if other == s || other.dead {
+				continue
+			}
+			for _, data := range newSeeds {
+				other.c.fuzzer.ForceSeed(data)
+			}
+		}
+	}
+	for _, s := range p.shards {
+		if s.dead {
+			continue
+		}
+		for _, data := range freshInputs {
+			s.c.fuzzer.ForceSeed(data)
+		}
+	}
+}
+
+// Stats aggregates pool-wide statistics. Call after Run returns (or
+// between Run calls); shard stats are read outside any epoch.
+func (p *Pool) Stats() PoolStats {
+	st := PoolStats{Shards: len(p.shards)}
+	crashes := map[string]bool{}
+	for _, s := range p.shards {
+		fs := s.c.Stats()
+		st.ShardStats = append(st.ShardStats, fs)
+		st.Execs += fs.Execs
+		st.DiffExecs += atomic.LoadInt64(&s.c.DiffExecs)
+		st.ShardErrors = append(st.ShardErrors, s.err)
+		for _, cr := range s.c.Crashes() {
+			crashes[string(cr.Input)] = true
+		}
+	}
+	st.UniqueCrashes = len(crashes)
+	st.UniqueDiffs = p.store.Len()
+	st.TotalDiffInputs = p.store.Total()
+	return st
+}
+
+// Diffs returns the pool-wide unique discrepancies (shared store,
+// merge order).
+func (p *Pool) Diffs() []*core.StoredDiff { return p.store.Unique() }
+
+// TotalDiffInputs is the pool-wide count of diverging inputs seen.
+func (p *Pool) TotalDiffInputs() int { return p.store.Total() }
+
+// Signatures returns the sorted discrepancy-signature set — the
+// stable, order-independent fingerprint of a campaign's findings that
+// the determinism tests compare.
+func (p *Pool) Signatures() []uint64 {
+	diffs := p.store.Unique()
+	sigs := make([]uint64, 0, len(diffs))
+	for _, d := range diffs {
+		sigs = append(sigs, d.Signature)
+	}
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i] < sigs[j] })
+	return sigs
+}
+
+// Crashes returns every shard's B_fuzz crashes, content-deduplicated,
+// in deterministic (shard, fuzzer) order.
+func (p *Pool) Crashes() []*fuzz.Crash {
+	seen := map[string]bool{}
+	var out []*fuzz.Crash
+	for _, s := range p.shards {
+		for _, cr := range s.c.Crashes() {
+			if !seen[string(cr.Input)] {
+				seen[string(cr.Input)] = true
+				out = append(out, cr)
+			}
+		}
+	}
+	return out
+}
+
+// ImplNames lists the CompDiff implementation names (identical across
+// shards).
+func (p *Pool) ImplNames() []string { return p.shards[0].c.ImplNames() }
+
+// ShardCampaign exposes shard si's campaign (read-only use between
+// Run calls; campaigns are not concurrency-safe).
+func (p *Pool) ShardCampaign(si int) *Campaign { return p.shards[si].c }

@@ -10,6 +10,7 @@ package difffuzz
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"compdiff/internal/compiler"
 	"compdiff/internal/core"
@@ -51,9 +52,29 @@ type Options struct {
 	// share one source, the signature partition is a cheap, stable
 	// asymmetry fingerprint.
 	DivergenceFeedback bool
+
+	// Parallelism fans each differential cross-check across this many
+	// worker goroutines (core.Options.Parallelism). <= 1 keeps the
+	// sequential path.
+	Parallelism int
+
+	// Shards is the number of parallel fuzzer instances NewPool runs,
+	// mirroring AFL++'s -M/-S multi-instance setup: shard 0 is the
+	// main (deterministic stage enabled), secondaries run havoc-only,
+	// and every shard derives a distinct RNG seed from FuzzSeed.
+	// Values <= 1 mean a single shard. Ignored by New.
+	Shards int
+
+	// SyncEvery is the per-shard execution count a pool runs between
+	// corpus/diff synchronization barriers. Zero picks budget/8. A
+	// single-shard pool always runs its whole budget in one chunk,
+	// which makes Shards=1 byte-identical to a plain Campaign.
+	SyncEvery int64
 }
 
-// Campaign is a CompDiff-AFL++ fuzzing session on one target.
+// Campaign is a CompDiff-AFL++ fuzzing session on one target. A
+// Campaign is single-goroutine (the pool gives each shard its own);
+// only DiffExecs may be read concurrently, via atomic load.
 type Campaign struct {
 	fuzzer *fuzz.Fuzzer
 	suite  *core.Suite
@@ -61,6 +82,8 @@ type Campaign struct {
 
 	// DiffExecs counts executions spent on the CompDiff binaries
 	// (k per generated input) — the overhead the paper discusses.
+	// Updated atomically so pool-level progress reporting can read it
+	// while the shard runs.
 	DiffExecs int64
 }
 
@@ -105,8 +128,9 @@ func NewChecked(info *sema.Info, seeds [][]byte, opts Options) (*Campaign, error
 	})
 
 	suite, err := core.Build(info, cfgs, core.Options{
-		StepLimit:  opts.StepLimit,
-		Normalizer: opts.Normalizer,
+		StepLimit:   opts.StepLimit,
+		Normalizer:  opts.Normalizer,
+		Parallelism: opts.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -124,7 +148,7 @@ func NewChecked(info *sema.Info, seeds [][]byte, opts Options) (*Campaign, error
 		// the CompDiff binaries and save it on output discrepancy.
 		OnExec: func(input []byte, res *vm.Result) {
 			o := c.suite.Run(input)
-			c.DiffExecs += int64(len(c.suite.Impls))
+			atomic.AddInt64(&c.DiffExecs, int64(len(c.suite.Impls)))
 			if o.Diverged {
 				fresh, err := c.diffs.Add(o)
 				if err != nil {

@@ -54,7 +54,11 @@ type Options struct {
 	OnExec func(input []byte, res *vm.Result)
 }
 
-// Fuzzer is an AFL++-style coverage-guided fuzzer.
+// Fuzzer is an AFL++-style coverage-guided fuzzer. A Fuzzer (queue,
+// stats, coverage bitmaps) is confined to one goroutine: the sharded
+// campaign pool gives each shard its own Fuzzer and only touches
+// queues and stats at synchronization barriers, after every shard
+// goroutine has joined.
 type Fuzzer struct {
 	exec   Executor
 	opts   Options

@@ -5,6 +5,9 @@ package ir
 // when the program executes undefined behaviour. The VM consults it at
 // run time; two binaries of a UB-free program behave identically under
 // any two profiles.
+//
+// A Profile is immutable after compilation — it carries configuration,
+// never counters — so concurrent VM workers may read one freely.
 type Profile struct {
 	// Key seeds incidental values: the initial memory fill pattern
 	// (what uninitialized stack/heap bytes contain) and poison values.

@@ -316,6 +316,10 @@ func (l *Lexer) scanChar(pos token.Pos) token.Token {
 	}
 	c := l.advance()
 	if c == '\\' {
+		if l.off >= len(l.src) {
+			l.errorf(pos, "unterminated char literal")
+			return token.Token{Kind: token.CharLit, Pos: pos}
+		}
 		v = l.unescape(pos)
 	} else {
 		v = c

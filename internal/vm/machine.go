@@ -64,6 +64,10 @@ const CovMapSize = 1 << 16
 // Machine executes one compiled binary. It plays the role of the
 // AFL++ forkserver: the binary is loaded once, and each Run resets
 // memory from a pristine snapshot instead of re-launching.
+//
+// A Machine is single-goroutine (all run state lives on it); parallel
+// execution layers (core's worker pool, difffuzz's shards) give each
+// worker its own machine via per-implementation free lists.
 type Machine struct {
 	prog *ir.Program
 	opts Options

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Tier-1 gate, shell form of `make check`: vet, build, race-enabled
+# tests, and a short native-fuzz smoke. Usage: scripts/check.sh
+# [fuzztime], e.g. `scripts/check.sh 30s`.
+set -eu
+
+cd "$(dirname "$0")/.."
+FUZZTIME="${1:-10s}"
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== fuzz smoke ($FUZZTIME each)"
+go test -fuzz=FuzzParse -fuzztime="$FUZZTIME" -run='^$' ./internal/minic/parser
+go test -fuzz=FuzzSuiteRun -fuzztime="$FUZZTIME" -run='^$' .
+
+echo "== check OK"
