@@ -17,6 +17,7 @@ import (
 	"compdiff/internal/minic/parser"
 	"compdiff/internal/minic/sema"
 	"compdiff/internal/targets"
+	"compdiff/internal/telemetry"
 	"compdiff/internal/vm"
 )
 
@@ -175,13 +176,27 @@ func overheadBench(b *testing.B, k int) {
 // should beat BenchmarkSuiteRunSequential by ~min(Parallelism, k,
 // cores); on one core the pair bounds the pool's overhead instead.
 
-func BenchmarkSuiteRunSequential(b *testing.B) { suiteRunBench(b, 1) }
-func BenchmarkSuiteRunParallel(b *testing.B)   { suiteRunBench(b, 4) }
+func BenchmarkSuiteRunSequential(b *testing.B) { suiteRunBench(b, 1, false) }
+func BenchmarkSuiteRunParallel(b *testing.B)   { suiteRunBench(b, 4, false) }
 
-func suiteRunBench(b *testing.B, parallelism int) {
+// BenchmarkSuiteRunParallelTelemetry is BenchmarkSuiteRunParallel with
+// the metrics sink attached — the pair bounds the telemetry overhead
+// (two atomics and a histogram insert per VM run; budget: <= 5%).
+func BenchmarkSuiteRunParallelTelemetry(b *testing.B) { suiteRunBench(b, 4, true) }
+
+func suiteRunBench(b *testing.B, parallelism int, withMetrics bool) {
 	tg := targets.ByName("readelf")
 	input := tg.Seeds[0]
-	suite, err := compdiff.New(tg.Src, compdiff.DefaultImplementations(), compdiff.Options{Parallelism: parallelism})
+	impls := compdiff.DefaultImplementations()
+	opts := compdiff.Options{Parallelism: parallelism}
+	if withMetrics {
+		names := make([]string, len(impls))
+		for i, im := range impls {
+			names[i] = im.Name()
+		}
+		opts.Metrics = telemetry.NewSuiteMetrics(names)
+	}
+	suite, err := compdiff.New(tg.Src, impls, opts)
 	if err != nil {
 		b.Fatal(err)
 	}

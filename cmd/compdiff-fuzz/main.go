@@ -9,17 +9,25 @@
 //
 // Flags:
 //
-//	-target NAME   fuzz a built-in target (see -list)
-//	-src FILE      fuzz a MiniC source file
-//	-execs N       execution budget on the instrumented binary
-//	               (per shard when -shards > 1)
-//	-seed N        fuzzer RNG seed
-//	-shards N      parallel fuzzer instances, AFL -M/-S style
-//	-jobs N        worker goroutines per differential cross-check
-//	-sync N        executions between shard synchronization barriers
-//	-san MODE      sanitizer on the fuzzing binary: none|asan|ubsan|msan
-//	-diffdir DIR   persist diverging inputs under DIR/diffs/
-//	-list          list built-in targets and exit
+//	-target NAME    fuzz a built-in target (see -list)
+//	-src FILE       fuzz a MiniC source file
+//	-execs N        execution budget on the instrumented binary
+//	                (per shard when -shards > 1)
+//	-seed N         fuzzer RNG seed
+//	-shards N       parallel fuzzer instances, AFL -M/-S style
+//	-jobs N         worker goroutines per differential cross-check
+//	-sync N         executions between shard synchronization barriers
+//	-san MODE       sanitizer on the fuzzing binary: none|asan|ubsan|msan
+//	-diffdir DIR    persist diverging inputs under DIR/diffs/
+//	-stats DIR      record AFL-plot-style snapshots to DIR/plot.jsonl
+//	                and print a per-implementation summary table
+//	-stats-every N  snapshot every N generated inputs (single shard;
+//	                sharded pools snapshot at every barrier)
+//	-list           list built-in targets and exit
+//
+// Invalid flag values (e.g. -shards 0, a negative -jobs, or an
+// explicit -sync 0 on a sharded run) are rejected up front with exit
+// code 2.
 //
 // With -shards > 1, SIGINT/SIGTERM cancels the campaign gracefully at
 // the next synchronization barrier and prints what was found so far.
@@ -33,6 +41,8 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"text/tabwriter"
+	"time"
 
 	"compdiff"
 	"compdiff/internal/targets"
@@ -50,6 +60,61 @@ func (s *seedList) Set(path string) error {
 	return nil
 }
 
+// cliConfig holds every flag value that validation looks at. Keeping
+// it a plain struct keeps validate a pure function the tests can
+// drive without touching the flag package or os.Args.
+type cliConfig struct {
+	target     string
+	src        string
+	execs      int64
+	shards     int
+	jobs       int
+	sync       int64
+	syncSet    bool // -sync was given explicitly
+	san        string
+	statsEvery int64
+	list       bool
+}
+
+// validate rejects nonsensical flag combinations up front — before
+// they reach the engine, where a zero shard count or a negative worker
+// count would be silently reinterpreted rather than diagnosed.
+func (c cliConfig) validate() error {
+	if c.list {
+		return nil
+	}
+	if c.target == "" && c.src == "" {
+		return fmt.Errorf("need -target or -src (or -list)")
+	}
+	if c.target != "" && c.src != "" {
+		return fmt.Errorf("-target and -src are mutually exclusive")
+	}
+	if c.execs < 1 {
+		return fmt.Errorf("-execs %d: the execution budget must be at least 1", c.execs)
+	}
+	if c.shards < 1 {
+		return fmt.Errorf("-shards %d: a campaign needs at least one fuzzer instance", c.shards)
+	}
+	if c.jobs < 1 {
+		return fmt.Errorf("-jobs %d: the cross-check needs at least one worker", c.jobs)
+	}
+	if c.sync < 0 {
+		return fmt.Errorf("-sync %d: the barrier interval cannot be negative", c.sync)
+	}
+	if c.syncSet && c.sync == 0 && c.shards > 1 {
+		return fmt.Errorf("-sync 0 would disable the synchronization barriers a sharded pool requires; omit -sync for the default (budget/8)")
+	}
+	if c.statsEvery < 0 {
+		return fmt.Errorf("-stats-every %d: the snapshot interval cannot be negative", c.statsEvery)
+	}
+	switch c.san {
+	case "none", "asan", "ubsan", "msan":
+	default:
+		return fmt.Errorf("-san %q: want none, asan, ubsan, or msan", c.san)
+	}
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("compdiff-fuzz: ")
@@ -62,10 +127,33 @@ func main() {
 	syncEvery := flag.Int64("sync", 0, "executions between shard sync barriers (0 = budget/8)")
 	sanFlag := flag.String("san", "none", "sanitizer on the fuzz binary: none|asan|ubsan|msan")
 	diffdir := flag.String("diffdir", "", "persist diverging inputs")
+	statsDir := flag.String("stats", "", "record telemetry snapshots to DIR/plot.jsonl")
+	statsEvery := flag.Int64("stats-every", 0, "snapshot every N generated inputs (0 = final only)")
 	list := flag.Bool("list", false, "list built-in targets")
 	var seeds seedList
 	flag.Var(&seeds, "seedfile", "seed input file (repeatable)")
 	flag.Parse()
+
+	cfg := cliConfig{
+		target:     *targetName,
+		src:        *srcPath,
+		execs:      *execs,
+		shards:     *shards,
+		jobs:       *jobs,
+		sync:       *syncEvery,
+		san:        *sanFlag,
+		statsEvery: *statsEvery,
+		list:       *list,
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "sync" {
+			cfg.syncSet = true
+		}
+	})
+	if err := cfg.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "compdiff-fuzz: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, tg := range targets.All() {
@@ -88,28 +176,23 @@ func main() {
 		if tg.NeedsNormalizer {
 			normalizer = compdiff.DefaultNormalizer()
 		}
-	case *srcPath != "":
+	default:
 		data, err := os.ReadFile(*srcPath)
 		if err != nil {
 			log.Fatal(err)
 		}
 		src = string(data)
 		corpus = seeds
-	default:
-		log.Fatal("need -target or -src (or -list)")
 	}
 
 	san := compdiff.SanNone
 	switch *sanFlag {
-	case "none":
 	case "asan":
 		san = compdiff.SanASan
 	case "ubsan":
 		san = compdiff.SanUBSan
 	case "msan":
 		san = compdiff.SanMSan
-	default:
-		log.Fatalf("unknown -san %q", *sanFlag)
 	}
 
 	opts := compdiff.CampaignOptions{
@@ -120,6 +203,8 @@ func main() {
 		Shards:      *shards,
 		SyncEvery:   *syncEvery,
 		Parallelism: *jobs,
+		StatsDir:    *statsDir,
+		StatsEvery:  *statsEvery,
 	}
 
 	if *shards > 1 {
@@ -129,6 +214,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer pool.Close()
 		stats := pool.Run(ctx, *execs)
 
 		fmt.Printf("shards         : %d\n", stats.Shards)
@@ -149,6 +235,7 @@ func main() {
 			}
 			fmt.Printf("  shard %d (-%s): %d execs, %d seeds%s\n", si, role, fs.Execs, fs.Seeds, status)
 		}
+		printTelemetry(pool.ImplSummaries(), pool.Snapshots())
 		fmt.Println()
 		for _, d := range pool.Diffs() {
 			fmt.Println(d.Report(pool.ImplNames()))
@@ -166,6 +253,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer campaign.Close()
 	stats := campaign.Run(*execs)
 
 	fmt.Printf("executions     : %d\n", stats.Execs)
@@ -173,8 +261,10 @@ func main() {
 	fmt.Printf("unique crashes : %d\n", stats.UniqueCrashes)
 	fmt.Printf("diff inputs    : %d (%d unique discrepancies)\n",
 		campaign.TotalDiffInputs(), len(campaign.Diffs()))
-	fmt.Printf("diff execs     : %d across %d implementations\n\n",
+	fmt.Printf("diff execs     : %d across %d implementations\n",
 		campaign.DiffExecs, len(campaign.ImplNames()))
+	printTelemetry(campaign.ImplSummaries(), campaign.Snapshots())
+	fmt.Println()
 
 	for _, d := range campaign.Diffs() {
 		fmt.Println(d.Report(campaign.ImplNames()))
@@ -185,4 +275,32 @@ func main() {
 			fmt.Printf("  %s\n", c.Result.San)
 		}
 	}
+}
+
+// printTelemetry renders the per-implementation summary table and the
+// campaign throughput line. No-op when stats were not requested.
+func printTelemetry(impls []compdiff.ImplSummary, snaps []compdiff.CampaignSnapshot) {
+	if len(impls) == 0 || len(snaps) == 0 {
+		return
+	}
+	final := snaps[len(snaps)-1]
+	fmt.Printf("throughput     : %.1f execs/sec over %s (%d snapshots)\n",
+		final.ExecsPerSec, (time.Duration(final.ElapsedMs) * time.Millisecond).Round(time.Millisecond),
+		len(snaps))
+	fmt.Printf("outcomes       : %d ok, %d crash, %d step-limit-hang, %d diff\n",
+		final.OK, final.Crash, final.StepLimitHang, final.Diff)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "implementation\truns\tok\tcrash\thang\tmean\tp50\tp99")
+	for _, s := range impls {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%s\t%s\t%s\n",
+			s.Name, s.Runs(),
+			s.Outcomes[compdiff.ClassOK],
+			s.Outcomes[compdiff.ClassCrash],
+			s.Outcomes[compdiff.ClassStepLimitHang],
+			time.Duration(s.Latency.Mean()).Round(time.Microsecond),
+			time.Duration(s.Latency.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(s.Latency.Quantile(0.99)).Round(time.Microsecond))
+	}
+	tw.Flush()
 }

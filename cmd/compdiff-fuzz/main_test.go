@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// validCfg is a baseline that passes validation; cases mutate it.
+func validCfg() cliConfig {
+	return cliConfig{
+		target: "tcpdump",
+		execs:  50_000,
+		shards: 1,
+		jobs:   1,
+		san:    "none",
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*cliConfig)
+		wantErr string // substring; "" means the config must pass
+	}{
+		{"baseline", func(c *cliConfig) {}, ""},
+		{"src-instead-of-target", func(c *cliConfig) { c.target = ""; c.src = "p.mc" }, ""},
+		{"sharded", func(c *cliConfig) { c.shards = 8; c.jobs = 4 }, ""},
+		{"sharded-explicit-sync", func(c *cliConfig) { c.shards = 8; c.sync = 500; c.syncSet = true }, ""},
+		{"list-skips-checks", func(c *cliConfig) { *c = cliConfig{list: true} }, ""},
+		{"stats-every", func(c *cliConfig) { c.statsEvery = 1000 }, ""},
+
+		{"no-input", func(c *cliConfig) { c.target = "" }, "need -target or -src"},
+		{"both-inputs", func(c *cliConfig) { c.src = "p.mc" }, "mutually exclusive"},
+		{"zero-execs", func(c *cliConfig) { c.execs = 0 }, "-execs 0"},
+		{"negative-execs", func(c *cliConfig) { c.execs = -10 }, "-execs -10"},
+		{"zero-shards", func(c *cliConfig) { c.shards = 0 }, "-shards 0"},
+		{"negative-shards", func(c *cliConfig) { c.shards = -2 }, "-shards -2"},
+		{"zero-jobs", func(c *cliConfig) { c.jobs = 0 }, "-jobs 0"},
+		{"negative-jobs", func(c *cliConfig) { c.jobs = -4 }, "-jobs -4"},
+		{"negative-sync", func(c *cliConfig) { c.sync = -1 }, "-sync -1"},
+		{"explicit-sync-zero-sharded", func(c *cliConfig) { c.shards = 4; c.sync = 0; c.syncSet = true },
+			"disable the synchronization barriers"},
+		// The default -sync 0 (not explicitly set) on a sharded run is
+		// fine: the pool picks budget/8.
+		{"default-sync-zero-sharded", func(c *cliConfig) { c.shards = 4 }, ""},
+		// An explicit -sync 0 on a single shard is also fine: there are
+		// no barriers to disable.
+		{"explicit-sync-zero-solo", func(c *cliConfig) { c.sync = 0; c.syncSet = true }, ""},
+		{"negative-stats-every", func(c *cliConfig) { c.statsEvery = -5 }, "-stats-every -5"},
+		{"bad-san", func(c *cliConfig) { c.san = "tsan" }, `-san "tsan"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := validCfg()
+			tc.mutate(&cfg)
+			err := cfg.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate(%+v) = %v, want nil", cfg, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate(%+v) = nil, want error containing %q", cfg, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate(%+v) = %q, want substring %q", cfg, err, tc.wantErr)
+			}
+		})
+	}
+}

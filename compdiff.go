@@ -35,9 +35,12 @@
 package compdiff
 
 import (
+	"io"
+
 	"compdiff/internal/compiler"
 	"compdiff/internal/core"
 	"compdiff/internal/difffuzz"
+	"compdiff/internal/telemetry"
 	"compdiff/internal/vm"
 )
 
@@ -162,3 +165,37 @@ func NewDiffStore(dir string) *DiffStore {
 // flow separates (the paper's §5 future-work direction, realized via
 // the VM's line traces).
 type Localization = core.Localization
+
+// CampaignMetrics holds a campaign's live telemetry counters: B_fuzz
+// and CompDiff execution totals, per-class outcome counts, and
+// per-implementation latency histograms. Enable collection with
+// CampaignOptions.Stats (or StatsDir / StatsEvery); read it via
+// Campaign.Metrics.
+type CampaignMetrics = telemetry.CampaignMetrics
+
+// CampaignSnapshot is one AFL-plot-style progress record; campaigns
+// append them to an in-memory series and (with StatsDir set) to
+// StatsDir/plot.jsonl.
+type CampaignSnapshot = telemetry.Snapshot
+
+// ShardSnapshot is one shard's state inside a pool snapshot.
+type ShardSnapshot = telemetry.ShardSnapshot
+
+// ImplSummary aggregates one implementation's run telemetry: outcome
+// counts by class and a latency histogram.
+type ImplSummary = telemetry.ImplSummary
+
+// Outcome classes for CampaignMetrics / ImplSummary counters.
+const (
+	ClassOK            = telemetry.ClassOK
+	ClassCrash         = telemetry.ClassCrash
+	ClassStepLimitHang = telemetry.ClassStepLimitHang
+	ClassDiff          = telemetry.ClassDiff
+)
+
+// WriteMetricsJSON dumps a campaign's metrics registry to w as one
+// JSON object, expvar style: counters, per-class outcome counts, and
+// per-implementation latency histograms keyed by registration name.
+func WriteMetricsJSON(w io.Writer, m *CampaignMetrics) error {
+	return m.Registry().WriteJSON(w)
+}

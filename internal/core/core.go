@@ -14,13 +14,16 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"time"
 
 	"compdiff/internal/compiler"
 	"compdiff/internal/hash"
 	"compdiff/internal/ir"
 	"compdiff/internal/minic/parser"
 	"compdiff/internal/minic/sema"
+	"compdiff/internal/telemetry"
 	"compdiff/internal/vm"
 )
 
@@ -87,6 +90,14 @@ type Options struct {
 	// Parallelism for any program whose output does not depend on the
 	// wall clock.
 	Parallelism int
+
+	// Metrics, when non-nil, receives per-implementation telemetry
+	// from every Run: each VM execution (including RQ6 re-runs) is
+	// timed and classified (ok / crash / step-limit-hang). The sink is
+	// safe for concurrent use, so one SuiteMetrics may serve many
+	// concurrent Suite.Run calls. Nil disables instrumentation with a
+	// single branch per execution.
+	Metrics *telemetry.SuiteMetrics
 }
 
 func (o Options) withDefaults() Options {
@@ -204,9 +215,17 @@ func (s *Suite) Run(input []byte) *Outcome {
 			im.release(machines[i])
 		}
 	}()
-	s.forEach(len(s.Impls), func(i int) {
-		out.Results[i] = machines[i].Run(input)
-	})
+	if m := s.opts.Metrics; m != nil {
+		s.forEachTimed(len(s.Impls), func(i int) {
+			out.Results[i] = machines[i].Run(input)
+		}, func(idxs []int, elapsed time.Duration) {
+			s.observeChain(m, out.Results, idxs, elapsed)
+		})
+	} else {
+		s.forEach(len(s.Impls), func(i int) {
+			out.Results[i] = machines[i].Run(input)
+		})
+	}
 
 	// Partial-timeout policy (RQ6): when only some binaries hit the
 	// step limit, their truncated output is not comparable. Re-run the
@@ -227,11 +246,24 @@ func (s *Suite) Run(input []byte) *Outcome {
 			break
 		}
 		retries++
-		budget := s.opts.StepLimit << (2 * uint(retries))
-		s.forEach(len(rerun), func(j int) {
-			i := rerun[j]
-			out.Results[i] = machines[i].RunWithLimit(input, budget)
-		})
+		budget := growBudget(s.opts.StepLimit, retries)
+		if m := s.opts.Metrics; m != nil {
+			s.forEachTimed(len(rerun), func(j int) {
+				i := rerun[j]
+				out.Results[i] = machines[i].RunWithLimit(input, budget)
+			}, func(jdxs []int, elapsed time.Duration) {
+				idxs := make([]int, len(jdxs))
+				for x, j := range jdxs {
+					idxs[x] = rerun[j]
+				}
+				s.observeChain(m, out.Results, idxs, elapsed)
+			})
+		} else {
+			s.forEach(len(rerun), func(j int) {
+				i := rerun[j]
+				out.Results[i] = machines[i].RunWithLimit(input, budget)
+			})
+		}
 	}
 	for _, r := range out.Results {
 		if r.Exit == vm.StepLimit {
@@ -254,6 +286,57 @@ func (s *Suite) Run(input []byte) *Outcome {
 		}
 	}
 	return out
+}
+
+// observeChain records one worker chain of VM executions: each run in
+// idxs is classified, and the chain's wall-clock time is apportioned
+// across the runs proportionally to their executed step counts. Steps
+// measure the work a run did, so the apportionment is an accurate
+// per-run latency estimate while the chain total is exact — and the
+// clock stays off the per-run hot path (see forEachTimed).
+func (s *Suite) observeChain(m *telemetry.SuiteMetrics, results []*vm.Result, idxs []int, elapsed time.Duration) {
+	var total int64
+	for _, i := range idxs {
+		total += results[i].Steps
+	}
+	for _, i := range idxs {
+		r := results[i]
+		d := elapsed
+		if total > 0 {
+			// float64 keeps elapsed*steps from overflowing int64 on
+			// grown-budget re-runs.
+			d = time.Duration(float64(elapsed) * (float64(r.Steps) / float64(total)))
+		} else if n := len(idxs); n > 1 {
+			d = elapsed / time.Duration(n)
+		}
+		m.ObserveRun(i, ClassifyResult(r), d)
+	}
+}
+
+// growBudget is the RQ6 re-run budget: the base step limit grown 4x
+// per retry. A shift that overflows int64 would hand the VM a negative
+// or truncated limit and turn every re-run into an instant spurious
+// timeout, so the budget saturates at MaxInt64 instead.
+func growBudget(base int64, retries int) int64 {
+	b := base << (2 * uint(retries))
+	if b>>(2*uint(retries)) != base || b <= 0 {
+		return math.MaxInt64
+	}
+	return b
+}
+
+// ClassifyResult maps one VM result to its telemetry outcome class:
+// the AFL-style crash/hang buckets, with the step-limit exit playing
+// the timeout role (§3.2).
+func ClassifyResult(r *vm.Result) telemetry.Class {
+	switch {
+	case r.Exit == vm.StepLimit:
+		return telemetry.ClassStepLimitHang
+	case r.Crashed():
+		return telemetry.ClassCrash
+	default:
+		return telemetry.ClassOK
+	}
 }
 
 // RunAll executes a set of inputs, returning only diverging outcomes.

@@ -156,26 +156,46 @@ func TestNonDivergingOutcomeNotStored(t *testing.T) {
 // Timeout policy (RQ6)
 
 func TestPartialTimeoutRerunPolicy(t *testing.T) {
-	// The optimizer removes the dead delay loop at -O1+; -O0 binaries
-	// run it. With a small base budget the -O0 binaries time out first
-	// but the re-run policy must extend their budget until outputs are
-	// comparable: no divergence in the end.
+	// DeadLoadElim removes the dead loads padding the loop body at
+	// -O1+; -O0 binaries execute them all. With a base budget between
+	// the two step counts only the -O0 binaries time out, but the
+	// re-run policy must extend their budget until outputs are
+	// comparable: no divergence, no lingering timeout suspicion.
 	src := `
 int main() {
-    int sink = 0;
-    for (int i = 0; i < 200000; i++) { sink += i % 7; }
-    if (sink < 0) { printf("%d", sink); }
+    int x = 1;
+    for (int i = 0; i < 20000; i++) {
+        x; x; x; x; x; x; x; x; x; x;
+        x; x; x; x; x; x; x; x; x; x;
+    }
     printf("done\n");
     return 0;
 }
 `
-	s, err := BuildSource(src, compiler.DefaultSet(), Options{StepLimit: 90_000})
+	s, err := BuildSource(src, compiler.DefaultSet(), Options{StepLimit: 400_000})
 	if err != nil {
 		t.Fatal(err)
 	}
 	o := s.Run(nil)
 	if o.Diverged {
 		t.Fatalf("timeout-induced false positive; suspect=%v", o.TimeoutSuspect)
+	}
+	if o.TimeoutSuspect {
+		t.Fatal("re-runs should have cleared the timeouts")
+	}
+	// The timeout really was partial: the -O0 results finished past the
+	// base budget (proof they were re-run with a grown one) while the
+	// optimized binaries fit comfortably inside it.
+	var rerun, within int
+	for _, r := range o.Results {
+		if r.Steps > 400_000 {
+			rerun++
+		} else {
+			within++
+		}
+	}
+	if rerun == 0 || within == 0 {
+		t.Fatalf("want a partial timeout, got %d re-run / %d within budget", rerun, within)
 	}
 }
 

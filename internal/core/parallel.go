@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"compdiff/internal/vm"
 )
@@ -44,6 +45,56 @@ func (s *Suite) forEach(n int, fn func(int)) {
 					return
 				}
 				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// forEachTimed is forEach with latency observation. Reading the clock
+// around every task would cost more than the telemetry it feeds (a
+// warm VM run is single-digit microseconds; a clock read tens of
+// nanoseconds), so each worker times its whole chain of tasks with two
+// reads and hands the chain to flush, which apportions the elapsed
+// time across the tasks it ran. Chains are exact in aggregate — every
+// nanosecond a worker spent executing is attributed to exactly one of
+// its tasks. flush runs outside the timed window, once per worker.
+func (s *Suite) forEachTimed(n int, fn func(int), flush func(idxs []int, elapsed time.Duration)) {
+	p := s.opts.Parallelism
+	if p > n {
+		p = n
+	}
+	if p <= 1 || n <= 1 {
+		var buf [16]int
+		idxs := buf[:0]
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			fn(i)
+			idxs = append(idxs, i)
+		}
+		flush(idxs, time.Since(start))
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf [16]int
+			idxs := buf[:0]
+			start := time.Now()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					break
+				}
+				fn(i)
+				idxs = append(idxs, i)
+			}
+			if len(idxs) > 0 {
+				flush(idxs, time.Since(start))
 			}
 		}()
 	}

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"unicode/utf8"
 )
 
 // DiffStore collects bug-triggering inputs, the analog of the "diffs/"
@@ -196,9 +197,29 @@ func (d *StoredDiff) Report(names []string) string {
 	return s
 }
 
+// truncate cuts b to at most n bytes without splitting a multi-byte
+// rune: a cut that lands mid-rune backs up to the rune boundary, so
+// truncated report text stays valid UTF-8. Bytes that were already
+// invalid UTF-8 in b are kept as-is.
 func truncate(b []byte, n int) []byte {
 	if len(b) <= n {
 		return b
+	}
+	// Walk back over up to utf8.UTFMax-1 continuation bytes; if they
+	// are the prefix of a rune that is valid (and complete) in the
+	// original b but extends past n, drop the partial rune.
+	for back := 1; back < utf8.UTFMax && back <= n; back++ {
+		c := b[n-back]
+		if c < 0x80 {
+			break // ASCII: the cut is clean
+		}
+		if c >= 0xC0 { // leading byte of a multi-byte sequence
+			if r, size := utf8.DecodeRune(b[n-back:]); r != utf8.RuneError && size > back {
+				return b[:n-back]
+			}
+			break
+		}
+		// 0x80..0xBF: continuation byte, keep backing up.
 	}
 	return b[:n]
 }

@@ -33,6 +33,7 @@ import (
 	"compdiff/internal/fuzz"
 	"compdiff/internal/minic/parser"
 	"compdiff/internal/minic/sema"
+	"compdiff/internal/telemetry"
 )
 
 // Pool runs N campaign shards over one target.
@@ -42,6 +43,12 @@ type Pool struct {
 	store  *core.DiffStore // shared; shard stores merge into it at barriers
 
 	mu sync.Mutex // guards shard health fields during an epoch
+
+	// recorder is nil unless Options ask for stats. Snapshots are taken
+	// at synchronization barriers (all shard goroutines joined, so the
+	// per-class counters sum to the exec total exactly) and once more
+	// when Run returns.
+	recorder *telemetry.Recorder
 
 	// epochHook, when set, runs at the start of every shard epoch
 	// inside the panic-recovery scope. Tests use it to wedge a shard.
@@ -100,10 +107,25 @@ func NewPoolChecked(info *sema.Info, seeds [][]byte, opts Options) (*Pool, error
 		n = 1
 	}
 	p := &Pool{opts: opts, store: core.NewDiffStore(opts.DiffDir)}
+	if opts.statsEnabled() {
+		rec, err := telemetry.NewRecorder(opts.StatsDir)
+		if err != nil {
+			return nil, fmt.Errorf("difffuzz: stats: %w", err)
+		}
+		p.recorder = rec
+	}
 	for si := 0; si < n; si++ {
 		sopts := opts
 		sopts.FuzzSeed = ShardSeed(opts.FuzzSeed, si)
 		sopts.DiffDir = "" // shard-local stores stay in memory
+		if opts.statsEnabled() {
+			// Shards keep their counters but the pool owns the snapshot
+			// series and the plot file.
+			sopts.Stats = true
+			sopts.StatsDir = ""
+			sopts.StatsEvery = 0
+			sopts.poolShard = true
+		}
 		if si > 0 {
 			// Secondaries skip the deterministic stage, AFL -S style:
 			// systematic shallow exploration is the main's job.
@@ -181,11 +203,62 @@ func (p *Pool) Run(ctx context.Context, budget int64) PoolStats {
 		wg.Wait()
 		spent += step
 		p.synchronize()
+		if p.recorder != nil {
+			p.recorder.Record(p.snapshot())
+		}
 		if p.liveShards() == 0 {
 			break
 		}
 	}
 	return p.Stats()
+}
+
+// snapshot aggregates the shard counters into one pool-wide progress
+// record. Called only between epochs (barrier or after Run), when no
+// shard goroutine is running.
+func (p *Pool) snapshot() telemetry.Snapshot {
+	var s telemetry.Snapshot
+	var classes [telemetry.NumClasses]int64
+	crashes := map[string]bool{}
+	plateau := int64(-1)
+	for si, sh := range p.shards {
+		m := sh.c.metrics
+		st := sh.c.fuzzer.Stats()
+		s.Execs += m.Execs.Load()
+		s.DiffExecs += m.DiffExecs.Load()
+		for k, n := range m.Classes.Snapshot() {
+			classes[k] += n
+		}
+		s.Queue += st.Seeds
+		for _, cr := range sh.c.Crashes() {
+			crashes[string(cr.Input)] = true
+		}
+		age := st.Execs - st.LastNewPath
+		if !sh.dead && (plateau < 0 || age < plateau) {
+			plateau = age
+		}
+		role := "main"
+		if si > 0 {
+			role = "secondary"
+		}
+		s.Shards = append(s.Shards, telemetry.ShardSnapshot{
+			Shard:        si,
+			Role:         role,
+			Execs:        m.Execs.Load(),
+			Queue:        st.Seeds,
+			UniqueDiffs:  sh.c.diffs.Len(),
+			PlateauExecs: age,
+			Retired:      sh.dead,
+		})
+	}
+	s.SetClasses(classes)
+	s.UniqueDiffs = p.store.Len()
+	s.TotalDiffInputs = p.store.Total()
+	s.UniqueCrashes = len(crashes)
+	if plateau > 0 {
+		s.PlateauExecs = plateau
+	}
+	return s
 }
 
 func (p *Pool) liveShards() int {
@@ -320,3 +393,34 @@ func (p *Pool) ImplNames() []string { return p.shards[0].c.ImplNames() }
 // ShardCampaign exposes shard si's campaign (read-only use between
 // Run calls; campaigns are not concurrency-safe).
 func (p *Pool) ShardCampaign(si int) *Campaign { return p.shards[si].c }
+
+// Snapshots returns the pool's recorded progress series — one entry
+// per synchronization barrier (empty when stats are disabled).
+func (p *Pool) Snapshots() []telemetry.Snapshot {
+	if p.recorder == nil {
+		return nil
+	}
+	return p.recorder.Snapshots()
+}
+
+// ImplSummaries merges the per-implementation telemetry across shards
+// (shards share the implementation set, so position identifies the
+// implementation). Nil when stats are disabled.
+func (p *Pool) ImplSummaries() []telemetry.ImplSummary {
+	var out []telemetry.ImplSummary
+	for _, s := range p.shards {
+		if s.c.metrics == nil {
+			return nil
+		}
+		out = telemetry.MergeImplSummaries(out, s.c.metrics.Suite.Summaries())
+	}
+	return out
+}
+
+// Close releases the stats recorder's plot file, if any.
+func (p *Pool) Close() error {
+	if p.recorder == nil {
+		return nil
+	}
+	return p.recorder.Close()
+}

@@ -17,6 +17,7 @@ import (
 	"compdiff/internal/fuzz"
 	"compdiff/internal/minic/parser"
 	"compdiff/internal/minic/sema"
+	"compdiff/internal/telemetry"
 	"compdiff/internal/vm"
 )
 
@@ -70,6 +71,29 @@ type Options struct {
 	// single-shard pool always runs its whole budget in one chunk,
 	// which makes Shards=1 byte-identical to a plain Campaign.
 	SyncEvery int64
+
+	// Stats enables the telemetry layer: outcome classification of
+	// every generated input, per-implementation latency histograms, and
+	// AFL-plot-style progress snapshots. Off by default — the campaign
+	// then runs with zero instrumentation on the hot path.
+	Stats bool
+	// StatsDir, when set (implies Stats), receives plot.jsonl: one JSON
+	// snapshot per line, append-only, AFL plot_data style.
+	StatsDir string
+	// StatsEvery emits a periodic snapshot every N generated inputs
+	// (implies Stats). Zero leaves only the per-Run final snapshot (and,
+	// for pools, the per-barrier snapshots).
+	StatsEvery int64
+
+	// poolShard marks a campaign built as a pool shard: it keeps its
+	// counters but no recorder — the pool snapshots at barriers, where
+	// all shard goroutines have joined.
+	poolShard bool
+}
+
+// statsEnabled reports whether any stats option asks for telemetry.
+func (o Options) statsEnabled() bool {
+	return o.Stats || o.StatsDir != "" || o.StatsEvery > 0
 }
 
 // Campaign is a CompDiff-AFL++ fuzzing session on one target. A
@@ -85,6 +109,15 @@ type Campaign struct {
 	// Updated atomically so pool-level progress reporting can read it
 	// while the shard runs.
 	DiffExecs int64
+
+	// metrics is nil unless Options ask for stats; every instrumented
+	// branch on the hot path is a single nil check.
+	metrics *telemetry.CampaignMetrics
+	// recorder collects snapshots for a standalone campaign. Pool
+	// shards have metrics but no recorder: the pool snapshots at its
+	// barriers instead.
+	recorder   *telemetry.Recorder
+	statsEvery int64
 }
 
 // New builds a campaign for the MiniC source with initial seeds.
@@ -127,18 +160,41 @@ func NewChecked(info *sema.Info, seeds [][]byte, opts Options) (*Campaign, error
 		San:       opts.Sanitizer,
 	})
 
-	suite, err := core.Build(info, cfgs, core.Options{
+	var metrics *telemetry.CampaignMetrics
+	var recorder *telemetry.Recorder
+	if opts.statsEnabled() {
+		names := make([]string, len(cfgs))
+		for i, cfg := range cfgs {
+			names[i] = cfg.Name()
+		}
+		metrics = telemetry.NewCampaignMetrics(names)
+		if !opts.poolShard {
+			recorder, err = telemetry.NewRecorder(opts.StatsDir)
+			if err != nil {
+				return nil, fmt.Errorf("difffuzz: stats: %w", err)
+			}
+		}
+	}
+
+	copts := core.Options{
 		StepLimit:   opts.StepLimit,
 		Normalizer:  opts.Normalizer,
 		Parallelism: opts.Parallelism,
-	})
+	}
+	if metrics != nil {
+		copts.Metrics = metrics.Suite
+	}
+	suite, err := core.Build(info, cfgs, copts)
 	if err != nil {
 		return nil, err
 	}
 
 	c := &Campaign{
-		suite: suite,
-		diffs: core.NewDiffStore(opts.DiffDir),
+		suite:      suite,
+		diffs:      core.NewDiffStore(opts.DiffDir),
+		metrics:    metrics,
+		recorder:   recorder,
+		statsEvery: opts.StatsEvery,
 	}
 	c.fuzzer = fuzz.New(machine, seeds, fuzz.Options{
 		Seed:              opts.FuzzSeed,
@@ -163,6 +219,25 @@ func NewChecked(info *sema.Info, seeds [][]byte, opts Options) (*Campaign, error
 					c.fuzzer.ForceSeed(input)
 				}
 			}
+			if m := c.metrics; m != nil {
+				execs := m.Execs.Inc()
+				m.DiffExecs.Add(int64(len(c.suite.Impls)))
+				// Each generated input lands in exactly one class:
+				// divergence dominates, otherwise the input is classed
+				// by its B_fuzz result. The per-class counts therefore
+				// always sum to Execs.
+				cls := core.ClassifyResult(res)
+				if o.Diverged {
+					cls = telemetry.ClassDiff
+				}
+				m.Classes.Inc(cls)
+				// Periodic snapshot, AFL plot_data style. Skipped while
+				// fuzz.New ingests the initial corpus (c.fuzzer nil).
+				if c.recorder != nil && c.statsEvery > 0 &&
+					execs%c.statsEvery == 0 && c.fuzzer != nil {
+					c.recorder.Record(c.snapshot())
+				}
+			}
 		},
 	})
 	return c, nil
@@ -177,9 +252,63 @@ func O1ForSan(san vm.SanMode) compiler.OptLevel {
 	return compiler.O2
 }
 
-// Run fuzzes for the given number of executions on B_fuzz.
+// Run fuzzes for the given number of executions on B_fuzz. With stats
+// enabled, a final snapshot is recorded when the budget is spent.
 func (c *Campaign) Run(budget int64) fuzz.Stats {
-	return c.fuzzer.Run(budget)
+	st := c.fuzzer.Run(budget)
+	if c.recorder != nil {
+		c.recorder.Record(c.snapshot())
+	}
+	return st
+}
+
+// snapshot assembles the campaign's current progress record. Callers
+// hold no locks: every source is either atomic or owned by the
+// campaign goroutine.
+func (c *Campaign) snapshot() telemetry.Snapshot {
+	m := c.metrics
+	st := c.fuzzer.Stats()
+	s := telemetry.Snapshot{
+		Execs:           m.Execs.Load(),
+		DiffExecs:       m.DiffExecs.Load(),
+		Queue:           st.Seeds,
+		UniqueDiffs:     c.diffs.Len(),
+		TotalDiffInputs: c.diffs.Total(),
+		UniqueCrashes:   st.UniqueCrashes,
+		PlateauExecs:    st.Execs - st.LastNewPath,
+	}
+	s.SetClasses(m.Classes.Snapshot())
+	return s
+}
+
+// Metrics returns the campaign's live counters, or nil when stats are
+// disabled.
+func (c *Campaign) Metrics() *telemetry.CampaignMetrics { return c.metrics }
+
+// Snapshots returns the recorded progress series (empty when stats are
+// disabled).
+func (c *Campaign) Snapshots() []telemetry.Snapshot {
+	if c.recorder == nil {
+		return nil
+	}
+	return c.recorder.Snapshots()
+}
+
+// ImplSummaries returns per-implementation outcome counts and latency
+// histograms, or nil when stats are disabled.
+func (c *Campaign) ImplSummaries() []telemetry.ImplSummary {
+	if c.metrics == nil {
+		return nil
+	}
+	return c.metrics.Suite.Summaries()
+}
+
+// Close releases the stats recorder's plot file, if any.
+func (c *Campaign) Close() error {
+	if c.recorder == nil {
+		return nil
+	}
+	return c.recorder.Close()
 }
 
 // Diffs returns the unique discrepancies found so far.

@@ -1,0 +1,31 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkObserveRun(b *testing.B) {
+	m := NewSuiteMetrics([]string{"a", "b", "c", "d"})
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			m.ObserveRun(i&3, ClassOK, time.Duration(i)*100)
+			i++
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i))
+	}
+}
+
+func BenchmarkClassInc(b *testing.B) {
+	var cc ClassCounters
+	for i := 0; i < b.N; i++ {
+		cc.Inc(ClassOK)
+	}
+}

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Var is a named metric a Registry can export — the expvar contract,
+// reimplemented locally so campaigns can own private registries
+// instead of polluting one process-global namespace.
+type Var interface {
+	Value() any
+}
+
+// Func adapts a closure into a Var.
+type Func func() any
+
+// Value implements Var.
+func (f Func) Value() any { return f() }
+
+// Registry is an insertion-ordered collection of named metrics. It is
+// the in-memory counterpart of plot.jsonl: where the snapshot stream
+// answers "how did the campaign evolve", the registry answers "where
+// is it right now", as one JSON object.
+type Registry struct {
+	mu    sync.Mutex
+	names []string
+	vars  map[string]Var
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{vars: map[string]Var{}}
+}
+
+// Register adds (or replaces) a named metric. First registration
+// fixes the name's position in dump order.
+func (r *Registry) Register(name string, v Var) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.vars[name]; !ok {
+		r.names = append(r.names, name)
+	}
+	r.vars[name] = v
+}
+
+// Do calls f for every registered metric in registration order.
+func (r *Registry) Do(f func(name string, v Var)) {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	vars := make([]Var, len(names))
+	for i, n := range names {
+		vars[i] = r.vars[n]
+	}
+	r.mu.Unlock()
+	for i, n := range names {
+		f(n, vars[i])
+	}
+}
+
+// WriteJSON dumps every metric as one JSON object in registration
+// order — the expvar-style hook: point it at an HTTP response, a log
+// file, or a debug console.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	first := true
+	var encErr error
+	r.Do(func(name string, v Var) {
+		if encErr != nil {
+			return
+		}
+		val, err := json.Marshal(v.Value())
+		if err != nil {
+			encErr = fmt.Errorf("telemetry: marshal %q: %w", name, err)
+			return
+		}
+		key, _ := json.Marshal(name)
+		if !first {
+			buf.WriteByte(',')
+		}
+		first = false
+		buf.Write(key)
+		buf.WriteByte(':')
+		buf.Write(val)
+	})
+	if encErr != nil {
+		return encErr
+	}
+	buf.WriteString("}\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}

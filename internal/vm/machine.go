@@ -215,7 +215,25 @@ func (m *Machine) Coverage() []byte { return m.cov }
 
 // Run executes the binary on input and returns the observable result.
 func (m *Machine) Run(input []byte) *Result {
+	return m.run(input, m.opts.StepLimit)
+}
+
+// RunWithLimit runs with a one-off step limit (the CompDiff
+// partial-timeout re-run policy uses it). The limit applies to this
+// run only and never touches the machine's configured options, so a
+// temporary budget cannot leak into later runs of a machine reused
+// from a free list. Non-positive limits fall back to the configured
+// one instead of tripping an instant spurious timeout.
+func (m *Machine) RunWithLimit(input []byte, limit int64) *Result {
+	if limit <= 0 {
+		limit = m.opts.StepLimit
+	}
+	return m.run(input, limit)
+}
+
+func (m *Machine) run(input []byte, limit int64) *Result {
 	m.reset(input)
+	m.limit = limit
 	m.call(m.prog.Main, nil)
 	for !m.halt {
 		m.step()
@@ -232,15 +250,6 @@ func (m *Machine) Run(input []byte) *Result {
 		res.Trace = append([]int32(nil), m.trace...)
 	}
 	return res
-}
-
-// RunWithLimit runs with a one-off step limit (the CompDiff
-// partial-timeout re-run policy uses it).
-func (m *Machine) RunWithLimit(input []byte, limit int64) *Result {
-	saved := m.opts.StepLimit
-	m.opts.StepLimit = limit
-	defer func() { m.opts.StepLimit = saved }()
-	return m.Run(input)
 }
 
 func (m *Machine) reset(input []byte) {
@@ -270,7 +279,7 @@ func (m *Machine) reset(input []byte) {
 	m.stdout = m.stdout[:0]
 	m.stderr = m.stderr[:0]
 	m.steps = 0
-	m.limit = m.opts.StepLimit
+	m.limit = m.opts.StepLimit // run() overrides for one-off limits
 	m.stack = m.stack[:0]
 	m.taint = m.taint[:0]
 	m.temp = m.temp[:0]

@@ -1,0 +1,88 @@
+package vm_test
+
+// Regression tests for one-off step limits on reused machines: the
+// partial-timeout re-run policy (RQ6) hands a machine a temporary
+// budget, and that budget must never survive into the next run of the
+// same warm machine — the free-list pools in core hand machines from
+// run to run without reconstruction.
+
+import (
+	"testing"
+
+	"compdiff/internal/compiler"
+	"compdiff/internal/minic/parser"
+	"compdiff/internal/minic/sema"
+	"compdiff/internal/vm"
+)
+
+// loopMachine compiles a program that busy-loops for ~6 steps per
+// iteration and returns a machine with the given configured limit.
+func loopMachine(t *testing.T, configured int64) *vm.Machine {
+	t.Helper()
+	src := `
+int main() {
+    long sink = 0;
+    for (long i = 0; i < 100000L; i++) { sink += i; }
+    printf("%ld\n", sink);
+    return 0;
+}
+`
+	info := sema.MustCheck(parser.MustParse(src))
+	bin := compiler.MustCompile(info, compiler.Config{Family: compiler.GCC, Opt: compiler.O0})
+	return vm.New(bin, vm.Options{StepLimit: configured})
+}
+
+// TestRunWithLimitDoesNotLeak mirrors the RQ6 sequence on a pooled
+// machine: a short-limit re-run followed by a normal run. The normal
+// run must get the full configured budget back.
+func TestRunWithLimitDoesNotLeak(t *testing.T) {
+	m := loopMachine(t, vm.DefaultStepLimit)
+
+	short := m.RunWithLimit(nil, 100)
+	if short.Exit != vm.StepLimit {
+		t.Fatalf("short-limit run: exit = %v, want timeout", short.Exit)
+	}
+	if short.Steps > 101 {
+		t.Fatalf("short-limit run took %d steps past a limit of 100", short.Steps)
+	}
+
+	normal := m.Run(nil)
+	if normal.Exit != vm.Exited {
+		t.Fatalf("normal run after short-limit re-run: exit = %v (leaked limit?)", normal.Exit)
+	}
+	if normal.Steps <= 100 {
+		t.Fatalf("normal run took only %d steps", normal.Steps)
+	}
+}
+
+// TestRunWithLimitGrownBudgetDoesNotLeak is the other direction: a
+// grown re-run budget must not raise the configured limit of later
+// runs.
+func TestRunWithLimitGrownBudgetDoesNotLeak(t *testing.T) {
+	m := loopMachine(t, 10_000) // too small for the loop
+
+	grown := m.RunWithLimit(nil, 100_000_000)
+	if grown.Exit != vm.Exited {
+		t.Fatalf("grown-budget run: exit = %v", grown.Exit)
+	}
+
+	normal := m.Run(nil)
+	if normal.Exit != vm.StepLimit {
+		t.Fatalf("normal run after grown re-run: exit = %v (leaked budget?)", normal.Exit)
+	}
+	if normal.Steps > 10_001 {
+		t.Fatalf("normal run took %d steps past the configured 10000", normal.Steps)
+	}
+}
+
+// TestRunWithLimitNonPositive: a non-positive one-off limit falls back
+// to the configured budget instead of timing out on the first step.
+func TestRunWithLimitNonPositive(t *testing.T) {
+	m := loopMachine(t, vm.DefaultStepLimit)
+	for _, limit := range []int64{0, -1, -1 << 40} {
+		res := m.RunWithLimit(nil, limit)
+		if res.Exit != vm.Exited {
+			t.Fatalf("RunWithLimit(%d): exit = %v, want normal completion", limit, res.Exit)
+		}
+	}
+}

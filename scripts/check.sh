@@ -20,4 +20,19 @@ echo "== fuzz smoke ($FUZZTIME each)"
 go test -fuzz=FuzzParse -fuzztime="$FUZZTIME" -run='^$' ./internal/minic/parser
 go test -fuzz=FuzzSuiteRun -fuzztime="$FUZZTIME" -run='^$' .
 
+# Telemetry smoke: a short sharded campaign with -stats must produce a
+# plot.jsonl whose lines carry a nonzero execs/sec. The telemetry unit
+# and determinism tests already ran under -race above; this checks the
+# CLI-to-plot-file path end to end.
+echo "== telemetry smoke (4 shards, 2000 execs)"
+STATS_DIR="$(mktemp -d)"
+trap 'rm -rf "$STATS_DIR"' EXIT
+go run ./cmd/compdiff-fuzz -target tcpdump -execs 2000 -shards 4 -sync 500 \
+	-stats "$STATS_DIR" >/dev/null
+grep -q '"execs_per_sec":[0-9]*[1-9]' "$STATS_DIR/plot.jsonl" || {
+	echo "telemetry smoke: no nonzero execs_per_sec in plot.jsonl" >&2
+	cat "$STATS_DIR/plot.jsonl" >&2
+	exit 1
+}
+
 echo "== check OK"
