@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race fuzz-smoke bench golden
+.PHONY: check vet build test race fuzz-smoke bench bench-quick golden
 
 check: vet build race fuzz-smoke
 
@@ -25,7 +25,13 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) -run='^$$' ./internal/minic/parser
 	$(GO) test -fuzz=FuzzSuiteRun -fuzztime=$(FUZZTIME) -run='^$$' .
 
+# Benchmark trajectory: run the tier-1 benchmark set with -benchmem
+# and record a BENCH_<date>.json snapshot (see scripts/bench.sh for
+# knobs). bench-quick is the old smoke: every benchmark once, no file.
 bench:
+	scripts/bench.sh
+
+bench-quick:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
 
 # Regenerate testdata/golden/*.golden after an *intentional* semantic

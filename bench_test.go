@@ -179,6 +179,24 @@ func overheadBench(b *testing.B, k int) {
 func BenchmarkSuiteRunSequential(b *testing.B) { suiteRunBench(b, 1, false) }
 func BenchmarkSuiteRunParallel(b *testing.B)   { suiteRunBench(b, 4, false) }
 
+// BenchmarkSuiteRunFast is the fuzzing fast path over the same ten
+// binaries: outputs checksummed in machine-owned buffers, results
+// materialized only on divergence. The gap to SuiteRunSequential is
+// what the zero-copy protocol buys per differential execution.
+func BenchmarkSuiteRunFast(b *testing.B) {
+	tg := targets.ByName("readelf")
+	input := tg.Seeds[0]
+	suite, err := compdiff.New(tg.Src, compdiff.DefaultImplementations(), compdiff.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	suite.Warm(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		suite.RunFast(input)
+	}
+}
+
 // BenchmarkSuiteRunParallelTelemetry is BenchmarkSuiteRunParallel with
 // the metrics sink attached — the pair bounds the telemetry overhead
 // (two atomics and a histogram insert per VM run; budget: <= 5%).

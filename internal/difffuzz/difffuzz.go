@@ -203,7 +203,10 @@ func NewChecked(info *sema.Info, seeds [][]byte, opts Options) (*Campaign, error
 		// Algorithm 1, lines 9-12: run every generated input through
 		// the CompDiff binaries and save it on output discrepancy.
 		OnExec: func(input []byte, res *vm.Result) {
-			o := c.suite.Run(input)
+			// Fast path: outputs are checksummed in machine-owned
+			// buffers; o.Results is materialized only on divergence,
+			// which is exactly when diffs.Add needs the bytes.
+			o := c.suite.RunFast(input)
 			atomic.AddInt64(&c.DiffExecs, int64(len(c.suite.Impls)))
 			if o.Diverged {
 				fresh, err := c.diffs.Add(o)

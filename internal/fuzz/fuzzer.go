@@ -14,6 +14,16 @@ type Executor interface {
 	Coverage() []byte
 }
 
+// SharedExecutor is an optional Executor extension for the zero-copy
+// fast path: RunShared returns a result aliasing executor-owned
+// buffers, valid only until the executor's next run. The fuzzer
+// prefers it when available and clones before retaining anything
+// (crash store). *vm.Machine satisfies it.
+type SharedExecutor interface {
+	Executor
+	RunShared(input []byte) *vm.Result
+}
+
 // Seed is one queue entry.
 type Seed struct {
 	Data    []byte
@@ -51,6 +61,10 @@ type Options struct {
 	// the instrumented binary. This is CompDiff's integration point:
 	// Algorithm 1 adds its differential oracle here, leaving the
 	// fuzzing loop untouched.
+	//
+	// When the executor implements SharedExecutor, res aliases
+	// executor-owned buffers and is valid only for the duration of the
+	// callback; use res.Clone() to retain it.
 	OnExec func(input []byte, res *vm.Result)
 }
 
@@ -61,6 +75,7 @@ type Options struct {
 // goroutine has joined.
 type Fuzzer struct {
 	exec   Executor
+	shared SharedExecutor // non-nil when exec supports the zero-copy path
 	opts   Options
 	mut    *Mutator
 	rng    *rand.Rand
@@ -85,6 +100,9 @@ func New(exec Executor, seeds [][]byte, opts Options) *Fuzzer {
 		virgin: make([]byte, MapSize),
 		hashes: map[uint64]bool{},
 		crash:  map[uint64]*Crash{},
+	}
+	if se, ok := exec.(SharedExecutor); ok {
+		f.shared = se
 	}
 	if len(seeds) == 0 {
 		seeds = [][]byte{[]byte("\x00")}
@@ -126,7 +144,14 @@ func (f *Fuzzer) Crashes() []*Crash {
 // ingest executes an input and updates the queue/crash stores: the
 // body of Algorithm 1 lines 4-8.
 func (f *Fuzzer) ingest(data []byte) {
-	res := f.exec.Run(data)
+	var res *vm.Result
+	if f.shared != nil {
+		// Zero-copy path: res aliases executor buffers for the span of
+		// this call; anything retained below is cloned first.
+		res = f.shared.RunShared(data)
+	} else {
+		res = f.exec.Run(data)
+	}
 	f.stats.Execs++
 	cov := f.exec.Coverage()
 	Classify(cov)
@@ -138,6 +163,9 @@ func (f *Fuzzer) ingest(data []byte) {
 	if res.Crashed() {
 		sig := crashSig(res)
 		if _, dup := f.crash[sig]; !dup {
+			if f.shared != nil {
+				res = res.Clone()
+			}
 			f.crash[sig] = &Crash{Input: append([]byte(nil), data...), Result: res}
 		}
 		return

@@ -180,6 +180,16 @@ func New128(seed uint32) *Digest {
 	return &Digest{h1: uint64(seed), h2: uint64(seed)}
 }
 
+// Reset rewinds the digest to the initial state for the given seed, so
+// one allocation can hash many independent streams. A reset digest is
+// indistinguishable from a fresh New128(seed).
+func (d *Digest) Reset(seed uint32) {
+	d.h1 = uint64(seed)
+	d.h2 = uint64(seed)
+	d.nbuf = 0
+	d.total = 0
+}
+
 // Write adds data to the running hash. It never fails.
 func (d *Digest) Write(p []byte) (int, error) {
 	n := len(p)
@@ -193,15 +203,46 @@ func (d *Digest) Write(p []byte) (int, error) {
 			d.nbuf = 0
 		}
 	}
-	for len(p) >= 16 {
-		d.block(p[:16])
-		p = p[16:]
+	if len(p) >= 16 {
+		p = d.blocks(p)
 	}
 	if len(p) > 0 {
 		copy(d.buf[:], p)
 		d.nbuf = len(p)
 	}
 	return n, nil
+}
+
+// blocks consumes every full 16-byte block of p with the hash state in
+// registers — one state load and store for the whole run instead of
+// one per block — and returns the unconsumed tail.
+func (d *Digest) blocks(p []byte) []byte {
+	h1, h2 := d.h1, d.h2
+	for len(p) >= 16 {
+		k1 := le64(p)
+		k2 := le64(p[8:])
+		p = p[16:]
+
+		k1 *= c1x64
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= c2x64
+		h1 ^= k1
+
+		h1 = bits.RotateLeft64(h1, 27)
+		h1 += h2
+		h1 = h1*5 + 0x52dce729
+
+		k2 *= c2x64
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= c1x64
+		h2 ^= k2
+
+		h2 = bits.RotateLeft64(h2, 31)
+		h2 += h1
+		h2 = h2*5 + 0x38495ab5
+	}
+	d.h1, d.h2 = h1, h2
+	return p
 }
 
 func (d *Digest) block(b []byte) {

@@ -89,6 +89,33 @@ func TestDigestSumDoesNotConsumeState(t *testing.T) {
 	}
 }
 
+// Reset must make a used digest indistinguishable from a fresh one, for
+// any seed and regardless of how much unfinalized state it held —
+// that's what lets the suite hot path pool digests instead of
+// allocating one per hashed stream.
+func TestDigestReset(t *testing.T) {
+	d := New128(7)
+	d.Write([]byte("stale partial state that must vanish on reset, including tail bytes"))
+	for _, seed := range []uint32{0, 7, 42, 0xaf1d, 0xffffffff} {
+		data := []byte("fresh stream hashed after a Reset")
+		d.Reset(seed)
+		d.Write(data[:11])
+		d.Write(data[11:])
+		h1, h2 := d.Sum128()
+		w1, w2 := Sum128(data, seed)
+		if h1 != w1 || h2 != w2 {
+			t.Fatalf("seed %#x: reset digest = %#x,%#x; want %#x,%#x", seed, h1, h2, w1, w2)
+		}
+	}
+	// Reset of an empty-but-seeded digest is also a no-op semantically.
+	d.Reset(3)
+	h1, h2 := d.Sum128()
+	w1, w2 := Sum128(nil, 3)
+	if h1 != w1 || h2 != w2 {
+		t.Fatalf("reset-empty digest = %#x,%#x; want %#x,%#x", h1, h2, w1, w2)
+	}
+}
+
 // Property: streaming equals one-shot for arbitrary data and chunkings.
 func TestQuickDigestEquivalence(t *testing.T) {
 	f := func(data []byte, seed uint32, cut uint8) bool {

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"strconv"
@@ -102,13 +103,45 @@ func arg(args []uint64, i int) uint64 {
 // ---------------------------------------------------------------------------
 // printf
 
-// doPrintf implements a C-like printf over guest memory.
+// doPrintf implements a C-like printf over guest memory. The format
+// string is aliased straight out of guest memory when the scan can be
+// vectorized (guest memory is not written while formatting), and the
+// output is built in place at the tail of the stdout buffer, so the
+// dominant output path of the fuzzing loop does neither copies nor
+// allocation. A fault mid-format truncates back to base — exactly the
+// discard the old build-then-write sequence performed.
 func (m *Machine) doPrintf(args []uint64, line int32) {
-	format, ok := m.readCString(arg(args, 0), line)
-	if !ok {
-		return
+	var format []byte
+	if fa := arg(args, 0); m.asanShadow == nil && fa >= ir.NullTop && fa < ir.MemSize {
+		end := fa + 1<<16 + 1 // scan window: the runaway cutoff
+		if end > ir.MemSize {
+			end = ir.MemSize
+		}
+		n := indexZero(m.mem[fa:end])
+		if n < 0 || n > 1<<16 {
+			m.trap(SigSegv)
+			return
+		}
+		format = m.mem[fa : fa+uint64(n)]
+	} else {
+		f, ok := m.appendGuestCString(m.strBuf[:0], arg(args, 0), line)
+		m.strBuf = f[:0]
+		if !ok {
+			return
+		}
+		format = f
 	}
+	// Build into the live stdout tail when the output cap allows the
+	// write; otherwise format into scratch just for the return value.
+	direct := len(m.stdout) < m.opts.MaxOutput
 	var out []byte
+	base := 0
+	if direct {
+		out = m.stdout
+		base = len(out)
+	} else {
+		out = m.fmtBuf[:0]
+	}
 	ai := 1
 	next := func() uint64 {
 		v := arg(args, ai)
@@ -117,10 +150,15 @@ func (m *Machine) doPrintf(args []uint64, line int32) {
 	}
 	i := 0
 	for i < len(format) {
-		c := format[i]
-		if c != '%' {
-			out = append(out, c)
-			i++
+		if format[i] != '%' {
+			// Copy the literal run up to the next verb in one append.
+			j := bytes.IndexByte(format[i:], '%')
+			if j < 0 {
+				out = append(out, format[i:]...)
+				break
+			}
+			out = append(out, format[i:i+j]...)
+			i += j
 			continue
 		}
 		i++
@@ -169,11 +207,16 @@ func (m *Machine) doPrintf(args []uint64, line int32) {
 		case 'c':
 			out = append(out, byte(next()))
 		case 's':
-			s, ok := m.readCString(next(), line)
+			var ok bool
+			out, ok = m.appendGuestCString(out, next(), line)
 			if !ok {
+				if direct {
+					m.stdout = out[:base]
+				} else {
+					m.fmtBuf = out[:0]
+				}
 				return
 			}
-			out = append(out, s...)
 		case 'p':
 			out = append(out, fmt.Sprintf("0x%x", next())...)
 		case 'f', 'g':
@@ -194,34 +237,75 @@ func (m *Machine) doPrintf(args []uint64, line int32) {
 		}
 		i++
 	}
-	m.writeOut(string(out))
-	m.push(ir.Canon(ir.I32, uint64(len(out))))
+	if direct {
+		m.stdout = out
+		m.push(ir.Canon(ir.I32, uint64(len(out)-base)))
+	} else {
+		m.fmtBuf = out[:0]
+		m.push(ir.Canon(ir.I32, uint64(len(out))))
+	}
 }
 
-// readCString reads a NUL-terminated string from guest memory with
-// full access checking.
-func (m *Machine) readCString(addr uint64, line int32) (string, bool) {
-	var out []byte
+// appendGuestCString appends the NUL-terminated guest string at addr
+// to out with full access checking. It returns false (with execution
+// halted) on a fault or an unterminated string.
+func (m *Machine) appendGuestCString(out []byte, addr uint64, line int32) ([]byte, bool) {
+	// Fast path: without ASan redzones a read is valid iff it is
+	// mapped, so the whole scan reduces to one vectorized IndexByte
+	// over the (contiguous) image. The null page and the 64 KiB
+	// runaway cutoff keep the trap behaviour of the per-byte loop.
+	if m.asanShadow == nil && addr >= ir.NullTop && addr < ir.MemSize {
+		end := addr + 1<<16 + 1 // scan window: the runaway cutoff
+		if end > ir.MemSize {
+			end = ir.MemSize
+		}
+		i := indexZero(m.mem[addr:end])
+		if i >= 0 && i <= 1<<16 {
+			return append(out, m.mem[addr:addr+uint64(i)]...), true
+		}
+		// Ran off the image or past the cutoff: the slow loop would
+		// have faulted mid-scan.
+		m.trap(SigSegv)
+		return out, false
+	}
+	n := 0
 	for {
 		if !m.checkAccess(addr, 1, false, line) {
-			return "", false
+			return out, false
 		}
 		c := m.mem[addr]
 		if c == 0 {
-			return string(out), true
+			return out, true
 		}
 		out = append(out, c)
 		addr++
-		if len(out) > 1<<16 {
+		n++
+		if n > 1<<16 {
 			// Unterminated garbage: stop like a crashed puts would.
 			m.trap(SigSegv)
-			return "", false
+			return out, false
 		}
 	}
 }
 
+// indexZero locates the first NUL in b (bytes.IndexByte, aliased for
+// the guest-string fast paths).
+func indexZero(b []byte) int { return bytes.IndexByte(b, 0) }
+
 // cStringLen is strlen with checking.
 func (m *Machine) cStringLen(addr uint64, line int32) (int64, bool) {
+	if m.asanShadow == nil && addr >= ir.NullTop && addr < ir.MemSize {
+		end := addr + 1<<20 + 1
+		if end > ir.MemSize {
+			end = ir.MemSize
+		}
+		i := indexZero(m.mem[addr:end])
+		if i >= 0 && i <= 1<<20 {
+			return int64(i), true
+		}
+		m.trap(SigSegv)
+		return 0, false
+	}
 	n := int64(0)
 	for {
 		if !m.checkAccess(addr, 1, false, line) {

@@ -6,6 +6,15 @@ import (
 	"compdiff/internal/ir"
 )
 
+// This file is the *reference* interpreter: one exported semantic,
+// executed the simplest possible way — re-derive the current frame,
+// check the step budget, decode, dispatch, one instruction per call.
+// The production path is runLoop (fastloop.go), which executes the
+// same instruction set with the frame, pc, and code slice hoisted
+// into locals and the step budget checked in batches. Options.
+// Reference selects this loop; the differential self-test holds the
+// two observationally identical over the whole corpus.
+
 // step executes one instruction.
 func (m *Machine) step() {
 	m.steps++
@@ -122,60 +131,7 @@ func (m *Machine) step() {
 		m.pushT(r, ta || tb)
 
 	case ir.Div, ir.Mod:
-		b, tb := m.popT()
-		a, ta := m.popT()
-		tc := ir.TypeCode(in.A)
-		if tb && m.msanInit != nil {
-			m.report("msan", "use-of-uninitialized-value", in.Line)
-			return
-		}
-		if b == 0 {
-			if m.opts.San == SanUBSan {
-				m.report("ubsan", "division-by-zero", in.Line)
-				return
-			}
-			// Remainder lowers through the same divide instruction on
-			// every implementation here, so x%0 traps uniformly; only
-			// the quotient form gets folded into poison by optimizers.
-			if m.prof.DivZeroTrap || in.Op == ir.Mod {
-				m.trap(SigFpe)
-				return
-			}
-			m.pushT(m.poison(uint64(in.Line)^0xd117), ta || tb)
-			return
-		}
-		if tc.Signed() && int64(b) == -1 && int64(a) == (-1<<uint(tc.Bits()-1)) {
-			if m.opts.San == SanUBSan {
-				m.report("ubsan", "signed-integer-overflow", in.Line)
-				return
-			}
-			if m.prof.MinIntDivTrap {
-				m.trap(SigFpe)
-				return
-			}
-			if in.Op == ir.Div {
-				m.pushT(ir.Canon(tc, a), ta || tb) // wraps to INT_MIN
-			} else {
-				m.pushT(0, ta || tb)
-			}
-			return
-		}
-		var r uint64
-		if tc.Signed() {
-			if in.Op == ir.Div {
-				r = uint64(int64(a) / int64(b))
-			} else {
-				r = uint64(int64(a) % int64(b))
-			}
-		} else {
-			ua, ub := truncToBits(a, tc.Bits()), truncToBits(b, tc.Bits())
-			if in.Op == ir.Div {
-				r = ua / ub
-			} else {
-				r = ua % ub
-			}
-		}
-		m.pushT(ir.Canon(tc, r), ta || tb)
+		m.execDivMod(&in)
 
 	case ir.Neg:
 		a, ta := m.popT()
@@ -191,31 +147,7 @@ func (m *Machine) step() {
 		m.pushT(ir.Canon(ir.TypeCode(in.A), ^a), ta)
 
 	case ir.Shl, ir.Shr:
-		cnt, tb := m.popT()
-		a, ta := m.popT()
-		tc := ir.TypeCode(in.A)
-		bits := uint64(tc.Bits())
-		if cnt >= bits {
-			if m.opts.San == SanUBSan {
-				m.report("ubsan", "shift-out-of-bounds", in.Line)
-				return
-			}
-			if m.prof.ShiftMask {
-				cnt &= bits - 1 // x86 shifter behaviour
-			} else {
-				m.pushT(0, ta || tb) // as if constant-folded to zero
-				return
-			}
-		}
-		var r uint64
-		if in.Op == ir.Shl {
-			r = a << cnt
-		} else if tc.Signed() {
-			r = uint64(int64(a) >> cnt)
-		} else {
-			r = truncToBits(a, tc.Bits()) >> cnt
-		}
-		m.pushT(ir.Canon(tc, r), ta || tb)
+		m.execShift(&in)
 
 	case ir.CmpEq, ir.CmpNe, ir.CmpLt, ir.CmpLe, ir.CmpGt, ir.CmpGe:
 		b, tb := m.popT()
@@ -297,33 +229,11 @@ func (m *Machine) step() {
 		}
 
 	case ir.Call:
-		n := int(in.A)
-		args := make([]uint64, n)
-		taints := make([]bool, n)
-		if in.B == 1 { // pushed right-to-left: first arg on top
-			for i := 0; i < n; i++ {
-				args[i], taints[i] = m.popT()
-			}
-		} else {
-			for i := n - 1; i >= 0; i-- {
-				args[i], taints[i] = m.popT()
-			}
-		}
+		args, taints := m.popArgs(int(in.A), in.B == 1)
 		m.callT(int(in.Imm), args, taints)
 
 	case ir.CallB:
-		n := int(in.A)
-		args := make([]uint64, n)
-		taints := make([]bool, n)
-		if in.B == 1 {
-			for i := 0; i < n; i++ {
-				args[i], taints[i] = m.popT()
-			}
-		} else {
-			for i := n - 1; i >= 0; i-- {
-				args[i], taints[i] = m.popT()
-			}
-		}
+		args, taints := m.popArgs(int(in.A), in.B == 1)
 		m.builtin(int(in.Imm), args, taints, in.Line)
 
 	case ir.Ret:
@@ -331,14 +241,16 @@ func (m *Machine) step() {
 
 	case ir.TSet:
 		v, t := m.popT()
-		m.temp = append(m.temp, v)
-		m.tempT = append(m.tempT, t)
+		if m.tsp == len(m.temps) {
+			m.growTemps()
+		}
+		m.temps[m.tsp] = slot{v: v, t: t}
+		m.tsp++
 	case ir.TGet:
-		n := len(m.temp) - 1
-		m.pushT(m.temp[n], m.tempT[n])
+		s := m.temps[m.tsp-1]
+		m.pushT(s.v, s.t)
 	case ir.TPop:
-		m.temp = m.temp[:len(m.temp)-1]
-		m.tempT = m.tempT[:len(m.tempT)-1]
+		m.tsp--
 
 	case ir.Edge:
 		if m.cov != nil {
@@ -356,6 +268,95 @@ func (m *Machine) step() {
 	default:
 		m.trap(VMFault)
 	}
+}
+
+// execDivMod implements Div/Mod with the profile-dependent UB policy.
+// Shared by the reference and fast loops so the two cannot drift.
+func (m *Machine) execDivMod(in *ir.Instr) {
+	b, tb := m.popT()
+	a, ta := m.popT()
+	tc := ir.TypeCode(in.A)
+	if tb && m.msanInit != nil {
+		m.report("msan", "use-of-uninitialized-value", in.Line)
+		return
+	}
+	if b == 0 {
+		if m.opts.San == SanUBSan {
+			m.report("ubsan", "division-by-zero", in.Line)
+			return
+		}
+		// Remainder lowers through the same divide instruction on
+		// every implementation here, so x%0 traps uniformly; only
+		// the quotient form gets folded into poison by optimizers.
+		if m.prof.DivZeroTrap || in.Op == ir.Mod {
+			m.trap(SigFpe)
+			return
+		}
+		m.pushT(m.poison(uint64(in.Line)^0xd117), ta || tb)
+		return
+	}
+	if tc.Signed() && int64(b) == -1 && int64(a) == (-1<<uint(tc.Bits()-1)) {
+		if m.opts.San == SanUBSan {
+			m.report("ubsan", "signed-integer-overflow", in.Line)
+			return
+		}
+		if m.prof.MinIntDivTrap {
+			m.trap(SigFpe)
+			return
+		}
+		if in.Op == ir.Div {
+			m.pushT(ir.Canon(tc, a), ta || tb) // wraps to INT_MIN
+		} else {
+			m.pushT(0, ta || tb)
+		}
+		return
+	}
+	var r uint64
+	if tc.Signed() {
+		if in.Op == ir.Div {
+			r = uint64(int64(a) / int64(b))
+		} else {
+			r = uint64(int64(a) % int64(b))
+		}
+	} else {
+		ua, ub := truncToBits(a, tc.Bits()), truncToBits(b, tc.Bits())
+		if in.Op == ir.Div {
+			r = ua / ub
+		} else {
+			r = ua % ub
+		}
+	}
+	m.pushT(ir.Canon(tc, r), ta || tb)
+}
+
+// execShift implements Shl/Shr with the profile-dependent
+// out-of-range-count policy. Shared by both interpreter loops.
+func (m *Machine) execShift(in *ir.Instr) {
+	cnt, tb := m.popT()
+	a, ta := m.popT()
+	tc := ir.TypeCode(in.A)
+	bits := uint64(tc.Bits())
+	if cnt >= bits {
+		if m.opts.San == SanUBSan {
+			m.report("ubsan", "shift-out-of-bounds", in.Line)
+			return
+		}
+		if m.prof.ShiftMask {
+			cnt &= bits - 1 // x86 shifter behaviour
+		} else {
+			m.pushT(0, ta || tb) // as if constant-folded to zero
+			return
+		}
+	}
+	var r uint64
+	if in.Op == ir.Shl {
+		r = a << cnt
+	} else if tc.Signed() {
+		r = uint64(int64(a) >> cnt)
+	} else {
+		r = truncToBits(a, tc.Bits()) >> cnt
+	}
+	m.pushT(ir.Canon(tc, r), ta || tb)
 }
 
 // poison produces the implementation-determined garbage value the

@@ -1,6 +1,8 @@
 package vm
 
 import (
+	"math/bits"
+
 	"compdiff/internal/hash"
 	"compdiff/internal/ir"
 )
@@ -53,6 +55,13 @@ type Options struct {
 	// by MaxTrace (default 1<<16 entries).
 	TraceLines bool
 	MaxTrace   int
+
+	// Reference forces the simple per-instruction step() interpreter
+	// instead of the batched fast loop. The two loops must be
+	// observationally identical; the differential self-test runs every
+	// corpus program through both and compares Results field by field —
+	// the repo's own differential-testing medicine applied to its VM.
+	Reference bool
 }
 
 // DefaultStepLimit is the per-run instruction budget.
@@ -60,6 +69,35 @@ const DefaultStepLimit = 4_000_000
 
 // CovMapSize is the coverage bitmap size (AFL's classic 64 KiB).
 const CovMapSize = 1 << 16
+
+// Dirty-page tracking: writes set a bit per touched page, and reset
+// restores only those pages from the pristine image instead of the
+// whole ir.MemSize span — the fork-server loop then pays for the
+// memory a run actually used, not the address range it straddled.
+const (
+	// 256-byte pages: typical runs dirty a few stack slots, one
+	// globals region, and the input buffer, so fine pages keep the
+	// fork-server reset's copy traffic proportional to what actually
+	// changed rather than rounding every touched byte up to a big
+	// page. The bitmap stays small and a one-word summary (dirtySum)
+	// lets reset skip straight to the dirty words.
+	pageShift = 8
+	pageSize  = 1 << pageShift
+	numPages  = ir.MemSize >> pageShift
+)
+
+// dirtySum carries one bit per word of the dirty bitmap, so the whole
+// bitmap must fit in 64 words; this fails to compile if pageShift
+// shrinks enough to break that.
+const _ = uint64(64 - numPages/64)
+
+// slot is one operand-stack entry: the 64-bit value word interleaved
+// with its MSan taint bit, so pushes and pops touch one cache line and
+// one slice instead of two.
+type slot struct {
+	v uint64
+	t bool
+}
 
 // Machine executes one compiled binary. It plays the role of the
 // AFL++ forkserver: the binary is loaded once, and each Run resets
@@ -92,11 +130,20 @@ type Machine struct {
 	runSeq  int64
 	timeCnt int
 
-	stack  []uint64
-	taint  []bool
-	temp   []uint64
-	tempT  []bool
+	// Operand and temporary stacks: preallocated, reused across runs,
+	// addressed by explicit stack pointers (sp/tsp) instead of
+	// append/truncate pairs.
+	ops   []slot
+	sp    int
+	temps []slot
+	tsp   int
+
 	frames []frame
+
+	// Reusable argument marshalling buffers for Call/CallB, so calls
+	// do not allocate per instruction.
+	argBuf   []uint64
+	taintBuf []bool
 
 	// Stack segment allocation.
 	stackLow, stackHigh uint64
@@ -109,25 +156,42 @@ type Machine struct {
 	san     *SanReport
 	prevLoc uint16
 
-	// Dirty span: the byte range writes may have touched since the
-	// last reset. Reset restores only this range from the pristine
-	// image, which keeps the fork-server loop fast.
-	dirtyLo, dirtyHi uint64
+	// Dirty-page bitmap: bit p set means page p of mem (and the shadow
+	// planes) may differ from the pristine image. reset() restores
+	// exactly these pages. dirtySum summarizes the bitmap — bit w set
+	// iff dirty[w] != 0 — so reset skips clean words without loading
+	// them.
+	dirty    [numPages / 64]uint64
+	dirtySum uint64
 
 	// Line trace (TraceLines mode).
 	trace     []int32
 	lastTrace int32
 
 	msanPristine []byte
+
+	// res is the machine-owned Result that RunShared hands out; its
+	// byte slices alias the machine's output buffers.
+	res Result
+
+	// Scratch buffers reused by the printf builtin.
+	fmtBuf []byte
+	strBuf []byte
 }
 
-// markDirty widens the dirty span to include [addr, addr+size).
+// markDirty records that [addr, addr+size) may have been written.
 func (m *Machine) markDirty(addr, size uint64) {
-	if addr < m.dirtyLo {
-		m.dirtyLo = addr
+	if size == 0 {
+		return
 	}
-	if addr+size > m.dirtyHi {
-		m.dirtyHi = addr + size
+	p0 := addr >> pageShift
+	p1 := (addr + size - 1) >> pageShift
+	if p1 >= numPages {
+		p1 = numPages - 1
+	}
+	for p := p0; p <= p1; p++ {
+		m.dirty[p>>6] |= 1 << (p & 63)
+		m.dirtySum |= 1 << (p >> 6)
 	}
 }
 
@@ -163,7 +227,11 @@ func New(prog *ir.Program, opts Options) *Machine {
 		}
 		copy(m.msanInit, m.msanPristine)
 	}
-	m.dirtyLo, m.dirtyHi = ir.MemSize, 0 // memory is pristine: first reset skips the copy
+	m.ops = make([]slot, 256)
+	m.temps = make([]slot, 64)
+	m.frames = make([]frame, 0, 64)
+	m.argBuf = make([]uint64, 16)
+	m.taintBuf = make([]bool, 16)
 	if opts.Coverage {
 		m.cov = make([]byte, CovMapSize)
 		n := prog.NumEdges
@@ -213,9 +281,10 @@ func (m *Machine) Program() *ir.Program { return m.prog }
 // is disabled).
 func (m *Machine) Coverage() []byte { return m.cov }
 
-// Run executes the binary on input and returns the observable result.
+// Run executes the binary on input and returns an independent Result
+// the caller may retain.
 func (m *Machine) Run(input []byte) *Result {
-	return m.run(input, m.opts.StepLimit)
+	return m.runShared(input, m.opts.StepLimit).Clone()
 }
 
 // RunWithLimit runs with a one-off step limit (the CompDiff
@@ -228,62 +297,84 @@ func (m *Machine) RunWithLimit(input []byte, limit int64) *Result {
 	if limit <= 0 {
 		limit = m.opts.StepLimit
 	}
-	return m.run(input, limit)
+	return m.runShared(input, limit).Clone()
 }
 
-func (m *Machine) run(input []byte, limit int64) *Result {
+// RunShared is the zero-copy fast path: it executes input and returns
+// a machine-owned Result whose Stdout/Stderr/Trace slices alias the
+// machine's internal buffers. The Result is valid only until the
+// machine's next run (or release back to a free list); callers that
+// need to retain it must Clone. The differential hot path hashes the
+// aliased output via Result.EncodeTo and materializes a Clone only
+// when a divergence is actually detected.
+func (m *Machine) RunShared(input []byte) *Result {
+	return m.runShared(input, m.opts.StepLimit)
+}
+
+// RunSharedWithLimit is RunShared with a one-off step limit, with the
+// same fallback semantics as RunWithLimit.
+func (m *Machine) RunSharedWithLimit(input []byte, limit int64) *Result {
+	if limit <= 0 {
+		limit = m.opts.StepLimit
+	}
+	return m.runShared(input, limit)
+}
+
+func (m *Machine) runShared(input []byte, limit int64) *Result {
 	m.reset(input)
 	m.limit = limit
 	m.call(m.prog.Main, nil)
-	for !m.halt {
-		m.step()
+	if m.opts.Reference {
+		for !m.halt {
+			m.step()
+		}
+	} else {
+		m.runLoop()
 	}
-	res := &Result{
+	m.res = Result{
 		Exit:   m.exit,
 		Code:   m.code,
-		Stdout: append([]byte(nil), m.stdout...),
-		Stderr: append([]byte(nil), m.stderr...),
+		Stdout: m.stdout,
+		Stderr: m.stderr,
 		Steps:  m.steps,
 		San:    m.san,
 	}
 	if m.opts.TraceLines {
-		res.Trace = append([]int32(nil), m.trace...)
+		m.res.Trace = m.trace
 	}
-	return res
+	return &m.res
 }
 
 func (m *Machine) reset(input []byte) {
-	if m.dirtyHi > m.dirtyLo {
-		lo, hi := m.dirtyLo, m.dirtyHi
-		if hi > ir.MemSize {
-			hi = ir.MemSize
-		}
-		copy(m.mem[lo:hi], m.pristine[lo:hi])
-		if m.asanShadow != nil {
-			sh := m.asanShadow[lo:hi]
-			for i := range sh {
-				sh[i] = 0
+	for sum := m.dirtySum; sum != 0; sum &= sum - 1 {
+		w := bits.TrailingZeros64(sum)
+		word := m.dirty[w]
+		m.dirty[w] = 0
+		for word != 0 {
+			p := uint64(w*64 + bits.TrailingZeros64(word))
+			word &= word - 1
+			lo := p << pageShift
+			hi := lo + pageSize
+			copy(m.mem[lo:hi], m.pristine[lo:hi])
+			if m.asanShadow != nil {
+				clear(m.asanShadow[lo:hi])
+			}
+			if m.msanInit != nil {
+				copy(m.msanInit[lo:hi], m.msanPristine[lo:hi])
 			}
 		}
-		if m.msanInit != nil {
-			copy(m.msanInit[lo:hi], m.msanPristine[lo:hi])
-		}
 	}
-	m.dirtyLo, m.dirtyHi = ir.MemSize, 0
+	m.dirtySum = 0
 	if m.cov != nil {
-		for i := range m.cov {
-			m.cov[i] = 0
-		}
+		clear(m.cov)
 	}
 	m.input = input
 	m.stdout = m.stdout[:0]
 	m.stderr = m.stderr[:0]
 	m.steps = 0
 	m.limit = m.opts.StepLimit // run() overrides for one-off limits
-	m.stack = m.stack[:0]
-	m.taint = m.taint[:0]
-	m.temp = m.temp[:0]
-	m.tempT = m.tempT[:0]
+	m.sp = 0
+	m.tsp = 0
 	m.frames = m.frames[:0]
 	m.stackLow = ir.StackMax
 	m.stackHigh = ir.StackBase
@@ -352,48 +443,88 @@ func (m *Machine) writeOut(s string) {
 	}
 }
 
+func (m *Machine) writeOutBytes(b []byte) {
+	if len(m.stdout) < m.opts.MaxOutput {
+		m.stdout = append(m.stdout, b...)
+	}
+}
+
 func (m *Machine) writeErr(s string) {
 	if len(m.stderr) < m.opts.MaxOutput {
 		m.stderr = append(m.stderr, s...)
 	}
 }
 
-// push/pop maintain the operand stack and, in MSan mode, the parallel
-// taint stack.
+// push/pop maintain the operand stack. Values and taint bits live in
+// one interleaved slot array; machines without MSan simply carry
+// always-false taint bits at no extra slice traffic.
 func (m *Machine) push(v uint64) {
-	m.stack = append(m.stack, v)
-	if m.msanInit != nil {
-		m.taint = append(m.taint, false)
+	if m.sp == len(m.ops) {
+		m.growOps()
 	}
+	m.ops[m.sp] = slot{v: v}
+	m.sp++
 }
 
 func (m *Machine) pushT(v uint64, t bool) {
-	m.stack = append(m.stack, v)
-	if m.msanInit != nil {
-		m.taint = append(m.taint, t)
+	if m.sp == len(m.ops) {
+		m.growOps()
 	}
+	m.ops[m.sp] = slot{v: v, t: t}
+	m.sp++
 }
 
 func (m *Machine) pop() uint64 {
-	n := len(m.stack) - 1
-	v := m.stack[n]
-	m.stack = m.stack[:n]
-	if m.msanInit != nil {
-		m.taint = m.taint[:n]
-	}
-	return v
+	m.sp--
+	return m.ops[m.sp].v
 }
 
 func (m *Machine) popT() (uint64, bool) {
-	n := len(m.stack) - 1
-	v := m.stack[n]
-	m.stack = m.stack[:n]
-	t := false
-	if m.msanInit != nil {
-		t = m.taint[n]
-		m.taint = m.taint[:n]
+	m.sp--
+	s := m.ops[m.sp]
+	return s.v, s.t
+}
+
+// growOps doubles the operand stack. The preallocated capacity covers
+// ordinary programs; only pathological expression nesting or deep
+// zero-frame recursion lands here.
+func (m *Machine) growOps() {
+	next := make([]slot, len(m.ops)*2)
+	copy(next, m.ops)
+	m.ops = next
+}
+
+func (m *Machine) growTemps() {
+	next := make([]slot, len(m.temps)*2)
+	copy(next, m.temps)
+	m.temps = next
+}
+
+// popArgs pops the top n operand slots into the machine's reusable
+// argument buffers, returning them in declaration order. rev means the
+// binary pushed right-to-left (first argument on top).
+func (m *Machine) popArgs(n int, rev bool) ([]uint64, []bool) {
+	if cap(m.argBuf) < n {
+		m.argBuf = make([]uint64, n)
+		m.taintBuf = make([]bool, n)
 	}
-	return v, t
+	args := m.argBuf[:n]
+	taints := m.taintBuf[:n]
+	m.sp -= n
+	slots := m.ops[m.sp : m.sp+n]
+	if rev {
+		// First pop (the stack top) is the first argument.
+		for i, s := range slots {
+			args[n-1-i] = s.v
+			taints[n-1-i] = s.t
+		}
+	} else {
+		for i, s := range slots {
+			args[i] = s.v
+			taints[i] = s.t
+		}
+	}
+	return args, taints
 }
 
 // call invokes function fi with the given argument words (already in

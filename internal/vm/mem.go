@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"encoding/binary"
 	"math"
 
 	"compdiff/internal/ir"
@@ -57,8 +58,20 @@ func (m *Machine) checkAccess(addr, size uint64, write bool, line int32) bool {
 	return true
 }
 
-// rawLoad reads width bytes little-endian without checks.
+// rawLoad reads width bytes little-endian without checks. The
+// fixed-width cases compile to single loads; callers have already
+// bounds-checked the access, so addr+width is in range.
 func (m *Machine) rawLoad(addr uint64, width int) uint64 {
+	switch width {
+	case 1:
+		return uint64(m.mem[addr])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(m.mem[addr:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(m.mem[addr:]))
+	case 8:
+		return binary.LittleEndian.Uint64(m.mem[addr:])
+	}
 	var v uint64
 	for i := 0; i < width; i++ {
 		v |= uint64(m.mem[addr+uint64(i)]) << (8 * i)
@@ -69,8 +82,19 @@ func (m *Machine) rawLoad(addr uint64, width int) uint64 {
 // rawStore writes width bytes little-endian without checks.
 func (m *Machine) rawStore(addr uint64, width int, v uint64) {
 	m.markDirty(addr, uint64(width))
-	for i := 0; i < width; i++ {
-		m.mem[addr+uint64(i)] = byte(v >> (8 * i))
+	switch width {
+	case 1:
+		m.mem[addr] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(m.mem[addr:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(m.mem[addr:], uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(m.mem[addr:], v)
+	default:
+		for i := 0; i < width; i++ {
+			m.mem[addr+uint64(i)] = byte(v >> (8 * i))
+		}
 	}
 }
 
@@ -139,8 +163,14 @@ func (h *heapState) reset() {
 		h.live = map[uint64]uint64{}
 		h.freed = map[uint64]uint64{}
 	} else {
-		clear(h.live)
-		clear(h.freed)
+		// Runs that never touched the heap (most fuzzing inputs) skip
+		// the map clears entirely.
+		if len(h.live) != 0 {
+			clear(h.live)
+		}
+		if len(h.freed) != 0 {
+			clear(h.freed)
+		}
 	}
 	h.frees = h.frees[:0]
 }

@@ -65,6 +65,11 @@ func (r *SanReport) String() string {
 }
 
 // Result is the observable outcome of one execution.
+//
+// Results returned by Machine.Run own their byte slices. Results from
+// the RunShared fast path alias machine-owned buffers and are valid
+// only until the machine's next run; Clone materializes an
+// independent copy.
 type Result struct {
 	Exit   ExitKind
 	Code   int32 // exit status when Exit == Exited
@@ -76,6 +81,19 @@ type Result struct {
 	// Trace is the executed source-line sequence, populated only in
 	// TraceLines mode (fault-localization support, paper §5).
 	Trace []int32
+}
+
+// Clone returns a Result that shares nothing with machine-owned
+// buffers: the divergence-capture step of the fast path, and the slow
+// path's return value.
+func (r *Result) Clone() *Result {
+	c := *r
+	c.Stdout = append([]byte(nil), r.Stdout...)
+	c.Stderr = append([]byte(nil), r.Stderr...)
+	if r.Trace != nil {
+		c.Trace = append([]int32(nil), r.Trace...)
+	}
+	return &c
 }
 
 // Crashed reports whether the run ended in a crash-like state (what a
@@ -92,7 +110,12 @@ func (r *Result) Crashed() bool {
 // exit status plus both streams. This is the byte string CompDiff
 // checksums and compares across compiler implementations.
 func (r *Result) Encode() []byte {
-	out := make([]byte, 0, len(r.Stdout)+len(r.Stderr)+32)
+	return r.AppendEncode(make([]byte, 0, len(r.Stdout)+len(r.Stderr)+32))
+}
+
+// AppendEncode appends the canonical encoding to out and returns it,
+// allocating only if out lacks capacity.
+func (r *Result) AppendEncode(out []byte) []byte {
 	out = append(out, "exit:"...)
 	out = append(out, r.Exit.String()...)
 	out = append(out, ':')
@@ -104,8 +127,38 @@ func (r *Result) Encode() []byte {
 	return out
 }
 
+// Canonical-encoding separators, preconverted so EncodeTo does not
+// allocate for the string constants.
+var (
+	encStdoutSep = []byte("\n--stdout--\n")
+	encStderrSep = []byte("\n--stderr--\n")
+)
+
+// EncodeTo streams the canonical encoding into d without materializing
+// it: the digest reads the exit header from a stack scratch buffer and
+// the output streams straight from the Result's (possibly
+// machine-owned) slices. The digest state afterwards is byte-for-byte
+// what writing Encode() would have produced — the zero-copy checksum
+// protocol the differential fast path rides.
+func (r *Result) EncodeTo(d *hash.Digest) {
+	var scratch [48]byte // fits the longest exit header plus the separator
+	hdr := append(scratch[:0], "exit:"...)
+	hdr = append(hdr, r.Exit.String()...)
+	hdr = append(hdr, ':')
+	hdr = strconv.AppendInt(hdr, int64(r.Code), 10)
+	hdr = append(hdr, encStdoutSep...)
+	d.Write(hdr)
+	d.Write(r.Stdout)
+	d.Write(encStderrSep)
+	d.Write(r.Stderr)
+}
+
 // OutputHash is the MurmurHash3 checksum of the canonical output,
 // matching the paper's use of MurmurHash3 for output comparison.
 func (r *Result) OutputHash() uint64 {
-	return hash.Sum64(r.Encode(), 0xc0de)
+	var d hash.Digest
+	d.Reset(0xc0de)
+	r.EncodeTo(&d)
+	h1, _ := d.Sum128()
+	return h1
 }

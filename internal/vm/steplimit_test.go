@@ -86,3 +86,74 @@ func TestRunWithLimitNonPositive(t *testing.T) {
 		}
 	}
 }
+
+// referenceLoopMachine is loopMachine forced onto the reference step()
+// loop, for batch-accounting equivalence checks.
+func referenceLoopMachine(t *testing.T, configured int64) *vm.Machine {
+	t.Helper()
+	src := `
+int main() {
+    long sink = 0;
+    for (long i = 0; i < 100000L; i++) { sink += i; }
+    printf("%ld\n", sink);
+    return 0;
+}
+`
+	info := sema.MustCheck(parser.MustParse(src))
+	bin := compiler.MustCompile(info, compiler.Config{Family: compiler.GCC, Opt: compiler.O0})
+	return vm.New(bin, vm.Options{StepLimit: configured, Reference: true})
+}
+
+// TestStepLimitBatchAccounting holds the batched fast loop to the
+// reference loop's exact step accounting around the trap point. The
+// loop program completes in some natural step count N (measured
+// first); limits of N-1, N, and N+1, plus limits landing on, just
+// before, and just after batch boundaries, must produce identical
+// Steps and identical StepLimit-vs-Exited classification under both
+// loops. A timed-out run reports Steps == limit+1: the instruction
+// that would exceed the budget counts but does not execute.
+func TestStepLimitBatchAccounting(t *testing.T) {
+	// Measure the natural completion count once, on the reference loop.
+	natural := referenceLoopMachine(t, 1<<40).Run(nil).Steps
+	if natural < 100 {
+		t.Fatalf("loop program finished in %d steps; too short to probe", natural)
+	}
+
+	limits := []int64{
+		natural - 1, natural, natural + 1, // around completion
+		1, 2, // degenerate budgets
+		63, 64, 65, // around one batch (stepBatch = 64)
+		127, 128, 129, // around two batches
+		natural - 64, // a full batch short
+	}
+	ref := referenceLoopMachine(t, 1<<40)
+	fast := loopMachine(t, 1<<40)
+	for _, limit := range limits {
+		rr := ref.RunWithLimit(nil, limit)
+		fr := fast.RunWithLimit(nil, limit)
+		if rr.Exit != fr.Exit {
+			t.Errorf("limit %d: exit ref=%v fast=%v", limit, rr.Exit, fr.Exit)
+		}
+		if rr.Steps != fr.Steps {
+			t.Errorf("limit %d: steps ref=%d fast=%d", limit, rr.Steps, fr.Steps)
+		}
+		if rr.Exit == vm.StepLimit && rr.Steps != limit+1 {
+			t.Errorf("limit %d: timed-out run reports %d steps, want limit+1=%d",
+				limit, rr.Steps, limit+1)
+		}
+		if rr.Exit == vm.Exited && rr.Steps != natural {
+			t.Errorf("limit %d: completed run reports %d steps, want %d",
+				limit, rr.Steps, natural)
+		}
+	}
+
+	// The boundary cases spelled out: at exactly natural steps the
+	// program completes; one below, it times out.
+	if r := fast.RunWithLimit(nil, natural); r.Exit != vm.Exited {
+		t.Errorf("limit == natural (%d): exit %v, want completion", natural, r.Exit)
+	}
+	if r := fast.RunWithLimit(nil, natural-1); r.Exit != vm.StepLimit || r.Steps != natural {
+		t.Errorf("limit == natural-1: exit %v steps %d, want timeout at %d",
+			r.Exit, r.Steps, natural)
+	}
+}

@@ -1,0 +1,61 @@
+#!/bin/sh
+# Benchmark-trajectory harness: run the tier-1 benchmark set with
+# -benchmem and emit a BENCH_<date>.json record (name, ns/op, B/op,
+# allocs/op, plus run metadata) in the repo root. The ROADMAP
+# re-anchor reads these files to see whether the hot path is getting
+# faster or quietly regressing.
+#
+# Usage: scripts/bench.sh [outfile] [bench-regex] [benchtime]
+#   outfile      defaults to BENCH_<YYYY-MM-DD>.json
+#   bench-regex  defaults to the perf-tracked set (differential
+#                overhead + suite hot path)
+#   benchtime    defaults to 1s
+#
+# Examples:
+#   scripts/bench.sh                                # trajectory record
+#   scripts/bench.sh BENCH_baseline.json            # named record
+#   scripts/bench.sh /dev/stdout 'SuiteRun' 100x    # quick look
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_$(date +%Y-%m-%d).json}"
+BENCH="${2:-OverheadSingleBinary|OverheadRecommendedPair|OverheadFullTen|SuiteRunSequential|SuiteRunFast|SuiteRunParallel\$|DifferentialRunListing1}"
+BENCHTIME="${3:-1s}"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
+
+awk -v date="$(date +%Y-%m-%d)" -v benchtime="$BENCHTIME" \
+    -v gover="$(go env GOVERSION)" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ && /ns\/op/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bop = ""; aop = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns  = $(i-1)
+        if ($i == "B/op")      bop = $(i-1)
+        if ($i == "allocs/op") aop = $(i-1)
+    }
+    if (ns == "") next
+    row = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
+    if (bop != "") row = row sprintf(", \"b_per_op\": %s", bop)
+    if (aop != "") row = row sprintf(", \"allocs_per_op\": %s", aop)
+    row = row "}"
+    rows[nrows++] = row
+}
+END {
+    if (nrows == 0) { print "bench.sh: no benchmark rows parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", gover
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < nrows; i++) printf "%s%s\n", rows[i], (i < nrows-1 ? "," : "")
+    printf "  ]\n}\n"
+}' "$RAW" > "$OUT"
+
+[ "$OUT" = /dev/stdout ] || echo "wrote $OUT" >&2

@@ -16,6 +16,20 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+# The interpreter differential self-test must hold under the race
+# detector: the fast loop and the reference loop share machine state,
+# and this is the gate that keeps them observationally identical. The
+# full ./... run above includes it; naming it here makes the guard
+# explicit and fails fast if the test is ever renamed away.
+echo "== vm differential self-test (-race)"
+go test -race -run 'TestDifferentialSelfTest|TestRunSharedMatchesRun|TestStepLimitBatchAccounting' \
+	-count=1 ./internal/vm
+
+# Benchmark smoke: the headline hot-path benchmark must still run (10
+# iterations — correctness of the harness, not a timing gate).
+echo "== bench smoke (BenchmarkOverheadFullTen, 10x)"
+go test -run='^$' -bench='^BenchmarkOverheadFullTen$' -benchtime=10x -benchmem .
+
 echo "== fuzz smoke ($FUZZTIME each)"
 go test -fuzz=FuzzParse -fuzztime="$FUZZTIME" -run='^$' ./internal/minic/parser
 go test -fuzz=FuzzSuiteRun -fuzztime="$FUZZTIME" -run='^$' .
