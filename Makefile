@@ -5,9 +5,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race fuzz-smoke bench bench-quick golden
+.PHONY: check vet build test race fuzz-smoke cover bench bench-quick golden
 
-check: vet build race fuzz-smoke
+check: vet build race fuzz-smoke cover
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +24,12 @@ race:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) -run='^$$' ./internal/minic/parser
 	$(GO) test -fuzz=FuzzSuiteRun -fuzztime=$(FUZZTIME) -run='^$$' .
+	$(GO) test -fuzz=FuzzReduce -fuzztime=$(FUZZTIME) -run='^$$' ./internal/triage
+
+# Per-package coverage table with hard floors on the triage layer
+# (internal/triage, internal/difffuzz); see scripts/cover.sh.
+cover:
+	scripts/cover.sh
 
 # Benchmark trajectory: run the tier-1 benchmark set with -benchmem
 # and record a BENCH_<date>.json snapshot (see scripts/bench.sh for

@@ -220,8 +220,8 @@ func main() {
 		fmt.Printf("shards         : %d\n", stats.Shards)
 		fmt.Printf("executions     : %d (all shards)\n", stats.Execs)
 		fmt.Printf("unique crashes : %d\n", stats.UniqueCrashes)
-		fmt.Printf("diff inputs    : %d (%d unique discrepancies)\n",
-			stats.TotalDiffInputs, stats.UniqueDiffs)
+		fmt.Printf("diff inputs    : %d (%d unique discrepancies, %d triage buckets)\n",
+			stats.TotalDiffInputs, stats.UniqueDiffs, stats.UniqueBuckets)
 		fmt.Printf("diff execs     : %d across %d implementations\n",
 			stats.DiffExecs, len(pool.ImplNames()))
 		for si, fs := range stats.ShardStats {
@@ -237,8 +237,10 @@ func main() {
 		}
 		printTelemetry(pool.ImplSummaries(), pool.Snapshots())
 		fmt.Println()
-		for _, d := range pool.Diffs() {
-			fmt.Println(d.Report(pool.ImplNames()))
+		// One report per triage bucket, not per raw signature: findings
+		// whose fingerprints coincide are the same underlying bug.
+		for _, b := range pool.Buckets() {
+			fmt.Println(b.Report(pool.ImplNames()))
 		}
 		for _, c := range pool.Crashes() {
 			fmt.Printf("crash %s on input %q\n", c.Result.Exit, c.Input)
@@ -259,15 +261,17 @@ func main() {
 	fmt.Printf("executions     : %d\n", stats.Execs)
 	fmt.Printf("corpus         : %d seeds\n", stats.Seeds)
 	fmt.Printf("unique crashes : %d\n", stats.UniqueCrashes)
-	fmt.Printf("diff inputs    : %d (%d unique discrepancies)\n",
-		campaign.TotalDiffInputs(), len(campaign.Diffs()))
+	fmt.Printf("diff inputs    : %d (%d unique discrepancies, %d triage buckets)\n",
+		campaign.TotalDiffInputs(), len(campaign.Diffs()), len(campaign.Buckets()))
 	fmt.Printf("diff execs     : %d across %d implementations\n",
 		campaign.DiffExecs, len(campaign.ImplNames()))
 	printTelemetry(campaign.ImplSummaries(), campaign.Snapshots())
 	fmt.Println()
 
-	for _, d := range campaign.Diffs() {
-		fmt.Println(d.Report(campaign.ImplNames()))
+	// One report per triage bucket, not per raw signature: findings
+	// whose fingerprints coincide are the same underlying bug.
+	for _, b := range campaign.Buckets() {
+		fmt.Println(b.Report(campaign.ImplNames()))
 	}
 	for _, c := range campaign.Crashes() {
 		fmt.Printf("crash %s on input %q\n", c.Result.Exit, c.Input)

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"compdiff"
+)
+
+// validCfg is a baseline that passes validation; cases mutate it.
+func validCfg() cliConfig {
+	return cliConfig{
+		src:    "finding.mc",
+		out:    ".",
+		budget: 4000,
+		jobs:   1,
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*cliConfig)
+		wantErr string // substring; "" means the config must pass
+	}{
+		{"baseline", func(c *cliConfig) {}, ""},
+		{"with-input", func(c *cliConfig) { c.input = "crash.bin" }, ""},
+		{"custom-out", func(c *cliConfig) { c.out = "triaged" }, ""},
+		{"parallel", func(c *cliConfig) { c.jobs = 4 }, ""},
+		{"tiny-budget", func(c *cliConfig) { c.budget = 1 }, ""},
+
+		{"no-src", func(c *cliConfig) { c.src = "" }, "need -src"},
+		{"zero-budget", func(c *cliConfig) { c.budget = 0 }, "-budget 0"},
+		{"negative-budget", func(c *cliConfig) { c.budget = -100 }, "-budget -100"},
+		{"zero-jobs", func(c *cliConfig) { c.jobs = 0 }, "-jobs 0"},
+		{"negative-jobs", func(c *cliConfig) { c.jobs = -4 }, "-jobs -4"},
+		{"empty-out", func(c *cliConfig) { c.out = "" }, "-out cannot be empty"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := validCfg()
+			tc.mutate(&cfg)
+			err := cfg.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate(%+v) = %v, want nil", cfg, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate(%+v) = nil, want error containing %q", cfg, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate(%+v) = %q, want substring %q", cfg, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// findingSrc diverges for any input whose first byte is 'X': the
+// divisor reads it directly. The helper function and the dead branch
+// are what the reducer must strip.
+const findingSrc = `
+int pad_helper(int v) { return v * 2 + 1; }
+int main() {
+    char buf[32];
+    long n = read_input(buf, 32L);
+    int pad = pad_helper(5);
+    if (n < 1L) { printf("empty\n"); return 0; }
+    if (pad == -1) { printf("never\n"); }
+    printf("%d\n", 100 / (buf[0] - 88));
+    return 0;
+}
+`
+
+// writeFinding lays the finding and its input out in a temp dir and
+// returns the cliConfig pointing at them.
+func writeFinding(t *testing.T, input []byte) cliConfig {
+	t.Helper()
+	dir := t.TempDir()
+	srcPath := filepath.Join(dir, "finding.mc")
+	if err := os.WriteFile(srcPath, []byte(findingSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := validCfg()
+	cfg.src = srcPath
+	cfg.out = filepath.Join(dir, "out")
+	if input != nil {
+		cfg.input = filepath.Join(dir, "crash.bin")
+		if err := os.WriteFile(cfg.input, input, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cfg
+}
+
+func TestRunWritesArtifacts(t *testing.T) {
+	cfg := writeFinding(t, []byte("Xpadding-bytes"))
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	reduced, err := os.ReadFile(filepath.Join(cfg.out, "reduced.mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reduced) >= len(findingSrc) {
+		t.Fatalf("reduced.mc is not smaller: %d vs %d bytes", len(reduced), len(findingSrc))
+	}
+	if strings.Contains(string(reduced), "pad_helper") {
+		t.Fatalf("filler survived reduction:\n%s", reduced)
+	}
+
+	input, err := os.ReadFile(filepath.Join(cfg.out, "reduced.input"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(input) != "X" {
+		t.Fatalf("reduced.input = %q, want %q", input, "X")
+	}
+
+	fpData, err := os.ReadFile(filepath.Join(cfg.out, "fingerprint.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fp struct {
+		Partition []uint8 `json:"partition"`
+		Classes   []uint8 `json:"classes"`
+		Stage     int     `json:"stage"`
+		Key       string  `json:"key"`
+	}
+	if err := json.Unmarshal(fpData, &fp); err != nil {
+		t.Fatalf("fingerprint.json does not decode: %v", err)
+	}
+	if len(fp.Partition) != 10 || len(fp.Classes) != 10 || fp.Key == "" {
+		t.Fatalf("fingerprint.json incomplete: %s", fpData)
+	}
+
+	// The reduced artifact must reproduce exactly the recorded
+	// fingerprint when re-run from disk.
+	suite, err := compdiff.New(string(reduced), compdiff.DefaultImplementations(), compdiff.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := suite.Run(input)
+	if !o.Diverged {
+		t.Fatal("reduced.mc no longer diverges")
+	}
+	if got := compdiff.FingerprintOf(o); got.Key() != parseKey(t, fp.Key) {
+		t.Fatalf("reduced fingerprint key %016x != recorded %s", got.Key(), fp.Key)
+	}
+
+	for _, want := range []string{"source", "fingerprint", "cost", "wrote"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func parseKey(t *testing.T, hex string) uint64 {
+	t.Helper()
+	var key uint64
+	for _, c := range []byte(hex) {
+		switch {
+		case c >= '0' && c <= '9':
+			key = key<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			key = key<<4 | uint64(c-'a'+10)
+		default:
+			t.Fatalf("bad key %q", hex)
+		}
+	}
+	return key
+}
+
+// TestRunBudgetBoundsSuiteRuns pins that -budget is a hard ceiling on
+// differential executions: a starved run still succeeds and reports a
+// spend within the budget.
+func TestRunBudgetBoundsSuiteRuns(t *testing.T) {
+	cfg := writeFinding(t, []byte("X"))
+	cfg.budget = 5
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "suite runs, ") || !strings.Contains(out.String(), "(budget 5)") {
+		t.Fatalf("summary does not report the budget:\n%s", out.String())
+	}
+	// The cost line reads "cost : N suite runs, M builds (budget B)".
+	var runs int
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.HasPrefix(line, "cost") {
+			if _, err := fmt.Sscanf(line[strings.Index(line, ":")+1:], " %d suite runs", &runs); err != nil {
+				t.Fatalf("cannot parse cost line %q: %v", line, err)
+			}
+		}
+	}
+	if runs < 1 || runs > cfg.budget {
+		t.Fatalf("spent %d suite runs, budget %d", runs, cfg.budget)
+	}
+}
+
+func TestRunNonDivergingFindingFails(t *testing.T) {
+	dir := t.TempDir()
+	srcPath := filepath.Join(dir, "stable.mc")
+	stable := "int main() { printf(\"ok\\n\"); return 0; }\n"
+	if err := os.WriteFile(srcPath, []byte(stable), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := validCfg()
+	cfg.src = srcPath
+	cfg.out = filepath.Join(dir, "out")
+	var out bytes.Buffer
+	err := run(cfg, &out)
+	if err == nil {
+		t.Fatal("run succeeded on a stable program")
+	}
+	if !strings.Contains(err.Error(), "does not diverge") {
+		t.Fatalf("err = %v, want ErrNoDivergence", err)
+	}
+}

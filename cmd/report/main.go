@@ -8,14 +8,22 @@
 //
 //	report -all
 //	report -table3 -figure1 [-scale 4]
+//	report -triage [-triage-target readelf] [-triage-execs 5000]
+//
+// -triage runs a short fuzzing campaign against one built-in target
+// and prints the bucketed triage summary: one row per divergence
+// fingerprint with its hit count, merged signature count, and
+// divergence stage.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
 	"compdiff/internal/bench"
+	"compdiff/internal/difffuzz"
 	"compdiff/internal/juliet"
 	"compdiff/internal/targets"
 )
@@ -32,13 +40,16 @@ func main() {
 	t6 := flag.Bool("table6", false, "Table 6: sanitizer overlap")
 	f2 := flag.Bool("figure2", false, "Figure 2: implementation subsets on the real-world bugs")
 	ov := flag.Bool("overhead", false, "section 5 overhead measurements")
+	tr := flag.Bool("triage", false, "bucketed triage summary from a short campaign")
+	trTarget := flag.String("triage-target", "readelf", "built-in target for -triage")
+	trExecs := flag.Int64("triage-execs", 5000, "campaign budget for -triage")
 	scale := flag.Int("scale", 1, "divide Juliet category sizes by N (speed knob)")
 	flag.Parse()
 
 	if *all {
-		*t2, *t3, *f1, *t4, *t5, *t6, *f2, *ov = true, true, true, true, true, true, true, true
+		*t2, *t3, *f1, *t4, *t5, *t6, *f2, *ov, *tr = true, true, true, true, true, true, true, true, true
 	}
-	if !(*t2 || *t3 || *f1 || *t4 || *t5 || *t6 || *f2 || *ov) {
+	if !(*t2 || *t3 || *f1 || *t4 || *t5 || *t6 || *f2 || *ov || *tr) {
 		flag.Usage()
 		return
 	}
@@ -102,4 +113,27 @@ func main() {
 		}
 		fmt.Println(o.Format())
 	}
+
+	if *tr {
+		fmt.Printf("==== Triage: bucketed findings (%s, %d execs) ====\n", *trTarget, *trExecs)
+		fmt.Println(triageSummary(*trTarget, *trExecs))
+	}
+}
+
+// triageSummary fuzzes one built-in target briefly and renders the
+// bucketed summary table: findings deduplicated by divergence
+// fingerprint rather than by raw signature.
+func triageSummary(name string, execs int64) string {
+	tg := targets.ByName(name)
+	if tg == nil {
+		log.Fatalf("unknown target %q for -triage-target", name)
+	}
+	p, err := difffuzz.NewPool(tg.Src, tg.Seeds, difffuzz.Options{FuzzSeed: 1, Shards: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := p.Run(context.Background(), execs)
+	return fmt.Sprintf("%d diverging inputs, %d signatures, %d buckets\n%s",
+		st.TotalDiffInputs, st.UniqueDiffs, st.UniqueBuckets,
+		p.BucketStore().Table())
 }

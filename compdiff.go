@@ -41,6 +41,7 @@ import (
 	"compdiff/internal/core"
 	"compdiff/internal/difffuzz"
 	"compdiff/internal/telemetry"
+	"compdiff/internal/triage"
 	"compdiff/internal/vm"
 )
 
@@ -198,4 +199,50 @@ const (
 // per-implementation latency histograms keyed by registration name.
 func WriteMetricsJSON(w io.Writer, m *CampaignMetrics) error {
 	return m.Registry().WriteJSON(w)
+}
+
+// Fingerprint is a divergence fingerprint: the implementation
+// agreement partition, the per-implementation outcome classes, and the
+// first stage of the implementation chain that diverges. It is
+// deliberately coarser than a raw discrepancy signature — checksum
+// changes that keep the disagreement shape map to the same fingerprint,
+// which is what lets the reducer rewrite a finding without losing its
+// identity.
+type Fingerprint = triage.Fingerprint
+
+// Bucket is one fingerprint-deduplicated finding with a representative
+// outcome and hit counters.
+type Bucket = triage.Bucket
+
+// BucketStore deduplicates diverging outcomes by fingerprint — the
+// triage layer above the signature-keyed DiffStore.
+type BucketStore = triage.BucketStore
+
+// ReduceOptions configures a delta-debugging reduction.
+type ReduceOptions = triage.ReduceOptions
+
+// Reduction is the result of reducing one finding: the minimized
+// program and input, the preserved fingerprint, and the cost spent.
+type Reduction = triage.Reduction
+
+// ErrNoDivergence reports that a finding handed to Reduce does not
+// diverge, so there is nothing to preserve.
+var ErrNoDivergence = triage.ErrNoDivergence
+
+// FingerprintOf computes the divergence fingerprint of a diverging
+// outcome.
+func FingerprintOf(o *Outcome) Fingerprint {
+	return triage.Of(o)
+}
+
+// NewBucketStore creates an empty triage bucket store.
+func NewBucketStore() *BucketStore {
+	return triage.NewBucketStore()
+}
+
+// Reduce delta-debugs a diverging finding (program + input) to a
+// smaller reproducer with the same divergence fingerprint, using AST
+// reduction passes and ddmin over the input bytes.
+func Reduce(src string, input []byte, opts ReduceOptions) (*Reduction, error) {
+	return triage.Reduce(src, input, opts)
 }

@@ -34,6 +34,7 @@ import (
 	"compdiff/internal/minic/parser"
 	"compdiff/internal/minic/sema"
 	"compdiff/internal/telemetry"
+	"compdiff/internal/triage"
 )
 
 // Pool runs N campaign shards over one target.
@@ -41,6 +42,10 @@ type Pool struct {
 	opts   Options
 	shards []*shard
 	store  *core.DiffStore // shared; shard stores merge into it at barriers
+	// buckets is the pool-wide triage store: shard-local bucket stores
+	// merge into it at the same barriers, so two shards hitting the
+	// same underlying bug yield exactly one pool-wide bucket.
+	buckets *triage.BucketStore
 
 	mu sync.Mutex // guards shard health fields during an epoch
 
@@ -59,8 +64,9 @@ type Pool struct {
 type shard struct {
 	c *Campaign
 
-	diffsSynced int             // shard-local store entries already merged
-	queueSeen   map[uint64]bool // queue entry hashes already cross-pollinated
+	diffsSynced   int             // shard-local store entries already merged
+	bucketsSynced int             // shard-local buckets already merged
+	queueSeen     map[uint64]bool // queue entry hashes already cross-pollinated
 	dead        bool            // a panicking shard is retired, not restarted
 	err         error
 }
@@ -75,6 +81,9 @@ type PoolStats struct {
 	// UniqueDiffs and TotalDiffInputs mirror the shared store.
 	UniqueDiffs     int
 	TotalDiffInputs int
+	// UniqueBuckets is the pool-wide count of fingerprint-deduplicated
+	// findings — the triage layer's view of UniqueDiffs.
+	UniqueBuckets int
 	// UniqueCrashes counts content-distinct B_fuzz crashes pool-wide.
 	UniqueCrashes int
 	// ShardStats holds each shard's fuzzer statistics.
@@ -106,7 +115,11 @@ func NewPoolChecked(info *sema.Info, seeds [][]byte, opts Options) (*Pool, error
 	if n < 1 {
 		n = 1
 	}
-	p := &Pool{opts: opts, store: core.NewDiffStore(opts.DiffDir)}
+	p := &Pool{
+		opts:    opts,
+		store:   core.NewDiffStore(opts.DiffDir),
+		buckets: triage.NewBucketStore(),
+	}
 	if opts.statsEnabled() {
 		rec, err := telemetry.NewRecorder(opts.StatsDir)
 		if err != nil {
@@ -246,14 +259,16 @@ func (p *Pool) snapshot() telemetry.Snapshot {
 			Role:         role,
 			Execs:        m.Execs.Load(),
 			Queue:        st.Seeds,
-			UniqueDiffs:  sh.c.diffs.Len(),
-			PlateauExecs: age,
-			Retired:      sh.dead,
+			UniqueDiffs:   sh.c.diffs.Len(),
+			UniqueBuckets: sh.c.buckets.Len(),
+			PlateauExecs:  age,
+			Retired:       sh.dead,
 		})
 	}
 	s.SetClasses(classes)
 	s.UniqueDiffs = p.store.Len()
 	s.TotalDiffInputs = p.store.Total()
+	s.UniqueBuckets = p.buckets.Len()
 	s.UniqueCrashes = len(crashes)
 	if plateau > 0 {
 		s.PlateauExecs = plateau
@@ -298,6 +313,22 @@ func (p *Pool) synchronize() {
 		}
 	}
 	p.store.Recount(totals)
+
+	// 2b. Same merge-then-recount for the triage buckets: new bucket
+	// keys are absorbed in shard order, and per-bucket hit counts
+	// become the exact sum over shard-local stores.
+	for _, s := range p.shards {
+		delta := s.c.buckets.Since(s.bucketsSynced)
+		s.bucketsSynced += len(delta)
+		p.buckets.Absorb(delta)
+	}
+	bucketTotals := map[uint64]int{}
+	for _, s := range p.shards {
+		for key, c := range s.c.buckets.Counts() {
+			bucketTotals[key] += c
+		}
+	}
+	p.buckets.Recount(bucketTotals)
 
 	// 3. Cross-pollinate, AFL -M/-S style: every sibling imports the
 	// coverage-fresh queue entries and new diff inputs it has not
@@ -347,6 +378,7 @@ func (p *Pool) Stats() PoolStats {
 	st.UniqueCrashes = len(crashes)
 	st.UniqueDiffs = p.store.Len()
 	st.TotalDiffInputs = p.store.Total()
+	st.UniqueBuckets = p.buckets.Len()
 	return st
 }
 
@@ -369,6 +401,17 @@ func (p *Pool) Signatures() []uint64 {
 	sort.Slice(sigs, func(i, j int) bool { return sigs[i] < sigs[j] })
 	return sigs
 }
+
+// Buckets returns the pool-wide fingerprint-deduplicated findings in
+// merge order.
+func (p *Pool) Buckets() []*triage.Bucket { return p.buckets.Buckets() }
+
+// BucketStore exposes the pool-wide triage store.
+func (p *Pool) BucketStore() *triage.BucketStore { return p.buckets }
+
+// BucketKeys returns the sorted bucket-key set — the triage analog of
+// Signatures, stable across shard counts and scheduling.
+func (p *Pool) BucketKeys() []uint64 { return p.buckets.Keys() }
 
 // Crashes returns every shard's B_fuzz crashes, content-deduplicated,
 // in deterministic (shard, fuzzer) order.

@@ -18,6 +18,7 @@ import (
 	"compdiff/internal/minic/parser"
 	"compdiff/internal/minic/sema"
 	"compdiff/internal/telemetry"
+	"compdiff/internal/triage"
 	"compdiff/internal/vm"
 )
 
@@ -103,6 +104,11 @@ type Campaign struct {
 	fuzzer *fuzz.Fuzzer
 	suite  *core.Suite
 	diffs  *core.DiffStore
+	// buckets deduplicates the diverging outcomes by divergence
+	// fingerprint (the triage layer). The signature-keyed DiffStore
+	// stays authoritative for persistence and DivergenceFeedback;
+	// buckets is the reporting view.
+	buckets *triage.BucketStore
 
 	// DiffExecs counts executions spent on the CompDiff binaries
 	// (k per generated input) — the overhead the paper discusses.
@@ -192,6 +198,7 @@ func NewChecked(info *sema.Info, seeds [][]byte, opts Options) (*Campaign, error
 	c := &Campaign{
 		suite:      suite,
 		diffs:      core.NewDiffStore(opts.DiffDir),
+		buckets:    triage.NewBucketStore(),
 		metrics:    metrics,
 		recorder:   recorder,
 		statsEvery: opts.StatsEvery,
@@ -215,6 +222,7 @@ func NewChecked(info *sema.Info, seeds [][]byte, opts Options) (*Campaign, error
 					// the in-memory record is kept regardless.
 					_ = err
 				}
+				c.buckets.Add(o)
 				// c.fuzzer is nil while the initial corpus is being
 				// ingested inside fuzz.New; those seeds are already
 				// queued.
@@ -277,6 +285,7 @@ func (c *Campaign) snapshot() telemetry.Snapshot {
 		Queue:           st.Seeds,
 		UniqueDiffs:     c.diffs.Len(),
 		TotalDiffInputs: c.diffs.Total(),
+		UniqueBuckets:   c.buckets.Len(),
 		UniqueCrashes:   st.UniqueCrashes,
 		PlateauExecs:    st.Execs - st.LastNewPath,
 	}
@@ -316,6 +325,14 @@ func (c *Campaign) Close() error {
 
 // Diffs returns the unique discrepancies found so far.
 func (c *Campaign) Diffs() []*core.StoredDiff { return c.diffs.Unique() }
+
+// Buckets returns the fingerprint-deduplicated findings in discovery
+// order.
+func (c *Campaign) Buckets() []*triage.Bucket { return c.buckets.Buckets() }
+
+// BucketStore exposes the campaign's triage store (reporting and
+// pool-merge use).
+func (c *Campaign) BucketStore() *triage.BucketStore { return c.buckets }
 
 // TotalDiffInputs is the number of diverging inputs seen, pre-dedup.
 func (c *Campaign) TotalDiffInputs() int { return c.diffs.Total() }

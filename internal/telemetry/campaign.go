@@ -158,7 +158,11 @@ type Snapshot struct {
 	Queue           int     `json:"queue"`
 	UniqueDiffs     int     `json:"unique_diffs"`
 	TotalDiffInputs int     `json:"total_diff_inputs"`
-	UniqueCrashes   int     `json:"unique_crashes"`
+	// UniqueBuckets counts distinct divergence-fingerprint buckets —
+	// the triage layer's deduplicated finding count, always <=
+	// UniqueDiffs since the fingerprint coarsens the signature.
+	UniqueBuckets int `json:"unique_buckets"`
+	UniqueCrashes int `json:"unique_crashes"`
 	OK              int64   `json:"ok"`
 	Crash           int64   `json:"crash"`
 	StepLimitHang   int64   `json:"step_limit_hang"`
@@ -190,8 +194,9 @@ type ShardSnapshot struct {
 	Role         string `json:"role"` // "main" or "secondary", AFL -M/-S
 	Execs        int64  `json:"execs"`
 	Queue        int    `json:"queue"`
-	UniqueDiffs  int    `json:"unique_diffs"`
-	PlateauExecs int64  `json:"plateau_execs"`
+	UniqueDiffs   int    `json:"unique_diffs"`
+	UniqueBuckets int    `json:"unique_buckets"`
+	PlateauExecs  int64  `json:"plateau_execs"`
 	Retired      bool   `json:"retired"`
 }
 

@@ -1,0 +1,270 @@
+package triage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"text/tabwriter"
+
+	"compdiff/internal/core"
+)
+
+// Bucket is one deduplicated finding: a fingerprint, a representative
+// outcome (the first seen), and hit counters. The representative is
+// what a reducer or a human starts from; the counters are the
+// per-bucket telemetry campaign reports surface.
+type Bucket struct {
+	Fingerprint Fingerprint
+	Key         uint64
+	// Outcome is the first diverging outcome that opened the bucket.
+	Outcome *core.Outcome
+	// Count is the number of diverging inputs that landed here.
+	Count int
+	// Signatures counts the distinct triage signatures merged into
+	// this bucket — >1 means the fingerprint actually coalesced
+	// findings the raw signature would have reported separately.
+	Signatures int
+
+	sigs map[uint64]bool
+}
+
+// BucketStore deduplicates diverging outcomes by fingerprint. All
+// methods are safe for concurrent use; a sharded campaign merges
+// shard-local stores into a pool-wide one at synchronization
+// barriers, exactly like core.DiffStore.
+type BucketStore struct {
+	mu    sync.Mutex
+	byKey map[uint64]*Bucket
+	order []uint64
+	total int
+}
+
+// NewBucketStore creates an empty store.
+func NewBucketStore() *BucketStore {
+	return &BucketStore{byKey: map[uint64]*Bucket{}}
+}
+
+// Add records a diverging outcome. It returns the bucket the outcome
+// landed in and whether that bucket is new (the new-bucket-only
+// reporting predicate). Non-diverging outcomes are ignored.
+func (bs *BucketStore) Add(o *core.Outcome) (*Bucket, bool) {
+	if o == nil || !o.Diverged {
+		return nil, false
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return bs.addLocked(o, 1, o.Signature())
+}
+
+func (bs *BucketStore) addLocked(o *core.Outcome, count int, sig uint64) (*Bucket, bool) {
+	bs.total += count
+	fp := Of(o)
+	key := fp.Key()
+	if b, ok := bs.byKey[key]; ok {
+		b.Count += count
+		if !b.sigs[sig] {
+			b.sigs[sig] = true
+			b.Signatures++
+		}
+		return b, false
+	}
+	b := &Bucket{
+		Fingerprint: fp,
+		Key:         key,
+		Outcome:     o,
+		Count:       count,
+		Signatures:  1,
+		sigs:        map[uint64]bool{sig: true},
+	}
+	bs.byKey[key] = b
+	bs.order = append(bs.order, key)
+	return b, true
+}
+
+// Absorb merges another store's buckets (typically a shard-local
+// delta) into bs, summing counts for known keys. It returns the
+// buckets whose keys were new to bs.
+func (bs *BucketStore) Absorb(buckets []*Bucket) []*Bucket {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	var fresh []*Bucket
+	for _, b := range buckets {
+		if cur, ok := bs.byKey[b.Key]; ok {
+			cur.Count += b.Count
+			for sig := range b.sigs {
+				if !cur.sigs[sig] {
+					cur.sigs[sig] = true
+					cur.Signatures++
+				}
+			}
+			bs.total += b.Count
+			continue
+		}
+		c := &Bucket{
+			Fingerprint: b.Fingerprint,
+			Key:         b.Key,
+			Outcome:     b.Outcome,
+			Count:       b.Count,
+			Signatures:  b.Signatures,
+			sigs:        map[uint64]bool{},
+		}
+		for sig := range b.sigs {
+			c.sigs[sig] = true
+		}
+		bs.byKey[c.Key] = c
+		bs.order = append(bs.order, c.Key)
+		bs.total += c.Count
+		fresh = append(fresh, c)
+	}
+	return fresh
+}
+
+// Since returns the buckets from discovery index `from` on — the
+// delta a synchronization barrier hands to Absorb. Out-of-range
+// cursors clamp.
+func (bs *BucketStore) Since(from int) []*Bucket {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from > len(bs.order) {
+		from = len(bs.order)
+	}
+	out := make([]*Bucket, 0, len(bs.order)-from)
+	for _, key := range bs.order[from:] {
+		out = append(out, bs.byKey[key])
+	}
+	return out
+}
+
+// Recount overwrites per-bucket counts and the pre-dedup total with
+// authoritative values, keyed by bucket key. The pool calls it at
+// every barrier so the shared store's counts equal the sum over
+// shard-local stores, independent of merge interleaving.
+func (bs *BucketStore) Recount(counts map[uint64]int) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	bs.total = total
+	for key, b := range bs.byKey {
+		if c, ok := counts[key]; ok {
+			b.Count = c
+		}
+	}
+}
+
+// Counts snapshots the per-bucket input counts keyed by bucket key.
+func (bs *BucketStore) Counts() map[uint64]int {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	out := make(map[uint64]int, len(bs.byKey))
+	for key, b := range bs.byKey {
+		out[key] = b.Count
+	}
+	return out
+}
+
+// Buckets returns the buckets in discovery order.
+func (bs *BucketStore) Buckets() []*Bucket {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	out := make([]*Bucket, 0, len(bs.order))
+	for _, key := range bs.order {
+		out = append(out, bs.byKey[key])
+	}
+	return out
+}
+
+// Len is the number of unique buckets.
+func (bs *BucketStore) Len() int {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return len(bs.order)
+}
+
+// Total is the number of diverging inputs seen (before deduplication).
+func (bs *BucketStore) Total() int {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return bs.total
+}
+
+// Keys returns the sorted bucket-key set — the order-independent
+// fingerprint of a campaign's triaged findings, the bucket analog of
+// difffuzz.Pool.Signatures.
+func (bs *BucketStore) Keys() []uint64 {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	keys := make([]uint64, len(bs.order))
+	copy(keys, bs.order)
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Report renders one bucket as a human-readable finding: the
+// fingerprint, the hit counters, and the representative input with
+// the disagreeing implementation groups and their outputs.
+func (b *Bucket) Report(names []string) string {
+	o := b.Outcome
+	var s strings.Builder
+	fmt.Fprintf(&s, "bucket %016x %s (%d inputs, %d signatures)\n",
+		b.Key, b.Fingerprint, b.Count, b.Signatures)
+	fmt.Fprintf(&s, "representative input (%d bytes): %q\n", len(o.Input), clip(o.Input, 64))
+	groups := o.Groups()
+	type grp struct {
+		impls []int
+		out   string
+	}
+	var gs []grp
+	for _, idxs := range groups {
+		sort.Ints(idxs)
+		gs = append(gs, grp{impls: idxs, out: string(o.Results[idxs[0]].Encode())})
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i].impls[0] < gs[j].impls[0] })
+	for _, g := range gs {
+		s.WriteString("reproducers:")
+		for _, i := range g.impls {
+			s.WriteString(" [" + names[i] + "]")
+		}
+		s.WriteString("\noutput:\n")
+		for _, line := range strings.SplitAfter(g.out, "\n") {
+			if line == "" {
+				continue
+			}
+			s.WriteString("    " + line)
+		}
+		if !strings.HasSuffix(g.out, "\n") {
+			s.WriteString("\n")
+		}
+	}
+	return s.String()
+}
+
+// Table renders the bucketed summary: one row per bucket with its
+// key, hit count, merged signature count, divergence stage, and
+// partition/class shape — the campaign-end triage overview.
+func (bs *BucketStore) Table() string {
+	buckets := bs.Buckets()
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "bucket\tinputs\tsigs\tstage\tfingerprint")
+	for _, bk := range buckets {
+		fmt.Fprintf(tw, "%016x\t%d\t%d\t%d\t%s\n",
+			bk.Key, bk.Count, bk.Signatures, bk.Fingerprint.Stage, bk.Fingerprint)
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// clip truncates b to at most n bytes for display.
+func clip(b []byte, n int) []byte {
+	if len(b) <= n {
+		return b
+	}
+	return b[:n]
+}

@@ -1,0 +1,149 @@
+// Package triage turns raw CompDiff divergences into actionable
+// reports, the workflow step the paper ran after detection: every
+// finding in Tables 5/6 was first reduced (C-Reduce) and deduplicated
+// before it became one of the 78 reported bugs. The package provides
+// the two halves of that step:
+//
+//   - a divergence Fingerprint and BucketStore that deduplicate
+//     findings by *how* the implementations disagree rather than by
+//     what exact bytes they printed, and
+//   - a delta-debugging Reducer that shrinks both the fuzz input
+//     (classic ddmin) and the MiniC program (AST-level passes) while
+//     re-running the full differential suite after every candidate,
+//     accepting only candidates that preserve the fingerprint.
+//
+// Signature-stability — not checksum-stability — is the acceptance
+// predicate throughout: reduction is allowed to change incidental
+// output (an uninitialized read prints different garbage once the
+// frame layout shrinks) as long as the implementations still disagree
+// in the same way.
+package triage
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"compdiff/internal/core"
+	"compdiff/internal/hash"
+	"compdiff/internal/telemetry"
+)
+
+// Fingerprint is the dedup key of a divergence: which implementations
+// disagree (the partition of suite indices by output checksum, in
+// canonical smallest-representative form), how each run ended (the
+// coarse outcome class, not the raw exit kind), and where along the
+// implementation chain the outputs first depart. Two findings with
+// equal fingerprints are treated as the same underlying bug even when
+// their raw checksums differ — the signature-stability principle.
+type Fingerprint struct {
+	// Partition has one entry per implementation: the smallest suite
+	// index whose output checksum equals this implementation's.
+	Partition []uint8 `json:"partition"`
+	// Classes has one entry per implementation: its outcome class
+	// (ok / crash / step-limit-hang). Classes deliberately coarsen
+	// exit kinds — a SIGFPE and a SIGSEGV at the same site are the
+	// same bug seen through two personalities.
+	Classes []uint8 `json:"classes"`
+	// Stage is the first position in the suite's implementation chain
+	// (family × rising optimization level, suite order) whose output
+	// departs from the chain head's — the "first divergent stage".
+	Stage int `json:"stage"`
+}
+
+// Of computes the fingerprint of a diverging outcome. The outcome
+// must carry materialized Results (core.Suite.Run always does;
+// RunFast does exactly when Diverged is set).
+func Of(o *core.Outcome) Fingerprint {
+	k := len(o.Hashes)
+	fp := Fingerprint{
+		Partition: make([]uint8, k),
+		Classes:   make([]uint8, k),
+		Stage:     0,
+	}
+	for i, h := range o.Hashes {
+		rep := i
+		for j := 0; j < i; j++ {
+			if o.Hashes[j] == h {
+				rep = j
+				break
+			}
+		}
+		fp.Partition[i] = uint8(rep)
+		if fp.Stage == 0 && rep != 0 {
+			fp.Stage = i
+		}
+		fp.Classes[i] = uint8(core.ClassifyResult(o.Results[i]))
+	}
+	return fp
+}
+
+// Key folds the fingerprint into a 64-bit bucket key. The seed is
+// distinct from the output-checksum and triage-signature seeds so the
+// three keyspaces never collide structurally.
+func (f Fingerprint) Key() uint64 {
+	d := hash.New128(0x791a)
+	d.Write(f.Partition)
+	d.Write([]byte{0xff})
+	d.Write(f.Classes)
+	d.Write([]byte{byte(f.Stage)})
+	h1, _ := d.Sum128()
+	return h1
+}
+
+// Equal reports whether two fingerprints denote the same bucket.
+func (f Fingerprint) Equal(g Fingerprint) bool {
+	if f.Stage != g.Stage || len(f.Partition) != len(g.Partition) || len(f.Classes) != len(g.Classes) {
+		return false
+	}
+	for i := range f.Partition {
+		if f.Partition[i] != g.Partition[i] {
+			return false
+		}
+	}
+	for i := range f.Classes {
+		if f.Classes[i] != g.Classes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// classLetters renders outcome classes compactly: o=ok, c=crash,
+// h=step-limit-hang, d=diff (unused per-impl, kept for completeness).
+var classLetters = [telemetry.NumClasses]byte{'o', 'c', 'h', 'd'}
+
+// String renders the fingerprint human-readably, e.g.
+// "stage2 part[0011122233] class[ooccoooooo]".
+func (f Fingerprint) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stage%d part[", f.Stage)
+	for _, p := range f.Partition {
+		if p < 10 {
+			b.WriteByte('0' + p)
+		} else {
+			b.WriteByte('a' + p - 10)
+		}
+	}
+	b.WriteString("] class[")
+	for _, c := range f.Classes {
+		if int(c) < len(classLetters) {
+			b.WriteByte(classLetters[c])
+		} else {
+			b.WriteByte('?')
+		}
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// MarshalJSON emits the struct fields plus the derived key and the
+// human-readable form, so persisted fingerprints are self-describing.
+func (f Fingerprint) MarshalJSON() ([]byte, error) {
+	type plain Fingerprint
+	return json.Marshal(struct {
+		plain
+		Key    string `json:"key"`
+		Pretty string `json:"pretty"`
+	}{plain(f), fmt.Sprintf("%016x", f.Key()), f.String()})
+}

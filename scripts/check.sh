@@ -33,6 +33,12 @@ go test -run='^$' -bench='^BenchmarkOverheadFullTen$' -benchtime=10x -benchmem .
 echo "== fuzz smoke ($FUZZTIME each)"
 go test -fuzz=FuzzParse -fuzztime="$FUZZTIME" -run='^$' ./internal/minic/parser
 go test -fuzz=FuzzSuiteRun -fuzztime="$FUZZTIME" -run='^$' .
+go test -fuzz=FuzzReduce -fuzztime="$FUZZTIME" -run='^$' ./internal/triage
+
+# Coverage gate: per-package table plus hard floors on the triage
+# layer, whose whole contract lives in its tests.
+echo "== coverage gate"
+scripts/cover.sh
 
 # Telemetry smoke: a short sharded campaign with -stats must produce a
 # plot.jsonl whose lines carry a nonzero execs/sec. The telemetry unit

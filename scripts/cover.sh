@@ -1,0 +1,42 @@
+#!/bin/sh
+# Coverage gate, shell form of `make cover`: a per-package statement
+# coverage table over the whole module, with hard floors on the triage
+# layer — the reducer and bucket store are pure logic whose contract
+# (fingerprint preservation, dedup) lives entirely in their tests, so
+# their coverage eroding is an early sign the contract is eroding too.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+echo "== go test -cover (per-package table)"
+go test -count=1 -cover ./... >"$OUT" 2>&1 || { cat "$OUT" >&2; exit 1; }
+awk '$1 == "ok" {
+    cov = "-"
+    for (i = 1; i <= NF; i++) if ($i ~ /%$/) cov = $i
+    printf "%-34s %s\n", $2, cov
+}' "$OUT"
+
+# floor PKG PCT fails the gate when PKG's statement coverage is below
+# PCT percent (or was not measured at all).
+floor() {
+	pct="$(awk -v p="$1" '$1 == "ok" && $2 == p {
+	    for (i = 1; i <= NF; i++) if ($i ~ /%$/) { sub("%", "", $i); print $i }
+	}' "$OUT")"
+	if [ -z "$pct" ]; then
+		echo "cover: no coverage recorded for $1" >&2
+		exit 1
+	fi
+	if [ "$(awk -v a="$pct" -v b="$2" 'BEGIN { print (a >= b) ? 1 : 0 }')" != 1 ]; then
+		echo "cover: $1 at ${pct}% is below the ${2}% floor" >&2
+		exit 1
+	fi
+	echo "cover: $1 ${pct}% >= ${2}% floor"
+}
+
+floor compdiff/internal/triage 85
+floor compdiff/internal/difffuzz 80
+
+echo "== cover OK"
