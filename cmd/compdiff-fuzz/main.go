@@ -23,18 +23,27 @@
 //	                and print a per-implementation summary table
 //	-stats-every N  snapshot every N generated inputs (single shard;
 //	                sharded pools snapshot at every barrier)
+//	-checkpoint DIR write a crash-safe campaign snapshot under DIR at
+//	                every synchronization barrier
+//	-checkpoint-every N
+//	                barriers between snapshots (default 1)
+//	-resume         continue the campaign checkpointed in -checkpoint DIR
+//	                (falls back to a fresh start when DIR has none)
 //	-list           list built-in targets and exit
 //
-// Invalid flag values (e.g. -shards 0, a negative -jobs, or an
-// explicit -sync 0 on a sharded run) are rejected up front with exit
-// code 2.
+// Invalid flag values (e.g. -shards 0, a negative -jobs, an explicit
+// -sync 0 on a sharded run, or -resume against a checkpoint written
+// with different source/seeds/options) are rejected up front with exit
+// code 2; a corrupt checkpoint exits 1.
 //
-// With -shards > 1, SIGINT/SIGTERM cancels the campaign gracefully at
-// the next synchronization barrier and prints what was found so far.
+// With -shards > 1 or -checkpoint set, SIGINT/SIGTERM cancels the
+// campaign gracefully at the next synchronization barrier, writes a
+// final checkpoint (when enabled), and prints what was found so far.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -73,6 +82,9 @@ type cliConfig struct {
 	syncSet    bool // -sync was given explicitly
 	san        string
 	statsEvery int64
+	checkpoint string
+	ckptEvery  int64
+	resume     bool
 	list       bool
 }
 
@@ -107,6 +119,15 @@ func (c cliConfig) validate() error {
 	if c.statsEvery < 0 {
 		return fmt.Errorf("-stats-every %d: the snapshot interval cannot be negative", c.statsEvery)
 	}
+	if c.ckptEvery < 0 {
+		return fmt.Errorf("-checkpoint-every %d: the checkpoint interval cannot be negative", c.ckptEvery)
+	}
+	if c.ckptEvery > 0 && c.checkpoint == "" {
+		return fmt.Errorf("-checkpoint-every needs -checkpoint DIR")
+	}
+	if c.resume && c.checkpoint == "" {
+		return fmt.Errorf("-resume needs -checkpoint DIR to resume from")
+	}
 	switch c.san {
 	case "none", "asan", "ubsan", "msan":
 	default:
@@ -129,6 +150,9 @@ func main() {
 	diffdir := flag.String("diffdir", "", "persist diverging inputs")
 	statsDir := flag.String("stats", "", "record telemetry snapshots to DIR/plot.jsonl")
 	statsEvery := flag.Int64("stats-every", 0, "snapshot every N generated inputs (0 = final only)")
+	ckptDir := flag.String("checkpoint", "", "write crash-safe campaign snapshots under DIR")
+	ckptEvery := flag.Int64("checkpoint-every", 0, "sync barriers between snapshots (0 = every barrier)")
+	resume := flag.Bool("resume", false, "continue the campaign checkpointed in -checkpoint DIR")
 	list := flag.Bool("list", false, "list built-in targets")
 	var seeds seedList
 	flag.Var(&seeds, "seedfile", "seed input file (repeatable)")
@@ -143,6 +167,9 @@ func main() {
 		sync:       *syncEvery,
 		san:        *sanFlag,
 		statsEvery: *statsEvery,
+		checkpoint: *ckptDir,
+		ckptEvery:  *ckptEvery,
+		resume:     *resume,
 		list:       *list,
 	}
 	flag.Visit(func(f *flag.Flag) {
@@ -196,21 +223,25 @@ func main() {
 	}
 
 	opts := compdiff.CampaignOptions{
-		FuzzSeed:    *seed,
-		Sanitizer:   san,
-		Normalizer:  normalizer,
-		DiffDir:     *diffdir,
-		Shards:      *shards,
-		SyncEvery:   *syncEvery,
-		Parallelism: *jobs,
-		StatsDir:    *statsDir,
-		StatsEvery:  *statsEvery,
+		FuzzSeed:        *seed,
+		Sanitizer:       san,
+		Normalizer:      normalizer,
+		DiffDir:         *diffdir,
+		Shards:          *shards,
+		SyncEvery:       *syncEvery,
+		Parallelism:     *jobs,
+		StatsDir:        *statsDir,
+		StatsEvery:      *statsEvery,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
 	}
 
-	if *shards > 1 {
+	// Checkpointing runs through the pool even single-sharded: the
+	// pool's synchronization barriers are the snapshot points.
+	if *shards > 1 || *ckptDir != "" {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		pool, err := compdiff.NewCampaignPool(src, corpus, opts)
+		pool, err := buildPool(src, corpus, opts, *resume)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -219,11 +250,15 @@ func main() {
 
 		fmt.Printf("shards         : %d\n", stats.Shards)
 		fmt.Printf("executions     : %d (all shards)\n", stats.Execs)
+		if *ckptDir != "" {
+			fmt.Printf("spent budget   : %d execs per shard (across resumes)\n", stats.SpentExecs)
+		}
 		fmt.Printf("unique crashes : %d\n", stats.UniqueCrashes)
 		fmt.Printf("diff inputs    : %d (%d unique discrepancies, %d triage buckets)\n",
 			stats.TotalDiffInputs, stats.UniqueDiffs, stats.UniqueBuckets)
 		fmt.Printf("diff execs     : %d across %d implementations\n",
 			stats.DiffExecs, len(pool.ImplNames()))
+		fmt.Printf("persist errors : %d\n", stats.PersistErrors)
 		for si, fs := range stats.ShardStats {
 			role := "S"
 			if si == 0 {
@@ -265,6 +300,7 @@ func main() {
 		campaign.TotalDiffInputs(), len(campaign.Diffs()), len(campaign.Buckets()))
 	fmt.Printf("diff execs     : %d across %d implementations\n",
 		campaign.DiffExecs, len(campaign.ImplNames()))
+	fmt.Printf("persist errors : %d\n", campaign.PersistErrors())
 	printTelemetry(campaign.ImplSummaries(), campaign.Snapshots())
 	fmt.Println()
 
@@ -278,6 +314,33 @@ func main() {
 		if c.Result.San != nil {
 			fmt.Printf("  %s\n", c.Result.San)
 		}
+	}
+}
+
+// buildPool constructs the campaign pool, honoring -resume: a missing
+// checkpoint falls back to a fresh start (so the same command line
+// works for the first run and every restart), an options mismatch is a
+// user error (exit 2), and a corrupt checkpoint is fatal (exit 1) —
+// never a panic, and never a silent fresh start that would clobber it.
+func buildPool(src string, corpus [][]byte, opts compdiff.CampaignOptions, resume bool) (*compdiff.CampaignPool, error) {
+	if !resume {
+		return compdiff.NewCampaignPool(src, corpus, opts)
+	}
+	pool, err := compdiff.ResumeCampaignPool(src, corpus, opts)
+	switch {
+	case err == nil:
+		log.Printf("resumed from checkpoint %s (seq %d, %d execs per shard already spent)",
+			opts.CheckpointDir, pool.CheckpointSeq(), pool.SpentExecs())
+		return pool, nil
+	case errors.Is(err, compdiff.ErrNoCheckpoint):
+		log.Printf("no checkpoint in %s; starting fresh", opts.CheckpointDir)
+		return compdiff.NewCampaignPool(src, corpus, opts)
+	case errors.Is(err, compdiff.ErrCheckpointMismatch):
+		fmt.Fprintf(os.Stderr, "compdiff-fuzz: %v\n", err)
+		os.Exit(2)
+		return nil, nil // unreachable
+	default:
+		return nil, err
 	}
 }
 

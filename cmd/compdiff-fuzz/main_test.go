@@ -28,6 +28,12 @@ func TestValidateFlags(t *testing.T) {
 		{"sharded-explicit-sync", func(c *cliConfig) { c.shards = 8; c.sync = 500; c.syncSet = true }, ""},
 		{"list-skips-checks", func(c *cliConfig) { *c = cliConfig{list: true} }, ""},
 		{"stats-every", func(c *cliConfig) { c.statsEvery = 1000 }, ""},
+		{"checkpoint", func(c *cliConfig) { c.checkpoint = "ckpt" }, ""},
+		{"checkpoint-every", func(c *cliConfig) { c.checkpoint = "ckpt"; c.ckptEvery = 4 }, ""},
+		{"checkpoint-resume", func(c *cliConfig) { c.checkpoint = "ckpt"; c.resume = true }, ""},
+		// -checkpoint-every 0 means "every barrier" and is the default,
+		// so it must pass even without -checkpoint.
+		{"default-checkpoint-every", func(c *cliConfig) { c.ckptEvery = 0 }, ""},
 
 		{"no-input", func(c *cliConfig) { c.target = "" }, "need -target or -src"},
 		{"both-inputs", func(c *cliConfig) { c.src = "p.mc" }, "mutually exclusive"},
@@ -48,6 +54,12 @@ func TestValidateFlags(t *testing.T) {
 		{"explicit-sync-zero-solo", func(c *cliConfig) { c.sync = 0; c.syncSet = true }, ""},
 		{"negative-stats-every", func(c *cliConfig) { c.statsEvery = -5 }, "-stats-every -5"},
 		{"bad-san", func(c *cliConfig) { c.san = "tsan" }, `-san "tsan"`},
+		{"negative-checkpoint-every", func(c *cliConfig) { c.checkpoint = "ckpt"; c.ckptEvery = -3 },
+			"-checkpoint-every -3"},
+		{"checkpoint-every-without-dir", func(c *cliConfig) { c.ckptEvery = 4 },
+			"-checkpoint-every needs -checkpoint"},
+		{"resume-without-dir", func(c *cliConfig) { c.resume = true },
+			"-resume needs -checkpoint"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

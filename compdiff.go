@@ -37,6 +37,7 @@ package compdiff
 import (
 	"io"
 
+	"compdiff/internal/checkpoint"
 	"compdiff/internal/compiler"
 	"compdiff/internal/core"
 	"compdiff/internal/difffuzz"
@@ -144,10 +145,43 @@ func NewCampaign(src string, seeds [][]byte, opts CampaignOptions) (*Campaign, e
 // instances with distinct RNG seeds derived from opts.FuzzSeed,
 // synchronized every opts.SyncEvery executions. With Shards <= 1 the
 // pool degenerates to (and byte-identically reproduces) a single
-// Campaign.
+// Campaign. With opts.CheckpointDir set, the pool writes a crash-safe
+// snapshot at its synchronization barriers; ResumeCampaignPool picks
+// a killed campaign back up from the latest one.
 func NewCampaignPool(src string, seeds [][]byte, opts CampaignOptions) (*CampaignPool, error) {
 	return difffuzz.NewPool(src, seeds, opts)
 }
+
+// ResumeCampaignPool rebuilds a sharded campaign from the checkpoint
+// in opts.CheckpointDir. The source, seeds, and determinism-relevant
+// options must match the checkpointed campaign exactly
+// (ErrCheckpointMismatch otherwise); a campaign checkpointed after N
+// executions and resumed for N more finds the same unique-signature
+// and bucket-key sets as an uninterrupted 2N-execution run. Errors:
+// ErrNoCheckpoint (nothing to resume), ErrCheckpointMismatch (options
+// differ), ErrCheckpointCorrupt (damaged files).
+func ResumeCampaignPool(src string, seeds [][]byte, opts CampaignOptions) (*CampaignPool, error) {
+	return difffuzz.ResumePool(src, seeds, opts)
+}
+
+// CampaignHash fingerprints the determinism-relevant campaign inputs
+// (source, seed corpus, options); checkpoints only resume into a
+// campaign with a matching hash.
+func CampaignHash(src string, seeds [][]byte, opts CampaignOptions) uint64 {
+	return difffuzz.CampaignHash(src, seeds, opts)
+}
+
+// Checkpoint/resume error classes (match with errors.Is).
+var (
+	// ErrNoCheckpoint reports that the checkpoint directory holds no
+	// checkpoint — typically a cue to start fresh.
+	ErrNoCheckpoint = checkpoint.ErrNoCheckpoint
+	// ErrCheckpointCorrupt reports a damaged or truncated checkpoint.
+	ErrCheckpointCorrupt = checkpoint.ErrCorrupt
+	// ErrCheckpointMismatch reports a checkpoint written by a campaign
+	// with different source, seeds, or options.
+	ErrCheckpointMismatch = checkpoint.ErrMismatch
+)
 
 // DefaultNormalizer filters the non-determinism classes the paper's
 // RQ5 encountered (clock timestamps, printed pointers).

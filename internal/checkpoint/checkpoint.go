@@ -1,0 +1,385 @@
+// Package checkpoint makes long fuzzing campaigns durable: it
+// serializes a campaign pool's complete state — per-shard fuzzer
+// queues and RNG cursors, the shared DiffStore and triage BucketStore,
+// telemetry counters, and a hash of the campaign options — into a
+// versioned on-disk snapshot that survives SIGKILL at any instant.
+//
+// Crash safety comes from the classic write-ahead protocol:
+//
+//  1. the state file is written to a temp name, fsynced, and
+//     atomically renamed into place;
+//  2. only then is MANIFEST.json (which names the state file and pins
+//     its size and checksum) itself written via the same
+//     temp+fsync+rename dance;
+//  3. only after the new manifest is durable are older state files
+//     garbage-collected.
+//
+// A kill between any two steps leaves either the previous checkpoint
+// (manifest still points at the old, still-present state file) or the
+// new one — never a torn mix. Load verifies the manifest's size and
+// MurmurHash3 checksum against the state file before decoding, so
+// truncation or bit rot is detected as ErrCorrupt rather than
+// mis-loaded.
+//
+// The snapshot is taken at a pool synchronization barrier, which is
+// the one moment a sharded campaign is single-threaded and its shard
+// stores, shared stores, and counters are mutually consistent — the
+// same reasoning that makes barriers the merge point (DESIGN §8.2)
+// makes them the consistency point here.
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"compdiff/internal/core"
+	"compdiff/internal/fuzz"
+	"compdiff/internal/hash"
+	"compdiff/internal/telemetry"
+	"compdiff/internal/triage"
+)
+
+// Version is the snapshot schema version. Load rejects any other.
+const Version = 1
+
+const (
+	manifestName = "MANIFEST.json"
+	statePrefix  = "state-"
+	stateSuffix  = ".ckpt"
+)
+
+var (
+	// ErrNoCheckpoint reports that the directory holds no manifest —
+	// callers typically fall back to a fresh start.
+	ErrNoCheckpoint = errors.New("checkpoint: no checkpoint found")
+	// ErrCorrupt reports a manifest or state file that is unreadable,
+	// truncated, or fails its checksum. Never returned for a merely
+	// absent checkpoint.
+	ErrCorrupt = errors.New("checkpoint: corrupt or truncated checkpoint")
+	// ErrMismatch reports a checkpoint whose campaign options hash does
+	// not match the resuming campaign — a user error (exit 2 in the
+	// CLI), not a corruption.
+	ErrMismatch = errors.New("checkpoint: campaign options do not match checkpoint")
+	// ErrInjectedFault is returned by Save when a test-injected fault
+	// budget runs out, simulating a SIGKILL mid-save.
+	ErrInjectedFault = errors.New("checkpoint: injected fault (simulated kill)")
+)
+
+// State is one complete campaign snapshot. Every field round-trips
+// through JSON exactly (slices in deterministic order, no maps), so
+// save → load → save is byte-identical — the property the round-trip
+// test pins.
+type State struct {
+	Version     int    `json:"version"`
+	OptionsHash uint64 `json:"options_hash"`
+	// SpentExecs is the cumulative per-shard execution budget consumed
+	// across all Run calls so far.
+	SpentExecs int64 `json:"spent_execs"`
+	// PersistErrors is the pool-level count of DiffStore persistence
+	// failures (satellite telemetry, carried across resume).
+	PersistErrors int64        `json:"persist_errors,omitempty"`
+	Shards        []ShardState `json:"shards"`
+	// Diffs and DiffTotal mirror the shared pool DiffStore: unique
+	// discrepancies in discovery order, with full outcomes so resumed
+	// campaigns can still render reports.
+	Diffs     []*core.StoredDiff `json:"diffs"`
+	DiffTotal int                `json:"diff_total"`
+	// Buckets and BucketTotal mirror the pool triage BucketStore.
+	Buckets     []triage.BucketSnapshot `json:"buckets"`
+	BucketTotal int                     `json:"bucket_total"`
+}
+
+// ShardState is one shard's slice of the snapshot.
+type ShardState struct {
+	Index int  `json:"index"`
+	Dead  bool `json:"dead,omitempty"`
+	// Fuzzer is the shard's complete fuzzer state (queue, coverage,
+	// RNG cursors).
+	Fuzzer *fuzz.State `json:"fuzzer"`
+	// QueueSeen lists the queue-entry hashes this shard has already
+	// cross-pollinated to its siblings, sorted.
+	QueueSeen []uint64 `json:"queue_seen,omitempty"`
+	DiffExecs int64    `json:"diff_execs"`
+	// PersistErrors is the shard campaign's DiffStore error count.
+	PersistErrors int64 `json:"persist_errors,omitempty"`
+	// Diffs/DiffTotal are the shard-local store in skeleton form
+	// (signatures and counts, no outcomes): enough to keep dedup
+	// freshness and barrier recounts exact across a resume.
+	Diffs     []*core.StoredDiff `json:"shard_diffs,omitempty"`
+	DiffTotal int                `json:"shard_diff_total"`
+	// Buckets/BucketTotal are the shard-local triage store, likewise
+	// skeletal.
+	Buckets     []triage.BucketSnapshot `json:"shard_buckets,omitempty"`
+	BucketTotal int                     `json:"shard_bucket_total"`
+	// Metrics is nil when the campaign ran without telemetry.
+	Metrics *MetricsState `json:"metrics,omitempty"`
+}
+
+// MetricsState is one shard's telemetry counters.
+type MetricsState struct {
+	Execs     int64                               `json:"execs"`
+	DiffExecs int64                               `json:"diff_execs"`
+	Classes   [telemetry.NumClasses]int64         `json:"classes"`
+	Impls     []telemetry.ImplSummary             `json:"impls,omitempty"`
+}
+
+// Manifest points at the current state file and pins its integrity.
+type Manifest struct {
+	Version     int    `json:"version"`
+	OptionsHash uint64 `json:"options_hash"`
+	Seq         int    `json:"seq"`
+	StateFile   string `json:"state_file"`
+	StateSize   int64  `json:"state_size"`
+	// StateSum is the MurmurHash3-128 of the state file bytes, hex.
+	StateSum   string `json:"state_sum"`
+	SpentExecs int64  `json:"spent_execs"`
+	Shards     int    `json:"shards"`
+}
+
+// Exists reports whether dir holds a checkpoint manifest (readable or
+// not) — the guard a fresh campaign uses to refuse clobbering one.
+func Exists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}
+
+// fault is the test seam that simulates a SIGKILL mid-save: each file
+// operation spends one unit of budget (writes may also stop halfway),
+// and once the budget is gone every subsequent operation fails — as
+// after a real kill, nothing later in the protocol runs.
+type fault struct {
+	budget  int
+	tripped bool
+}
+
+// Saver writes snapshots into one directory with increasing sequence
+// numbers. Not safe for concurrent use; the pool calls it only at
+// barriers.
+type Saver struct {
+	dir   string
+	seq   int
+	fault *fault
+}
+
+// NewSaver prepares dir for checkpointing. If a manifest already
+// exists, the sequence continues after it (the resume path); callers
+// that want to refuse an existing checkpoint should consult Exists
+// first.
+func NewSaver(dir string) (*Saver, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("checkpoint: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	s := &Saver{dir: dir}
+	if man, err := loadManifest(dir); err == nil {
+		s.seq = man.Seq
+	}
+	return s, nil
+}
+
+// Seq returns the sequence number of the last successful Save (or of
+// the manifest the saver resumed after).
+func (s *Saver) Seq() int { return s.seq }
+
+// InjectFault arms the test seam: the next Save fails — leaving
+// whatever partial files a kill would leave — once ops file
+// operations have been spent. All Saves after the trip fail too.
+func (s *Saver) InjectFault(ops int) { s.fault = &fault{budget: ops} }
+
+// op spends one unit of fault budget; once spent, the saver behaves
+// as a killed process: nothing further succeeds.
+func (s *Saver) op() error {
+	if s.fault == nil {
+		return nil
+	}
+	if s.fault.tripped || s.fault.budget <= 0 {
+		s.fault.tripped = true
+		return ErrInjectedFault
+	}
+	s.fault.budget--
+	return nil
+}
+
+// Save writes st as the next checkpoint. On any error (including an
+// injected kill) the previous checkpoint remains loadable; the new
+// one becomes visible only when its manifest rename completes.
+func (s *Saver) Save(st *State) error {
+	st.Version = Version
+	data, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	seq := s.seq + 1
+	stateFile := fmt.Sprintf("%s%06d%s", statePrefix, seq, stateSuffix)
+	if err := s.writeDurable(stateFile, data); err != nil {
+		return err
+	}
+	man := Manifest{
+		Version:     Version,
+		OptionsHash: st.OptionsHash,
+		Seq:         seq,
+		StateFile:   stateFile,
+		StateSize:   int64(len(data)),
+		StateSum:    sumHex(data),
+		SpentExecs:  st.SpentExecs,
+		Shards:      len(st.Shards),
+	}
+	mdata, err := json.Marshal(&man)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode manifest: %w", err)
+	}
+	if err := s.writeDurable(manifestName, mdata); err != nil {
+		return err
+	}
+	s.seq = seq
+	s.gc(stateFile)
+	return nil
+}
+
+// writeDurable is the torn-write-free primitive: write name.tmp, fsync
+// it, rename over name, fsync the directory. A kill at any point
+// leaves either the old name intact or the new content fully in
+// place; the .tmp leftovers are ignored by Load and collected by gc.
+func (s *Saver) writeDurable(name string, data []byte) error {
+	tmp := filepath.Join(s.dir, name+".tmp")
+	final := filepath.Join(s.dir, name)
+	if err := s.op(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if ferr := s.op(); ferr != nil {
+		// Simulated kill mid-write: leave a torn temp file behind,
+		// exactly what a real kill during write(2) can produce.
+		_, _ = f.Write(data[:len(data)/2])
+		f.Close()
+		return ferr
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if ferr := s.op(); ferr != nil {
+		f.Close()
+		return ferr
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := s.op(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := s.op(); err != nil {
+		return err
+	}
+	syncDir(s.dir)
+	return nil
+}
+
+// gc removes state files other than the one the durable manifest now
+// references, plus stale temp files. Failures are ignored: leftovers
+// are harmless and re-collected by the next successful save.
+func (s *Saver) gc(keep string) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == keep || name == manifestName {
+			continue
+		}
+		stale := strings.HasSuffix(name, ".tmp") ||
+			(strings.HasPrefix(name, statePrefix) && strings.HasSuffix(name, stateSuffix))
+		if !stale {
+			continue
+		}
+		if s.op() != nil {
+			return
+		}
+		_ = os.Remove(filepath.Join(s.dir, name))
+	}
+}
+
+// syncDir fsyncs a directory so a completed rename is durable. Best
+// effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+func sumHex(data []byte) string {
+	d := hash.New128(0x5afe)
+	d.Write(data)
+	h1, h2 := d.Sum128()
+	return fmt.Sprintf("%016x%016x", h1, h2)
+}
+
+func loadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNoCheckpoint
+		}
+		return nil, fmt.Errorf("%w: reading manifest: %v", ErrCorrupt, err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
+	}
+	if man.Version != Version {
+		return nil, fmt.Errorf("%w: manifest version %d, want %d", ErrCorrupt, man.Version, Version)
+	}
+	if man.StateFile == "" || man.StateFile != filepath.Base(man.StateFile) {
+		return nil, fmt.Errorf("%w: manifest names invalid state file %q", ErrCorrupt, man.StateFile)
+	}
+	return &man, nil
+}
+
+// Load reads and verifies the current checkpoint in dir. It returns
+// ErrNoCheckpoint when no manifest exists, and ErrCorrupt (wrapped
+// with detail) when the manifest or state file is damaged — never a
+// partially-decoded state.
+func Load(dir string) (*State, *Manifest, error) {
+	man, err := loadManifest(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(dir, man.StateFile))
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: state file %s: %v", ErrCorrupt, man.StateFile, err)
+	}
+	if int64(len(data)) != man.StateSize {
+		return nil, nil, fmt.Errorf("%w: state file %s is %d bytes, manifest pins %d",
+			ErrCorrupt, man.StateFile, len(data), man.StateSize)
+	}
+	if sum := sumHex(data); sum != man.StateSum {
+		return nil, nil, fmt.Errorf("%w: state file %s checksum %s, manifest pins %s",
+			ErrCorrupt, man.StateFile, sum, man.StateSum)
+	}
+	var st State
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, nil, fmt.Errorf("%w: state decode: %v", ErrCorrupt, err)
+	}
+	if st.Version != man.Version || st.OptionsHash != man.OptionsHash || len(st.Shards) != man.Shards {
+		return nil, nil, fmt.Errorf("%w: state/manifest disagree", ErrCorrupt)
+	}
+	return &st, man, nil
+}

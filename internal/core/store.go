@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -60,16 +62,46 @@ func (st *DiffStore) addLocked(o *Outcome, count int) (bool, error) {
 	st.bySig[sig] = &StoredDiff{Signature: sig, Outcome: o, Count: count}
 	st.sigOrder = append(st.sigOrder, sig)
 	if st.dir != "" {
-		dir := filepath.Join(st.dir, "diffs")
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return true, err
-		}
-		name := filepath.Join(dir, fmt.Sprintf("id_%06d_sig_%016x", len(st.sigOrder), sig))
-		if err := os.WriteFile(name, o.Input, 0o644); err != nil {
+		if err := st.persistLocked(o.Input, sig); err != nil {
 			return true, err
 		}
 	}
 	return true, nil
+}
+
+// persistLocked writes a representative input to <dir>/diffs/. File
+// names are derived from this store's discovery index, so a new
+// process pointed at an existing DiffDir would regenerate names an
+// earlier run already used; O_EXCL turns that silent overwrite into a
+// detectable collision, which we resolve by suffixing a run-local
+// retry counter (the previous run's representative stays intact). A
+// collision on every candidate name skips persistence for this entry
+// rather than destroying older evidence.
+func (st *DiffStore) persistLocked(input []byte, sig uint64) error {
+	dir := filepath.Join(st.dir, "diffs")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	base := fmt.Sprintf("id_%06d_sig_%016x", len(st.sigOrder), sig)
+	for try := 0; try <= 8; try++ {
+		name := base
+		if try > 0 {
+			name = fmt.Sprintf("%s_r%d", base, try)
+		}
+		f, err := os.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if errors.Is(err, fs.ErrExist) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(input); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
 }
 
 // Absorb merges stored discrepancies (typically a shard-local store's
@@ -164,6 +196,23 @@ func (st *DiffStore) Total() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return st.total
+}
+
+// RestoreDiffStore rebuilds a store from checkpointed entries without
+// re-persisting them (the inputs already live on disk from the run
+// that wrote the checkpoint). Entries keep their discovery order;
+// entries may carry nil Outcomes when the checkpoint stored only a
+// skeleton (shard-local stores), which keeps dedup and recount
+// behavior exact while shedding the input bytes.
+func RestoreDiffStore(dir string, diffs []*StoredDiff, total int) *DiffStore {
+	st := NewDiffStore(dir)
+	for _, d := range diffs {
+		cp := *d
+		st.bySig[cp.Signature] = &cp
+		st.sigOrder = append(st.sigOrder, cp.Signature)
+	}
+	st.total = total
+	return st
 }
 
 // Report renders a human-readable bug report for one discrepancy,

@@ -4,6 +4,8 @@ package core
 // rune-safety of report truncation.
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"unicode/utf8"
@@ -65,6 +67,90 @@ func TestDiffStoreBarrierPathStaleCursor(t *testing.T) {
 	}
 	if shared.Len() != 1 || shared.Total() != 1 {
 		t.Fatalf("shared store corrupted: len=%d total=%d", shared.Len(), shared.Total())
+	}
+}
+
+// TestDiffStorePersistNoOverwrite: two stores over one DiffDir — a
+// second process pointed at the evidence directory of an earlier run —
+// must not silently overwrite the earlier run's representative inputs.
+// File names derive from each store's own discovery index, so the
+// second store regenerates the first store's names; O_EXCL turns that
+// into a collision resolved by suffixing.
+func TestDiffStorePersistNoOverwrite(t *testing.T) {
+	s := build(t, listing1Src)
+	dir := t.TempDir()
+	divergeA := []byte{0xff, 0xff, 0xff, 0x7f, 0x01, 0, 0, 0}
+	divergeB := []byte{0xff, 0xff, 0xff, 0x7f, 0x02, 0, 0, 0}
+
+	st1 := NewDiffStore(dir)
+	oA := s.Run(divergeA)
+	if fresh, err := st1.Add(oA); err != nil || !fresh {
+		t.Fatalf("first add: fresh=%v err=%v", fresh, err)
+	}
+
+	// A new process over the same directory: same discovery index, and
+	// — because the signature is input-independent — the same file
+	// name. The second outcome reuses the first's divergence shape with
+	// a different representative input, the way a re-run finds the same
+	// bug through a different mutant.
+	st2 := NewDiffStore(dir)
+	oB := *oA
+	oB.Input = divergeB
+	if oB.Signature() != oA.Signature() {
+		t.Fatalf("signature became input-dependent (%016x vs %016x)", oA.Signature(), oB.Signature())
+	}
+	if fresh, err := st2.Add(&oB); err != nil || !fresh {
+		t.Fatalf("second add: fresh=%v err=%v", fresh, err)
+	}
+
+	entries, err := os.ReadDir(filepath.Join(dir, "diffs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("diffs/ holds %v, want the original plus a suffixed file", names)
+	}
+	// The first run's evidence must be intact, byte for byte.
+	base := entries[0].Name()
+	got, err := os.ReadFile(filepath.Join(dir, "diffs", base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(divergeA) {
+		t.Fatalf("original evidence file %s overwritten: %q", base, got)
+	}
+	suffixed, err := os.ReadFile(filepath.Join(dir, "diffs", entries[1].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(suffixed) != string(divergeB) {
+		t.Fatalf("suffixed file %s holds %q", entries[1].Name(), suffixed)
+	}
+}
+
+// TestDiffStorePersistErrorReturned: an unexpected filesystem failure
+// (here: the diffs/ path is occupied by a regular file) must surface
+// to the caller, not be swallowed — the campaign layers count it.
+func TestDiffStorePersistErrorReturned(t *testing.T) {
+	s := build(t, listing1Src)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "diffs"), []byte("in the way"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st := NewDiffStore(dir)
+	fresh, err := st.Add(s.Run([]byte{0xff, 0xff, 0xff, 0x7f, 0x01, 0, 0, 0}))
+	if err == nil {
+		t.Fatal("persistence failure was swallowed")
+	}
+	if !fresh {
+		t.Fatal("in-memory record must survive a persistence failure")
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store len = %d", st.Len())
 	}
 }
 

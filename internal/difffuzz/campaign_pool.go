@@ -24,11 +24,13 @@ package difffuzz
 import (
 	"context"
 	"fmt"
+	"log"
 	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"compdiff/internal/checkpoint"
 	"compdiff/internal/core"
 	"compdiff/internal/fuzz"
 	"compdiff/internal/minic/parser"
@@ -58,6 +60,25 @@ type Pool struct {
 	// epochHook, when set, runs at the start of every shard epoch
 	// inside the panic-recovery scope. Tests use it to wedge a shard.
 	epochHook func(shardIndex int)
+
+	// saver is nil unless Options ask for checkpointing. Snapshots are
+	// taken at barriers — the only single-threaded moment — every
+	// ckptEvery barriers and once more when Run returns.
+	saver     *checkpoint.Saver
+	ckptEvery int64
+	sinceCkpt int64
+	// optionsHash guards resume: a checkpoint only loads into a pool
+	// whose CampaignHash matches.
+	optionsHash uint64
+	// spentTotal accumulates the per-shard budget across Run calls
+	// (restored on resume, so it spans process lifetimes).
+	spentTotal int64
+	// persistErrs counts shared-store persistence failures observed at
+	// barriers; persistLogged / ckptLogged keep the logs to one line
+	// per failure kind per campaign.
+	persistErrs   int64
+	persistLogged bool
+	ckptLogged    bool
 }
 
 // shard is one fuzzer instance plus its synchronization bookkeeping.
@@ -91,6 +112,13 @@ type PoolStats struct {
 	// ShardErrors has one entry per shard; non-nil marks a shard that
 	// panicked and was retired. The campaign itself keeps running.
 	ShardErrors []error
+	// PersistErrors counts DiffStore persistence failures (shared store
+	// and shards). Non-zero means the campaign completed but DiffDir is
+	// missing evidence files.
+	PersistErrors int64
+	// SpentExecs is the cumulative per-shard budget across Run calls,
+	// including runs before a resume.
+	SpentExecs int64
 }
 
 // NewPool parses and checks src once, then builds opts.Shards
@@ -106,6 +134,11 @@ func NewPool(src string, seeds [][]byte, opts Options) (*Pool, error) {
 	if err != nil {
 		return nil, fmt.Errorf("difffuzz: check: %w", err)
 	}
+	if opts.CheckpointDir != "" {
+		// Only the source-level constructor can compute the hash that
+		// guards resume (NewPoolChecked never sees the source text).
+		opts.ckptHash = CampaignHash(src, seeds, opts)
+	}
 	return NewPoolChecked(info, seeds, opts)
 }
 
@@ -119,6 +152,24 @@ func NewPoolChecked(info *sema.Info, seeds [][]byte, opts Options) (*Pool, error
 		opts:    opts,
 		store:   core.NewDiffStore(opts.DiffDir),
 		buckets: triage.NewBucketStore(),
+	}
+	if opts.CheckpointDir != "" {
+		if opts.ckptHash == 0 {
+			return nil, fmt.Errorf("difffuzz: checkpointing requires NewPool or ResumePool (the source-level constructors)")
+		}
+		if !opts.resume && checkpoint.Exists(opts.CheckpointDir) {
+			return nil, fmt.Errorf("difffuzz: %s already holds a checkpoint; resume it or pick a fresh directory", opts.CheckpointDir)
+		}
+		saver, err := checkpoint.NewSaver(opts.CheckpointDir)
+		if err != nil {
+			return nil, fmt.Errorf("difffuzz: %w", err)
+		}
+		p.saver = saver
+		p.optionsHash = opts.ckptHash
+		p.ckptEvery = opts.CheckpointEvery
+		if p.ckptEvery <= 0 {
+			p.ckptEvery = 1
+		}
 	}
 	if opts.statsEnabled() {
 		rec, err := telemetry.NewRecorder(opts.StatsDir)
@@ -182,7 +233,16 @@ func (p *Pool) Run(ctx context.Context, budget int64) PoolStats {
 	if chunk <= 0 {
 		chunk = budget / 8
 	}
-	if chunk < 1 || len(p.shards) == 1 {
+	if len(p.shards) == 1 && p.saver == nil {
+		// A single shard needs no barriers, so the whole budget runs in
+		// one chunk — keeping Shards=1 byte-identical to a plain
+		// Campaign. With checkpointing on, barriers are the snapshot
+		// points, so the shard chunks like a multi-shard pool; fresh
+		// and resumed runs then share the same chunking, which is what
+		// makes resume execution-equivalent.
+		chunk = budget
+	}
+	if chunk < 1 {
 		chunk = budget
 	}
 	var spent int64
@@ -215,15 +275,52 @@ func (p *Pool) Run(ctx context.Context, budget int64) PoolStats {
 		}
 		wg.Wait()
 		spent += step
+		p.spentTotal += step
 		p.synchronize()
 		if p.recorder != nil {
 			p.recorder.Record(p.snapshot())
+		}
+		if p.saver != nil {
+			p.sinceCkpt++
+			if p.sinceCkpt >= p.ckptEvery {
+				p.saveCheckpoint()
+			}
 		}
 		if p.liveShards() == 0 {
 			break
 		}
 	}
+	// A checkpoint-due barrier may not have been the last one (or the
+	// budget may not divide evenly); make the final state durable so a
+	// follow-up resume loses nothing.
+	if p.saver != nil && p.sinceCkpt > 0 {
+		p.saveCheckpoint()
+	}
+	if ctx.Err() != nil {
+		// Cancellation ends the campaign mid-budget: emit a final
+		// snapshot reflecting the merged post-barrier state and flush
+		// the plot file, so the telemetry tail is not lost if the
+		// process exits without calling Close.
+		if p.recorder != nil {
+			p.recorder.Record(p.snapshot())
+			_ = p.recorder.Sync()
+			_ = p.recorder.Close()
+		}
+	}
 	return p.Stats()
+}
+
+// saveCheckpoint snapshots the pool at a barrier. Save failures never
+// stop the campaign — the previous checkpoint (if any) stays loadable
+// — but the first one is logged.
+func (p *Pool) saveCheckpoint() {
+	p.sinceCkpt = 0
+	if err := p.saver.Save(p.exportState()); err != nil {
+		if !p.ckptLogged {
+			log.Printf("difffuzz: checkpoint save failed (campaign continues on the previous checkpoint): %v", err)
+			p.ckptLogged = true
+		}
+	}
 }
 
 // snapshot aggregates the shard counters into one pool-wide progress
@@ -270,10 +367,21 @@ func (p *Pool) snapshot() telemetry.Snapshot {
 	s.TotalDiffInputs = p.store.Total()
 	s.UniqueBuckets = p.buckets.Len()
 	s.UniqueCrashes = len(crashes)
+	s.PersistErrors = p.persistErrors()
 	if plateau > 0 {
 		s.PlateauExecs = plateau
 	}
 	return s
+}
+
+// persistErrors totals persistence failures across the shared store
+// and the shards. Called between epochs (barrier, Stats after Run).
+func (p *Pool) persistErrors() int64 {
+	n := p.persistErrs
+	for _, s := range p.shards {
+		n += atomic.LoadInt64(&s.c.persistErrs)
+	}
+	return n
 }
 
 func (p *Pool) liveShards() int {
@@ -296,9 +404,18 @@ func (p *Pool) synchronize() {
 	for _, s := range p.shards {
 		delta := s.c.diffs.Since(s.diffsSynced)
 		s.diffsSynced += len(delta)
-		// A persistence error must not stop the campaign; the
-		// in-memory merge always completes.
-		fresh, _ := p.store.Absorb(delta)
+		// A persistence error must not stop the campaign (the
+		// in-memory merge always completes), but dropping it on the
+		// floor hid incomplete DiffDir evidence from every report:
+		// count it and log the first occurrence.
+		fresh, err := p.store.Absorb(delta)
+		if err != nil {
+			p.persistErrs++
+			if !p.persistLogged {
+				log.Printf("difffuzz: diff persistence failed (campaign continues, on-disk evidence incomplete): %v", err)
+				p.persistLogged = true
+			}
+		}
 		for _, d := range fresh {
 			freshInputs = append(freshInputs, d.Outcome.Input)
 		}
@@ -379,6 +496,8 @@ func (p *Pool) Stats() PoolStats {
 	st.UniqueDiffs = p.store.Len()
 	st.TotalDiffInputs = p.store.Total()
 	st.UniqueBuckets = p.buckets.Len()
+	st.PersistErrors = p.persistErrors()
+	st.SpentExecs = p.spentTotal
 	return st
 }
 

@@ -10,6 +10,7 @@ package difffuzz
 
 import (
 	"fmt"
+	"log"
 	"sync/atomic"
 
 	"compdiff/internal/compiler"
@@ -86,10 +87,31 @@ type Options struct {
 	// for pools, the per-barrier snapshots).
 	StatsEvery int64
 
+	// CheckpointDir, when set, makes the pool write a crash-safe
+	// campaign snapshot (internal/checkpoint) at its synchronization
+	// barriers, so a killed campaign resumes via ResumePool with the
+	// findings and determinism of an uninterrupted run. Requires the
+	// source-level constructors (NewPool / ResumePool), which compute
+	// the options hash that guards against resuming under different
+	// settings. A single-shard pool with checkpointing runs in
+	// SyncEvery-sized chunks (it needs barriers to snapshot at), so
+	// enable it on the fresh run too when comparing runs bit-for-bit.
+	CheckpointDir string
+	// CheckpointEvery is the number of synchronization barriers between
+	// snapshots; <= 0 means every barrier.
+	CheckpointEvery int64
+
 	// poolShard marks a campaign built as a pool shard: it keeps its
 	// counters but no recorder — the pool snapshots at barriers, where
 	// all shard goroutines have joined.
 	poolShard bool
+	// resume marks a pool being rebuilt over an existing checkpoint
+	// (set only by ResumePool); without it, NewPool refuses a
+	// CheckpointDir that already holds one.
+	resume bool
+	// ckptHash is the precomputed CampaignHash (set by NewPool before
+	// it delegates to NewPoolChecked).
+	ckptHash uint64
 }
 
 // statsEnabled reports whether any stats option asks for telemetry.
@@ -115,6 +137,12 @@ type Campaign struct {
 	// Updated atomically so pool-level progress reporting can read it
 	// while the shard runs.
 	DiffExecs int64
+
+	// persistErrs counts DiffStore persistence failures (disk-full,
+	// permission loss). The campaign keeps running on such errors, but
+	// they must not vanish: the count surfaces in snapshots, stats, and
+	// the CLI summary, and the first occurrence is logged.
+	persistErrs int64
 
 	// metrics is nil unless Options ask for stats; every instrumented
 	// branch on the hot path is a single nil check.
@@ -218,9 +246,13 @@ func NewChecked(info *sema.Info, seeds [][]byte, opts Options) (*Campaign, error
 			if o.Diverged {
 				fresh, err := c.diffs.Add(o)
 				if err != nil {
-					// Persistence failure must not kill the campaign;
-					// the in-memory record is kept regardless.
-					_ = err
+					// Persistence failure must not kill the campaign —
+					// the in-memory record is kept regardless — but it
+					// must not vanish either: the on-disk evidence is now
+					// incomplete, so count it and log the first one.
+					if atomic.AddInt64(&c.persistErrs, 1) == 1 {
+						log.Printf("difffuzz: diff persistence failed (campaign continues, on-disk evidence incomplete): %v", err)
+					}
 				}
 				c.buckets.Add(o)
 				// c.fuzzer is nil while the initial corpus is being
@@ -288,9 +320,17 @@ func (c *Campaign) snapshot() telemetry.Snapshot {
 		UniqueBuckets:   c.buckets.Len(),
 		UniqueCrashes:   st.UniqueCrashes,
 		PlateauExecs:    st.Execs - st.LastNewPath,
+		PersistErrors:   atomic.LoadInt64(&c.persistErrs),
 	}
 	s.SetClasses(m.Classes.Snapshot())
 	return s
+}
+
+// PersistErrors is the number of DiffStore persistence failures so
+// far. Non-zero means the campaign ran to completion but dir-backed
+// evidence is incomplete.
+func (c *Campaign) PersistErrors() int64 {
+	return atomic.LoadInt64(&c.persistErrs)
 }
 
 // Metrics returns the campaign's live counters, or nil when stats are

@@ -1,0 +1,210 @@
+package difffuzz
+
+// Checkpoint/resume wiring for the sharded campaign pool. The pool
+// snapshots at synchronization barriers — the single-threaded moment
+// when shard stores, the shared stores, and the telemetry counters are
+// mutually consistent — and ResumePool rebuilds an equivalent pool: a
+// campaign checkpointed after N executions and resumed for N more
+// finds exactly the unique-signature and bucket-key sets an
+// uninterrupted 2N-execution campaign finds.
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"compdiff/internal/checkpoint"
+	"compdiff/internal/compiler"
+	"compdiff/internal/core"
+	"compdiff/internal/hash"
+	"compdiff/internal/triage"
+)
+
+// CampaignHash fingerprints everything that determines a campaign's
+// behavior: the source, the seed corpus, and the determinism-relevant
+// options. Resuming demands an exact match — a checkpoint replayed
+// under different settings would silently diverge from both the
+// original and a fresh run. Deliberately excluded: Parallelism
+// (scheduling only), DiffDir and the Stats/Checkpoint knobs
+// (observability only) — a campaign may legitimately resume with more
+// workers or a different stats directory.
+func CampaignHash(src string, seeds [][]byte, opts Options) uint64 {
+	d := hash.New128(0xca3b)
+	cfgs := opts.Configs
+	if len(cfgs) == 0 {
+		cfgs = compiler.DefaultSet()
+	}
+	for _, cfg := range cfgs {
+		fmt.Fprintf(d, "cfg:%s\n", cfg.Name())
+	}
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	fmt.Fprintf(d, "seed:%d step:%d maxlen:%d san:%d skipdet:%t divfb:%t shards:%d sync:%d norm:%t\n",
+		opts.FuzzSeed, opts.StepLimit, opts.MaxInputLen, opts.Sanitizer,
+		opts.SkipDeterministic, opts.DivergenceFeedback, shards, opts.SyncEvery,
+		opts.Normalizer != nil)
+	fmt.Fprintf(d, "src:%d:%s", len(src), src)
+	for _, s := range seeds {
+		fmt.Fprintf(d, "corpus:%d:", len(s))
+		d.Write(s)
+	}
+	h1, _ := d.Sum128()
+	return h1
+}
+
+// ResumePool rebuilds a pool from the checkpoint in
+// opts.CheckpointDir and restores its state, ready for further Run
+// calls. Errors are classified for callers: checkpoint.ErrNoCheckpoint
+// (nothing to resume — start fresh), checkpoint.ErrMismatch (the
+// campaign options differ from the checkpointed ones — a user error),
+// and checkpoint.ErrCorrupt (damaged files).
+func ResumePool(src string, seeds [][]byte, opts Options) (*Pool, error) {
+	if opts.CheckpointDir == "" {
+		return nil, fmt.Errorf("difffuzz: resume requires CheckpointDir")
+	}
+	st, _, err := checkpoint.Load(opts.CheckpointDir)
+	if err != nil {
+		return nil, err
+	}
+	h := CampaignHash(src, seeds, opts)
+	if st.OptionsHash != h {
+		return nil, fmt.Errorf("%w: checkpoint options hash %016x, this campaign hashes to %016x (same source, seeds, and campaign options required)",
+			checkpoint.ErrMismatch, st.OptionsHash, h)
+	}
+	opts.resume = true
+	p, err := NewPool(src, seeds, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.restore(st); err != nil {
+		p.Close()
+		return nil, fmt.Errorf("%w: %v", checkpoint.ErrCorrupt, err)
+	}
+	return p, nil
+}
+
+// SpentExecs is the cumulative per-shard execution budget consumed
+// across all Run calls, including runs before a resume.
+func (p *Pool) SpentExecs() int64 { return p.spentTotal }
+
+// CheckpointSeq is the sequence number of the last durable checkpoint
+// (0 when checkpointing is off or nothing has been saved).
+func (p *Pool) CheckpointSeq() int {
+	if p.saver == nil {
+		return 0
+	}
+	return p.saver.Seq()
+}
+
+// exportState assembles the pool's complete snapshot. Called only at
+// barriers (and after Run), when no shard goroutine is running.
+func (p *Pool) exportState() *checkpoint.State {
+	st := &checkpoint.State{
+		Version:       checkpoint.Version,
+		OptionsHash:   p.optionsHash,
+		SpentExecs:    p.spentTotal,
+		PersistErrors: p.persistErrs,
+	}
+	for si, s := range p.shards {
+		ss := checkpoint.ShardState{
+			Index:         si,
+			Dead:          s.dead,
+			Fuzzer:        s.c.fuzzer.ExportState(),
+			DiffExecs:     atomic.LoadInt64(&s.c.DiffExecs),
+			PersistErrors: atomic.LoadInt64(&s.c.persistErrs),
+		}
+		ss.QueueSeen = make([]uint64, 0, len(s.queueSeen))
+		for h := range s.queueSeen {
+			ss.QueueSeen = append(ss.QueueSeen, h)
+		}
+		sort.Slice(ss.QueueSeen, func(i, j int) bool { return ss.QueueSeen[i] < ss.QueueSeen[j] })
+		// Shard-local stores travel as skeletons: signatures and counts
+		// keep dedup freshness and barrier recounts exact after a
+		// resume, while the representative outcomes (which the shared
+		// store already carries for every pool-wide-fresh signature)
+		// are shed.
+		for _, d := range s.c.diffs.Unique() {
+			ss.Diffs = append(ss.Diffs, &core.StoredDiff{Signature: d.Signature, Count: d.Count})
+		}
+		ss.DiffTotal = s.c.diffs.Total()
+		snaps, btotal := s.c.buckets.Export()
+		for i := range snaps {
+			snaps[i].Outcome = nil
+		}
+		ss.Buckets = snaps
+		ss.BucketTotal = btotal
+		if m := s.c.metrics; m != nil {
+			ss.Metrics = &checkpoint.MetricsState{
+				Execs:     m.Execs.Load(),
+				DiffExecs: m.DiffExecs.Load(),
+				Classes:   m.Classes.Snapshot(),
+				Impls:     m.Suite.Summaries(),
+			}
+		}
+		st.Shards = append(st.Shards, ss)
+	}
+	st.Diffs = p.store.Unique()
+	st.DiffTotal = p.store.Total()
+	st.Buckets, st.BucketTotal = p.buckets.Export()
+	return st
+}
+
+// restore overwrites the pool's state with a loaded checkpoint. The
+// pool must have been built from the same (source, seeds, options) —
+// ResumePool enforces that via CampaignHash before calling.
+func (p *Pool) restore(st *checkpoint.State) error {
+	if len(st.Shards) != len(p.shards) {
+		return fmt.Errorf("difffuzz: checkpoint has %d shards, pool has %d", len(st.Shards), len(p.shards))
+	}
+	// The shared stores are replaced wholesale; the DiffDir files from
+	// the original run are already on disk, so the restored store does
+	// not rewrite them (and O_EXCL keeps any name collisions from new
+	// findings non-destructive).
+	p.store = core.RestoreDiffStore(p.opts.DiffDir, st.Diffs, st.DiffTotal)
+	p.buckets = triage.RestoreBucketStore(st.Buckets, st.BucketTotal)
+	p.spentTotal = st.SpentExecs
+	p.persistErrs = st.PersistErrors
+	for i, s := range p.shards {
+		ss := &st.Shards[i]
+		if ss.Index != i {
+			return fmt.Errorf("difffuzz: checkpoint shard %d carries index %d", i, ss.Index)
+		}
+		if err := s.c.restoreShard(ss); err != nil {
+			return fmt.Errorf("difffuzz: shard %d: %w", i, err)
+		}
+		s.dead = ss.Dead
+		// Barrier cursors always equal the store lengths at a barrier,
+		// which is when the snapshot was taken.
+		s.diffsSynced = len(ss.Diffs)
+		s.bucketsSynced = len(ss.Buckets)
+		s.queueSeen = make(map[uint64]bool, len(ss.QueueSeen))
+		for _, h := range ss.QueueSeen {
+			s.queueSeen[h] = true
+		}
+	}
+	return nil
+}
+
+// restoreShard overwrites one shard campaign's state. Whatever seed
+// ingestion the constructor performed is discarded: the fuzzer restore
+// replaces the queue, the stores are replaced, and the counters are
+// overwritten with checkpointed values (which already include the
+// original run's construction-time ingestion).
+func (c *Campaign) restoreShard(ss *checkpoint.ShardState) error {
+	if err := c.fuzzer.RestoreState(ss.Fuzzer); err != nil {
+		return err
+	}
+	c.diffs = core.RestoreDiffStore("", ss.Diffs, ss.DiffTotal)
+	c.buckets = triage.RestoreBucketStore(ss.Buckets, ss.BucketTotal)
+	atomic.StoreInt64(&c.DiffExecs, ss.DiffExecs)
+	atomic.StoreInt64(&c.persistErrs, ss.PersistErrors)
+	if m := c.metrics; m != nil && ss.Metrics != nil {
+		m.Execs.Store(ss.Metrics.Execs)
+		m.DiffExecs.Store(ss.Metrics.DiffExecs)
+		m.Classes.Store(ss.Metrics.Classes)
+		m.Suite.Restore(ss.Metrics.Impls)
+	}
+	return nil
+}

@@ -79,6 +79,7 @@ type Fuzzer struct {
 	opts   Options
 	mut    *Mutator
 	rng    *rand.Rand
+	rngCS  *countingSource // splice RNG stream cursor (checkpointing)
 	virgin []byte
 	queue  []*Seed
 	hashes map[uint64]bool
@@ -92,11 +93,13 @@ func New(exec Executor, seeds [][]byte, opts Options) *Fuzzer {
 	if opts.MaxInputLen <= 0 {
 		opts.MaxInputLen = 4096
 	}
+	cs := newCountingSource(opts.Seed ^ 0x5eed)
 	f := &Fuzzer{
 		exec:   exec,
 		opts:   opts,
 		mut:    NewMutator(opts.Seed, opts.MaxInputLen),
-		rng:    rand.New(rand.NewSource(opts.Seed ^ 0x5eed)),
+		rng:    rand.New(cs),
+		rngCS:  cs,
 		virgin: make([]byte, MapSize),
 		hashes: map[uint64]bool{},
 		crash:  map[uint64]*Crash{},

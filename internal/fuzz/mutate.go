@@ -10,10 +10,13 @@ var (
 )
 
 // Mutator produces mutated inputs. It owns a deterministic RNG so
-// campaigns are reproducible.
+// campaigns are reproducible; the RNG sits behind a counting source so
+// checkpoints can record and restore the exact stream position.
 type Mutator struct {
-	rng *rand.Rand
-	max int // maximum input length
+	rng  *rand.Rand
+	cs   *countingSource
+	seed int64
+	max  int // maximum input length
 }
 
 // NewMutator returns a mutator with the given seed and size cap.
@@ -21,8 +24,17 @@ func NewMutator(seed int64, maxLen int) *Mutator {
 	if maxLen <= 0 {
 		maxLen = 4096
 	}
-	return &Mutator{rng: rand.New(rand.NewSource(seed)), max: maxLen}
+	cs := newCountingSource(seed)
+	return &Mutator{rng: rand.New(cs), cs: cs, seed: seed, max: maxLen}
 }
+
+// Cursor returns the RNG stream position (underlying state advances
+// consumed so far) — the value Seek restores.
+func (mu *Mutator) Cursor() uint64 { return mu.cs.draws }
+
+// Seek rewinds the mutator's RNG to the given checkpointed cursor by
+// replaying the stream from the construction seed.
+func (mu *Mutator) Seek(n uint64) { mu.cs.seek(mu.seed, n) }
 
 // Deterministic runs the AFL-style deterministic stage over data,
 // invoking yield for each mutant. The stage is bounded to keep small

@@ -170,8 +170,12 @@ type Snapshot struct {
 	// PlateauExecs is the number of executions since the queue last
 	// grew (AFL's "last new path" age) — pools report the smallest
 	// per-shard value.
-	PlateauExecs int64           `json:"plateau_execs"`
-	Shards       []ShardSnapshot `json:"shards,omitempty"`
+	PlateauExecs int64 `json:"plateau_execs"`
+	// PersistErrors counts DiffStore persistence failures (disk-full,
+	// permission loss): the campaign keeps running, but the on-disk
+	// evidence is incomplete and reports should say so.
+	PersistErrors int64           `json:"persist_errors,omitempty"`
+	Shards        []ShardSnapshot `json:"shards,omitempty"`
 }
 
 // SetClasses fills the per-class fields from a ClassCounters snapshot.
@@ -254,6 +258,34 @@ func (r *Recorder) Record(s Snapshot) Snapshot {
 		}
 	}
 	return s
+}
+
+// Restore overwrites the suite metrics with checkpointed summaries
+// (matched positionwise to the implementation set). Only for use
+// before concurrent observation resumes.
+func (m *SuiteMetrics) Restore(sums []ImplSummary) {
+	if m == nil {
+		return
+	}
+	for i := range m.impls {
+		if i >= len(sums) {
+			break
+		}
+		m.impls[i].outcomes.Store(sums[i].Outcomes)
+		m.impls[i].latency.Restore(sums[i].Latency)
+	}
+}
+
+// Sync flushes the plot file to disk, if any — campaigns call it
+// after a final snapshot so an imminent process exit cannot lose the
+// tail line.
+func (r *Recorder) Sync() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f == nil {
+		return nil
+	}
+	return r.f.Sync()
 }
 
 // Snapshots returns a copy of the recorded series.

@@ -31,6 +31,10 @@ func (c *Counter) Inc() int64 { return c.v.Add(1) }
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// Store overwrites the counter — only for restoring a checkpointed
+// value before concurrent use resumes.
+func (c *Counter) Store(n int64) { c.v.Store(n) }
+
 // Value implements Var.
 func (c *Counter) Value() any { return c.v.Load() }
 
@@ -112,6 +116,14 @@ func (cc *ClassCounters) Snapshot() [NumClasses]int64 {
 		out[i] = cc.c[i].Load()
 	}
 	return out
+}
+
+// Store overwrites all class counts — only for restoring a
+// checkpointed snapshot before concurrent use resumes.
+func (cc *ClassCounters) Store(counts [NumClasses]int64) {
+	for i := range cc.c {
+		cc.c[i].Store(counts[i])
+	}
 }
 
 // Total is the sum over classes — the number of classified executions.
@@ -219,6 +231,29 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.mu.Unlock()
 	}
 	return out
+}
+
+// Restore overwrites the histogram with a checkpointed snapshot. The
+// merged counts land in one stripe — striping is a contention
+// optimization, not part of the observable distribution, so Snapshot
+// of a restored histogram equals the snapshot it was restored from.
+// Only for use before concurrent observation resumes.
+func (h *Histogram) Restore(s HistogramSnapshot) {
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		st.mu.Lock()
+		st.count, st.sum, st.min, st.max = 0, 0, 0, 0
+		st.buckets = [histBuckets]int64{}
+		st.mu.Unlock()
+	}
+	st := &h.stripes[0]
+	st.mu.Lock()
+	st.count = s.Count
+	st.sum = s.Sum
+	st.min = s.Min
+	st.max = s.Max
+	st.buckets = s.Buckets
+	st.mu.Unlock()
 }
 
 // Merge adds another snapshot into s (sharded campaigns merge their

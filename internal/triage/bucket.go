@@ -206,6 +206,67 @@ func (bs *BucketStore) Keys() []uint64 {
 	return keys
 }
 
+// BucketSnapshot is one bucket in checkpoint wire form: the private
+// signature set flattened to a sorted slice so the encoding is
+// deterministic and round-trips byte-identically.
+type BucketSnapshot struct {
+	Fingerprint Fingerprint   `json:"fingerprint"`
+	Key         uint64        `json:"key"`
+	Outcome     *core.Outcome `json:"outcome,omitempty"`
+	Count       int           `json:"count"`
+	Signatures  []uint64      `json:"signatures"`
+}
+
+// Export snapshots the store for checkpointing: buckets in discovery
+// order plus the pre-dedup total. The snapshot shares outcome pointers
+// with the store (outcomes are immutable once stored).
+func (bs *BucketStore) Export() ([]BucketSnapshot, int) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	out := make([]BucketSnapshot, 0, len(bs.order))
+	for _, key := range bs.order {
+		b := bs.byKey[key]
+		sigs := make([]uint64, 0, len(b.sigs))
+		for sig := range b.sigs {
+			sigs = append(sigs, sig)
+		}
+		sort.Slice(sigs, func(i, j int) bool { return sigs[i] < sigs[j] })
+		out = append(out, BucketSnapshot{
+			Fingerprint: b.Fingerprint,
+			Key:         b.Key,
+			Outcome:     b.Outcome,
+			Count:       b.Count,
+			Signatures:  sigs,
+		})
+	}
+	return out, bs.total
+}
+
+// RestoreBucketStore rebuilds a store from an Export snapshot,
+// preserving discovery order, counts, and the per-bucket signature
+// sets. Snapshots may carry nil Outcomes (shard-local skeletons);
+// such buckets still deduplicate and recount exactly.
+func RestoreBucketStore(snaps []BucketSnapshot, total int) *BucketStore {
+	bs := NewBucketStore()
+	for _, s := range snaps {
+		b := &Bucket{
+			Fingerprint: s.Fingerprint,
+			Key:         s.Key,
+			Outcome:     s.Outcome,
+			Count:       s.Count,
+			Signatures:  len(s.Signatures),
+			sigs:        make(map[uint64]bool, len(s.Signatures)),
+		}
+		for _, sig := range s.Signatures {
+			b.sigs[sig] = true
+		}
+		bs.byKey[b.Key] = b
+		bs.order = append(bs.order, b.Key)
+	}
+	bs.total = total
+	return bs
+}
+
 // Report renders one bucket as a human-readable finding: the
 // fingerprint, the hit counters, and the representative input with
 // the disagreeing implementation groups and their outputs.

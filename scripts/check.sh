@@ -46,12 +46,56 @@ scripts/cover.sh
 # CLI-to-plot-file path end to end.
 echo "== telemetry smoke (4 shards, 2000 execs)"
 STATS_DIR="$(mktemp -d)"
-trap 'rm -rf "$STATS_DIR"' EXIT
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$STATS_DIR" "$SMOKE_DIR"' EXIT
 go run ./cmd/compdiff-fuzz -target tcpdump -execs 2000 -shards 4 -sync 500 \
 	-stats "$STATS_DIR" >/dev/null
 grep -q '"execs_per_sec":[0-9]*[1-9]' "$STATS_DIR/plot.jsonl" || {
 	echo "telemetry smoke: no nonzero execs_per_sec in plot.jsonl" >&2
 	cat "$STATS_DIR/plot.jsonl" >&2
+	exit 1
+}
+
+# Resume smoke: start a checkpointed campaign, SIGKILL it mid-run the
+# moment a checkpoint is durable, and resume. The resumed summary must
+# show the budget continuing past the resumed run's own -execs, and a
+# clean persistence record. Built (not `go run`) so the kill reaches
+# the fuzzer itself, not a parent go process.
+echo "== resume smoke (kill -9 mid-campaign, -resume)"
+go build -o "$SMOKE_DIR/compdiff-fuzz" ./cmd/compdiff-fuzz
+CKPT_DIR="$SMOKE_DIR/ckpt"
+"$SMOKE_DIR/compdiff-fuzz" -target tcpdump -execs 50000000 -shards 2 -sync 500 \
+	-checkpoint "$CKPT_DIR" >"$SMOKE_DIR/first.log" 2>&1 &
+SMOKE_PID=$!
+i=0
+while [ ! -f "$CKPT_DIR/MANIFEST.json" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 300 ]; then
+		echo "resume smoke: no checkpoint after 60s" >&2
+		kill -9 "$SMOKE_PID" 2>/dev/null || true
+		cat "$SMOKE_DIR/first.log" >&2
+		exit 1
+	fi
+	sleep 0.2
+done
+kill -9 "$SMOKE_PID" 2>/dev/null || true
+wait "$SMOKE_PID" 2>/dev/null || true
+"$SMOKE_DIR/compdiff-fuzz" -target tcpdump -execs 2000 -shards 2 -sync 500 \
+	-checkpoint "$CKPT_DIR" -resume >"$SMOKE_DIR/resume.log" 2>&1
+grep -q 'resumed from checkpoint' "$SMOKE_DIR/resume.log" || {
+	echo "resume smoke: resume fell back to a fresh start" >&2
+	cat "$SMOKE_DIR/resume.log" >&2
+	exit 1
+}
+SPENT="$(awk -F'[: ]+' '/^spent budget/ { print $3 }' "$SMOKE_DIR/resume.log")"
+if [ -z "$SPENT" ] || [ "$SPENT" -le 2000 ]; then
+	echo "resume smoke: spent budget '$SPENT' does not continue past the resumed -execs 2000" >&2
+	cat "$SMOKE_DIR/resume.log" >&2
+	exit 1
+fi
+grep -q '^persist errors : 0' "$SMOKE_DIR/resume.log" || {
+	echo "resume smoke: nonzero (or missing) persist-error count" >&2
+	cat "$SMOKE_DIR/resume.log" >&2
 	exit 1
 }
 

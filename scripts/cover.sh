@@ -38,5 +38,8 @@ floor() {
 
 floor compdiff/internal/triage 85
 floor compdiff/internal/difffuzz 80
+# The checkpoint layer's whole contract — atomic saves, torn-file
+# detection, resume fidelity — is only observable through its tests.
+floor compdiff/internal/checkpoint 85
 
 echo "== cover OK"
