@@ -25,6 +25,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) -run='^$$' ./internal/minic/parser
 	$(GO) test -fuzz=FuzzSuiteRun -fuzztime=$(FUZZTIME) -run='^$$' .
 	$(GO) test -fuzz=FuzzReduce -fuzztime=$(FUZZTIME) -run='^$$' ./internal/triage
+	$(GO) test -fuzz=FuzzCompileOracle -fuzztime=$(FUZZTIME) -run='^$$' .
 
 # Per-package coverage table with hard floors on the triage layer
 # (internal/triage, internal/difffuzz); see scripts/cover.sh.

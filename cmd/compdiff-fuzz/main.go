@@ -11,6 +11,11 @@
 //
 //	-target NAME    fuzz a built-in target (see -list)
 //	-src FILE       fuzz a MiniC source file
+//	-programs DIR   compile-oracle campaign over every *.mc program in
+//	                DIR: accept/reject divergences, internal compiler
+//	                errors, and diagnostic mismatches become triage
+//	                buckets; universally-accepted programs are
+//	                cross-checked at runtime on the empty input
 //	-execs N        execution budget on the instrumented binary
 //	                (per shard when -shards > 1)
 //	-seed N         fuzzer RNG seed
@@ -49,6 +54,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"syscall"
 	"text/tabwriter"
 	"time"
@@ -75,6 +82,7 @@ func (s *seedList) Set(path string) error {
 type cliConfig struct {
 	target     string
 	src        string
+	programs   string
 	execs      int64
 	shards     int
 	jobs       int
@@ -95,11 +103,14 @@ func (c cliConfig) validate() error {
 	if c.list {
 		return nil
 	}
-	if c.target == "" && c.src == "" {
-		return fmt.Errorf("need -target or -src (or -list)")
+	if c.target == "" && c.src == "" && c.programs == "" {
+		return fmt.Errorf("need -target, -src, or -programs (or -list)")
 	}
-	if c.target != "" && c.src != "" {
-		return fmt.Errorf("-target and -src are mutually exclusive")
+	if (c.target != "" && c.src != "") || (c.programs != "" && (c.target != "" || c.src != "")) {
+		return fmt.Errorf("-target, -src, and -programs are mutually exclusive")
+	}
+	if c.programs != "" && c.san != "none" {
+		return fmt.Errorf("-san applies to the fuzzing binary; a -programs campaign has none")
 	}
 	if c.execs < 1 {
 		return fmt.Errorf("-execs %d: the execution budget must be at least 1", c.execs)
@@ -141,6 +152,7 @@ func main() {
 	log.SetPrefix("compdiff-fuzz: ")
 	targetName := flag.String("target", "", "built-in target to fuzz")
 	srcPath := flag.String("src", "", "MiniC source file to fuzz")
+	programsDir := flag.String("programs", "", "compile-oracle campaign over every *.mc in DIR")
 	execs := flag.Int64("execs", 50_000, "execution budget (per shard)")
 	seed := flag.Int64("seed", 1, "fuzzer RNG seed")
 	shards := flag.Int("shards", 1, "parallel fuzzer instances (AFL -M/-S style)")
@@ -161,6 +173,7 @@ func main() {
 	cfg := cliConfig{
 		target:     *targetName,
 		src:        *srcPath,
+		programs:   *programsDir,
 		execs:      *execs,
 		shards:     *shards,
 		jobs:       *jobs,
@@ -186,6 +199,18 @@ func main() {
 		for _, tg := range targets.All() {
 			fmt.Printf("%-14s %-16s %d planted bugs\n", tg.Name, tg.InputType, len(tg.Bugs))
 		}
+		return
+	}
+
+	if *programsDir != "" {
+		runProgramsCampaign(*programsDir, compdiff.CompileCampaignOptions{
+			Shards:          *shards,
+			SyncEvery:       int(*syncEvery),
+			Parallelism:     *jobs,
+			StatsDir:        *statsDir,
+			CheckpointDir:   *ckptDir,
+			CheckpointEvery: *ckptEvery,
+		}, *resume)
 		return
 	}
 
@@ -314,6 +339,79 @@ func main() {
 		if c.Result.San != nil {
 			fmt.Printf("  %s\n", c.Result.San)
 		}
+	}
+}
+
+// runProgramsCampaign is the -programs mode: a compile-oracle campaign
+// over a directory of MiniC programs. The corpus is read in sorted
+// filename order, so the campaign (and its checkpoint hash) is stable
+// across runs.
+func runProgramsCampaign(dir string, opts compdiff.CompileCampaignOptions, resume bool) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.mc"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(paths) == 0 {
+		log.Fatalf("no *.mc programs in %s", dir)
+	}
+	sort.Strings(paths)
+	corpus := make([]string, len(paths))
+	for i, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		corpus[i] = string(data)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	pool, err := buildCompilePool(corpus, opts, resume)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+	stats := pool.Run(ctx)
+
+	fmt.Printf("shards         : %d\n", stats.Shards)
+	fmt.Printf("programs       : %d of %d processed (%d accepted everywhere, %d uniform rejects)\n",
+		stats.Programs, stats.CorpusLen, stats.Accepted, stats.FrontendRejects)
+	fmt.Printf("findings       : %d (%d triage buckets)\n", stats.Findings, stats.UniqueBuckets)
+	fmt.Printf("compile classes: %d accept/reject divergences, %d ICEs, %d diagnostic mismatches, %d runtime\n",
+		stats.CompileDivergences, stats.ICEs, stats.DiagMismatches, stats.RuntimeBuckets)
+	for si, serr := range stats.ShardErrors {
+		if serr != nil {
+			fmt.Printf("  shard %d retired: %v\n", si, serr)
+		}
+	}
+	fmt.Println()
+	for _, b := range pool.BucketStore().Buckets() {
+		fmt.Println(b.Report(pool.ImplNames()))
+	}
+}
+
+// buildCompilePool mirrors buildPool's -resume behavior for the
+// compile-oracle campaign.
+func buildCompilePool(corpus []string, opts compdiff.CompileCampaignOptions, resume bool) (*compdiff.CompileCampaign, error) {
+	if !resume {
+		return compdiff.NewCompileCampaign(corpus, opts)
+	}
+	pool, err := compdiff.ResumeCompileCampaign(corpus, opts)
+	switch {
+	case err == nil:
+		st := pool.Stats()
+		log.Printf("resumed from checkpoint %s (seq %d, %d of %d programs already processed)",
+			opts.CheckpointDir, pool.CheckpointSeq(), st.Cursor, st.CorpusLen)
+		return pool, nil
+	case errors.Is(err, compdiff.ErrNoCheckpoint):
+		log.Printf("no checkpoint in %s; starting fresh", opts.CheckpointDir)
+		return compdiff.NewCompileCampaign(corpus, opts)
+	case errors.Is(err, compdiff.ErrCheckpointMismatch):
+		fmt.Fprintf(os.Stderr, "compdiff-fuzz: %v\n", err)
+		os.Exit(2)
+		return nil, nil // unreachable
+	default:
+		return nil, err
 	}
 }
 

@@ -35,8 +35,14 @@ func TestValidateFlags(t *testing.T) {
 		// so it must pass even without -checkpoint.
 		{"default-checkpoint-every", func(c *cliConfig) { c.ckptEvery = 0 }, ""},
 
-		{"no-input", func(c *cliConfig) { c.target = "" }, "need -target or -src"},
+		{"no-input", func(c *cliConfig) { c.target = "" }, "need -target, -src, or -programs"},
 		{"both-inputs", func(c *cliConfig) { c.src = "p.mc" }, "mutually exclusive"},
+		{"programs-mode", func(c *cliConfig) { c.target = ""; c.programs = "progs" }, ""},
+		{"programs-and-target", func(c *cliConfig) { c.programs = "progs" }, "mutually exclusive"},
+		{"programs-and-src", func(c *cliConfig) { c.target = ""; c.src = "p.mc"; c.programs = "progs" },
+			"mutually exclusive"},
+		{"programs-with-san", func(c *cliConfig) { c.target = ""; c.programs = "progs"; c.san = "asan" },
+			"-programs campaign"},
 		{"zero-execs", func(c *cliConfig) { c.execs = 0 }, "-execs 0"},
 		{"negative-execs", func(c *cliConfig) { c.execs = -10 }, "-execs -10"},
 		{"zero-shards", func(c *cliConfig) { c.shards = 0 }, "-shards 0"},

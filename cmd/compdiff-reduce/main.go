@@ -17,6 +17,12 @@
 //	-budget N     maximum differential suite executions to spend
 //	-jobs N       worker goroutines per differential cross-check
 //
+// Compile-stage findings reduce too: when the program itself diverges
+// at compile time (accept/reject split, internal compiler error, or
+// diagnostic mismatch), reduction preserves the compile fingerprint —
+// same partition, same normalized crash/diagnostic keys — and the
+// input is irrelevant (no reduced.input is written).
+//
 // Invalid flag values (a missing -src, a non-positive -budget or
 // -jobs) are rejected up front with exit code 2. A program that does
 // not diverge under the ten implementations is a normal failure (exit

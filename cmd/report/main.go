@@ -22,10 +22,13 @@ import (
 	"fmt"
 	"log"
 
+	"strings"
+
 	"compdiff/internal/bench"
 	"compdiff/internal/difffuzz"
 	"compdiff/internal/juliet"
 	"compdiff/internal/targets"
+	"compdiff/internal/triage"
 )
 
 func main() {
@@ -43,13 +46,14 @@ func main() {
 	tr := flag.Bool("triage", false, "bucketed triage summary from a short campaign")
 	trTarget := flag.String("triage-target", "readelf", "built-in target for -triage")
 	trExecs := flag.Int64("triage-execs", 5000, "campaign budget for -triage")
+	co := flag.Bool("compile-oracle", false, "compile-stage oracle demo: the three finding classes")
 	scale := flag.Int("scale", 1, "divide Juliet category sizes by N (speed knob)")
 	flag.Parse()
 
 	if *all {
-		*t2, *t3, *f1, *t4, *t5, *t6, *f2, *ov, *tr = true, true, true, true, true, true, true, true, true
+		*t2, *t3, *f1, *t4, *t5, *t6, *f2, *ov, *tr, *co = true, true, true, true, true, true, true, true, true, true
 	}
-	if !(*t2 || *t3 || *f1 || *t4 || *t5 || *t6 || *f2 || *ov || *tr) {
+	if !(*t2 || *t3 || *f1 || *t4 || *t5 || *t6 || *f2 || *ov || *tr || *co) {
 		flag.Usage()
 		return
 	}
@@ -118,6 +122,11 @@ func main() {
 		fmt.Printf("==== Triage: bucketed findings (%s, %d execs) ====\n", *trTarget, *trExecs)
 		fmt.Println(triageSummary(*trTarget, *trExecs))
 	}
+
+	if *co {
+		fmt.Println("==== Compile-stage oracle: the three finding classes ====")
+		fmt.Println(compileOracleSummary())
+	}
 }
 
 // triageSummary fuzzes one built-in target briefly and renders the
@@ -133,7 +142,38 @@ func triageSummary(name string, execs int64) string {
 		log.Fatal(err)
 	}
 	st := p.Run(context.Background(), execs)
-	return fmt.Sprintf("%d diverging inputs, %d signatures, %d buckets\n%s",
+	kinds := p.BucketStore().KindCounts()
+	return fmt.Sprintf("%d diverging inputs, %d signatures, %d buckets (%d runtime, %d compile-divergence, %d ice, %d diag-mismatch)\n%s",
 		st.TotalDiffInputs, st.UniqueDiffs, st.UniqueBuckets,
+		kinds[triage.KindRuntime], kinds[triage.KindCompileDivergence],
+		kinds[triage.KindICE], kinds[triage.KindDiagMismatch],
 		p.BucketStore().Table())
+}
+
+// compileOracleSummary runs the compile-stage oracle over a small
+// demo corpus seeded with one program per finding class — a reject
+// divergence (optimizing gcc refuses a constant division by zero the
+// other implementations merely warn about), an expression deep enough
+// to crash the O2+ lowerers, and a global initializer every
+// implementation rejects with family-specific wording.
+func compileOracleSummary() string {
+	corpus := []string{
+		"int main() {\n    int d = 1 / 0;\n    return d;\n}\n",
+		"int main() {\n    int x = 1;\n    int y = x" + strings.Repeat("+1", 60) + ";\n    return y;\n}\n",
+		"int g = 1 / 0;\nint main() {\n    return g;\n}\n",
+	}
+	p, err := difffuzz.NewCompilePool(corpus, difffuzz.CompilePoolOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := p.Run(context.Background())
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d programs: %d accept/reject divergences, %d ICEs, %d diagnostic mismatches\n%s\n",
+		st.Programs, st.CompileDivergences, st.ICEs, st.DiagMismatches,
+		p.BucketStore().Table())
+	for _, bk := range p.BucketStore().Buckets() {
+		b.WriteString(bk.Report(p.ImplNames()))
+		b.WriteString("\n")
+	}
+	return b.String()
 }

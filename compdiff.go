@@ -276,7 +276,88 @@ func NewBucketStore() *BucketStore {
 
 // Reduce delta-debugs a diverging finding (program + input) to a
 // smaller reproducer with the same divergence fingerprint, using AST
-// reduction passes and ddmin over the input bytes.
+// reduction passes and ddmin over the input bytes. Compile-stage
+// findings reduce too: the predicate becomes compile-fingerprint
+// preservation and no VM run is needed.
 func Reduce(src string, input []byte, opts ReduceOptions) (*Reduction, error) {
 	return triage.Reduce(src, input, opts)
+}
+
+// CompileStatus is one implementation's verdict on a program: accept,
+// reject (diagnosed error), or ICE (the implementation itself crashed).
+type CompileStatus = core.CompileStatus
+
+// Compile-stage statuses.
+const (
+	CompileAccept = core.StatusAccept
+	CompileReject = core.StatusReject
+	CompileICE    = core.StatusICE
+)
+
+// ImplCompile is one implementation's compile-stage record: status,
+// rendered diagnostics, and the captured ICE panic text, if any.
+type ImplCompile = core.ImplCompile
+
+// CompileOutcome is the k-way compile-stage record for one program —
+// the compile-time analogue of Outcome.
+type CompileOutcome = core.CompileOutcome
+
+// FindingKind classifies a triage bucket: a runtime divergence or one
+// of the compile-stage classes.
+type FindingKind = triage.Kind
+
+// Finding kinds.
+const (
+	KindRuntime           = triage.KindRuntime
+	KindCompileDivergence = triage.KindCompileDivergence
+	KindICE               = triage.KindICE
+	KindDiagMismatch      = triage.KindDiagMismatch
+)
+
+// NewDifferential parses, checks, and compiles MiniC source under
+// every implementation with the compile-stage oracle engaged. Parse
+// and sema failures return an error (the program is malformed for
+// everyone). Otherwise the CompileOutcome records every
+// implementation's verdict; the Suite is non-nil only when all of them
+// accepted. Use CompileFingerprintOf to decide whether a
+// not-universally-accepted outcome is a finding or a mundane uniform
+// reject.
+func NewDifferential(src string, impls []Implementation, opts Options) (*Suite, *CompileOutcome, error) {
+	return core.BuildSourceDifferential(src, impls, opts)
+}
+
+// CompileFingerprintOf classifies a compile outcome. It reports a
+// fingerprint (and true) for the three compile-stage finding classes —
+// accept/reject divergence, ICE, diagnostics mismatch — and false for
+// universal acceptance or a uniform reject.
+func CompileFingerprintOf(co *CompileOutcome) (Fingerprint, bool) {
+	return triage.OfCompile(co)
+}
+
+// CompileCampaign is a sharded compile-oracle campaign over a MiniC
+// *program* corpus: every program is compiled under all k
+// implementations behind recover boundaries, compile-stage findings
+// land in triage buckets, and universally-accepted programs are
+// cross-checked at runtime too.
+type CompileCampaign = difffuzz.CompilePool
+
+// CompileCampaignOptions configures a compile-oracle campaign.
+type CompileCampaignOptions = difffuzz.CompilePoolOptions
+
+// CompileCampaignStats summarizes a compile-oracle campaign.
+type CompileCampaignStats = difffuzz.CompilePoolStats
+
+// NewCompileCampaign builds a compile-oracle campaign over a program
+// corpus. With opts.CheckpointDir set, the campaign writes crash-safe
+// snapshots at its barriers; ResumeCompileCampaign picks a killed
+// campaign back up with an identical final bucket set.
+func NewCompileCampaign(corpus []string, opts CompileCampaignOptions) (*CompileCampaign, error) {
+	return difffuzz.NewCompilePool(corpus, opts)
+}
+
+// ResumeCompileCampaign rebuilds a compile-oracle campaign from the
+// checkpoint in opts.CheckpointDir. Error classes match
+// ResumeCampaignPool's.
+func ResumeCompileCampaign(corpus []string, opts CompileCampaignOptions) (*CompileCampaign, error) {
+	return difffuzz.ResumeCompilePool(corpus, opts)
 }

@@ -1,0 +1,85 @@
+package compdiff_test
+
+// Native `go test -fuzz` target for the compile-stage differential
+// oracle: arbitrary bytes are treated as MiniC source and pushed
+// through NewDifferential under both the sequential and the parallel
+// compile path. The invariants: no input ever panics past the ICE
+// recover boundary, malformed source errors identically either way,
+// and for well-formed source the per-implementation verdict record —
+// and therefore the finding fingerprint — is byte-identical across
+// Parallelism 1 and 4 and across repeated runs. Run as a smoke test
+// via scripts/check.sh, or at length with
+// `go test -fuzz=FuzzCompileOracle .`.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"compdiff"
+)
+
+func FuzzCompileOracle(f *testing.F) {
+	for _, path := range []string{"compile_reject.mc", "compile_ice.mc", "compile_diag.mc"} {
+		data, err := os.ReadFile(filepath.Join("testdata", "golden", path))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	f.Add(fuzzSrc)
+	f.Add("int main() { return 0; }")
+	f.Add("int x = ;;; garbage !!")
+	f.Add("int main() { int x = 1; int y = x" + strings.Repeat("+1", 50) + "; return y; }")
+
+	impls := compdiff.DefaultImplementations()
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			src = src[:4096]
+		}
+		suite, co, err := compdiff.NewDifferential(src, impls, compdiff.Options{})
+		psuite, pco, perr := compdiff.NewDifferential(src, impls, compdiff.Options{Parallelism: 4})
+
+		if (err == nil) != (perr == nil) {
+			t.Fatalf("error parity broken: sequential %v, parallel %v", err, perr)
+		}
+		if err != nil {
+			return // malformed for everyone, both ways
+		}
+		if (suite == nil) != (psuite == nil) {
+			t.Fatalf("acceptance disagrees across parallelism: sequential suite=%v, parallel suite=%v",
+				suite != nil, psuite != nil)
+		}
+		if len(co.Impls) != len(impls) || len(pco.Impls) != len(impls) {
+			t.Fatalf("%d/%d verdicts for %d implementations", len(co.Impls), len(pco.Impls), len(impls))
+		}
+		for i := range co.Impls {
+			a, b := co.Impls[i], pco.Impls[i]
+			if a.Status != b.Status || a.ICE != b.ICE || strings.Join(a.Diags, "\n") != strings.Join(b.Diags, "\n") {
+				t.Fatalf("verdict %d differs across parallelism:\nsequential %+v\nparallel   %+v", i, a, b)
+			}
+		}
+		if co.Signature() != pco.Signature() {
+			t.Fatalf("signatures differ across parallelism: %016x vs %016x", co.Signature(), pco.Signature())
+		}
+
+		fp, ok := compdiff.CompileFingerprintOf(co)
+		pfp, pok := compdiff.CompileFingerprintOf(pco)
+		if ok != pok || (ok && !fp.Equal(pfp)) {
+			t.Fatalf("fingerprints differ across parallelism: (%v %s) vs (%v %s)", ok, fp, pok, pfp)
+		}
+		if ok && suite != nil {
+			t.Fatal("a universally-accepted program cannot be a compile-stage finding")
+		}
+
+		// Determinism: a second sequential compile reproduces the record.
+		_, co2, err2 := compdiff.NewDifferential(src, impls, compdiff.Options{})
+		if err2 != nil {
+			t.Fatalf("second compile errored: %v", err2)
+		}
+		if co.Signature() != co2.Signature() {
+			t.Fatalf("signature not stable across runs: %016x vs %016x", co.Signature(), co2.Signature())
+		}
+	})
+}

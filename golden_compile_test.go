@@ -1,0 +1,189 @@
+package compdiff_test
+
+// The compile-stage golden layer: one pinned program per finding
+// class under testdata/golden/compile_*.mc — an accept/reject
+// divergence, an internal-compiler-error capture, and a diagnostics
+// mismatch. Each golden file pins the fingerprint (kind, partition,
+// normalized-detail key) and the full per-implementation verdict
+// record, so any drift in the compile-stage oracle — a changed
+// rejection policy, a different diagnostic wording, a shifted
+// normalization rule — fails loudly. Refresh intentionally changed
+// expectations with:
+//
+//	go test -run TestGoldenCompileOracle -update .
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"compdiff"
+)
+
+// renderCompileFinding formats everything the compile goldens pin:
+// the finding kind, the fingerprint key, the raw outcome signature,
+// and every implementation's verdict with its diagnostics or captured
+// ICE text.
+func renderCompileFinding(co *compdiff.CompileOutcome, fp compdiff.Fingerprint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kind %s\n", fp.Kind)
+	fmt.Fprintf(&b, "fingerprint %016x %s\n", fp.Key(), fp)
+	fmt.Fprintf(&b, "signature %016x\n", co.Signature())
+	for _, im := range co.Impls {
+		fmt.Fprintf(&b, "%-12s %s\n", im.Name, im.Status)
+		if im.ICE != "" {
+			fmt.Fprintf(&b, "    ice: %s\n", im.ICE)
+		}
+		for _, d := range im.Diags {
+			fmt.Fprintf(&b, "    %s\n", d)
+		}
+	}
+	return b.String()
+}
+
+// compileGoldens returns the compile_*.mc corpus paths, failing if the
+// three classes are not all represented.
+func compileGoldens(t *testing.T) []string {
+	t.Helper()
+	srcs, err := filepath.Glob(filepath.Join("testdata", "golden", "compile_*.mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) < 3 {
+		t.Fatalf("want at least 3 compile golden programs (one per finding class), found %d", len(srcs))
+	}
+	return srcs
+}
+
+// TestGoldenCompileOracle replays the compile corpus through the
+// compile-stage differential oracle, sequential and Parallelism=4
+// alike, against the pinned expectation files.
+func TestGoldenCompileOracle(t *testing.T) {
+	kindsSeen := map[compdiff.FindingKind]bool{}
+	for _, srcPath := range compileGoldens(t) {
+		name := strings.TrimSuffix(filepath.Base(srcPath), ".mc")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(srcPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			suite, co, err := compdiff.NewDifferential(string(src), compdiff.DefaultImplementations(), compdiff.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if suite != nil {
+				t.Fatal("compile golden program was accepted by every implementation; no compile-stage finding")
+			}
+			fp, ok := compdiff.CompileFingerprintOf(co)
+			if !ok {
+				t.Fatalf("outcome is not a finding: %+v", co)
+			}
+			kindsSeen[fp.Kind] = true
+			got := renderCompileFinding(co, fp)
+
+			// The oracle must be deterministic run-to-run and under the
+			// parallel compile path alike.
+			if _, co2, err := compdiff.NewDifferential(string(src), compdiff.DefaultImplementations(), compdiff.Options{}); err != nil {
+				t.Fatal(err)
+			} else if fp2, _ := compdiff.CompileFingerprintOf(co2); renderCompileFinding(co2, fp2) != got {
+				t.Fatalf("non-deterministic compile outcome:\nfirst:\n%s\nsecond:\n%s",
+					got, renderCompileFinding(co2, fp2))
+			}
+			if _, co4, err := compdiff.NewDifferential(string(src), compdiff.DefaultImplementations(), compdiff.Options{Parallelism: 4}); err != nil {
+				t.Fatal(err)
+			} else if fp4, _ := compdiff.CompileFingerprintOf(co4); renderCompileFinding(co4, fp4) != got {
+				t.Fatalf("parallel compile outcome differs:\nsequential:\n%s\nparallel:\n%s",
+					got, renderCompileFinding(co4, fp4))
+			}
+
+			goldenPath := strings.TrimSuffix(srcPath, ".mc") + ".golden"
+			if *updateGolden {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("golden mismatch for %s\n--- want\n%s--- got\n%s", name, want, got)
+			}
+		})
+	}
+	if *updateGolden {
+		return
+	}
+	for _, kind := range []compdiff.FindingKind{
+		compdiff.KindCompileDivergence, compdiff.KindICE, compdiff.KindDiagMismatch,
+	} {
+		if !kindsSeen[kind] {
+			t.Errorf("no compile golden program exercises kind %s", kind)
+		}
+	}
+}
+
+// TestGoldenCompileReduce replays the bloated compile corpus through
+// the reducer: every reproducer must shed at least 60% of its source
+// bytes while keeping exactly the fingerprint its golden file pins —
+// in sequential and Parallelism=4 modes alike — and the original plus
+// its reduction must land in a single triage bucket.
+func TestGoldenCompileReduce(t *testing.T) {
+	for _, srcPath := range compileGoldens(t) {
+		name := strings.TrimSuffix(filepath.Base(srcPath), ".mc")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(srcPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantKey := goldenFingerprintKey(t, strings.TrimSuffix(srcPath, ".mc")+".golden")
+			for _, jobs := range []int{1, 4} {
+				t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
+					red, err := compdiff.Reduce(string(src), nil, compdiff.ReduceOptions{
+						Suite: compdiff.Options{Parallelism: jobs},
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if red.SourceShrink() < 0.60 {
+						t.Errorf("shrink %.0f%% < 60%% (%d -> %d bytes)",
+							red.SourceShrink()*100, red.OrigSourceBytes, len(red.Source))
+					}
+					if red.Fingerprint.Key() != wantKey {
+						t.Errorf("reduced fingerprint %016x != pinned %016x (%s)",
+							red.Fingerprint.Key(), wantKey, red.Fingerprint)
+					}
+					if len(red.Input) != 0 {
+						t.Errorf("compile-stage reduction kept input %q; it is irrelevant", red.Input)
+					}
+
+					// Dedup replay: the bloated original and its reduction
+					// must fill exactly one bucket, keyed by the pinned
+					// fingerprint.
+					store := compdiff.NewBucketStore()
+					for _, cand := range []string{string(src), red.Source} {
+						suite, co, err := compdiff.NewDifferential(cand, compdiff.DefaultImplementations(), compdiff.Options{})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if suite != nil {
+							t.Fatal("finding compiles clean on replay")
+						}
+						if b, _ := store.AddCompile(co); b == nil {
+							t.Fatal("replayed outcome is not a finding")
+						}
+					}
+					if store.Len() != 1 {
+						t.Fatalf("original + reduced span %d buckets, want 1", store.Len())
+					}
+					if got := store.Keys(); len(got) != 1 || got[0] != wantKey {
+						t.Errorf("bucket keys %x, want [%016x]", got, wantKey)
+					}
+				})
+			}
+		})
+	}
+}

@@ -91,6 +91,10 @@ type State struct {
 	// Buckets and BucketTotal mirror the pool triage BucketStore.
 	Buckets     []triage.BucketSnapshot `json:"buckets"`
 	BucketTotal int                     `json:"bucket_total"`
+	// Compile is set only by compile-oracle (program-corpus)
+	// campaigns, which have no fuzzer shards: their durable state is a
+	// corpus cursor plus per-shard counters and bucket skeletons.
+	Compile *CompileCampaignState `json:"compile,omitempty"`
 }
 
 // ShardState is one shard's slice of the snapshot.
@@ -117,6 +121,33 @@ type ShardState struct {
 	BucketTotal int                     `json:"shard_bucket_total"`
 	// Metrics is nil when the campaign ran without telemetry.
 	Metrics *MetricsState `json:"metrics,omitempty"`
+}
+
+// CompileCampaignState is a compile-oracle campaign's slice of the
+// snapshot: which prefix of the program corpus is fully processed and
+// merged, plus the per-shard counters and bucket skeletons needed to
+// make resume equivalent to an uninterrupted run.
+type CompileCampaignState struct {
+	// Cursor is the number of corpus programs processed and merged;
+	// resume continues from this index.
+	Cursor int `json:"cursor"`
+	// CorpusLen pins the corpus size the cursor indexes into.
+	CorpusLen int                 `json:"corpus_len"`
+	Shards    []CompileShardState `json:"shards"`
+}
+
+// CompileShardState is one compile-oracle shard's counters plus its
+// shard-local bucket store in skeleton form (no representative
+// outcomes — enough for dedup freshness and exact recounts).
+type CompileShardState struct {
+	Index           int                     `json:"index"`
+	Dead            bool                    `json:"dead,omitempty"`
+	Programs        int64                   `json:"programs"`
+	Accepted        int64                   `json:"accepted"`
+	FrontendRejects int64                   `json:"frontend_rejects"`
+	Findings        int64                   `json:"findings"`
+	Buckets         []triage.BucketSnapshot `json:"shard_buckets,omitempty"`
+	BucketTotal     int                     `json:"shard_bucket_total"`
 }
 
 // MetricsState is one shard's telemetry counters.

@@ -197,7 +197,21 @@ type passSet struct {
 	// ArgsRightToLeft: call arguments are evaluated right to left
 	// (gcc's typical order; clang evaluates left to right).
 	ArgsRightToLeft bool
+	// StrictConstUB rejects constant division/remainder by zero with an
+	// error instead of a warning: once the folder runs (O1+) the gcc
+	// personality refuses expressions it cannot give a value, while
+	// clang warns and leaves the operation for run time. This is the
+	// accept/reject-divergence axis of the compile-stage oracle.
+	StrictConstUB bool
+	// ExprDepthLimit is the simplifier's recursion ceiling; lowering an
+	// expression nested deeper panics with a deterministic internal
+	// compiler error. Zero disables the ceiling (O0/O1 and all
+	// instrumented or sanitizer builds, which must accept everything).
+	ExprDepthLimit int
 }
+
+// exprDepthLimit is the nesting ceiling optimizing builds enforce.
+const exprDepthLimit = 48
 
 func (c Config) passes() passSet {
 	var p passSet
@@ -210,6 +224,17 @@ func (c Config) passes() passSet {
 		return p
 	}
 	p.DeadLoadElim = c.Opt.atLeast(O1)
+	// Compile-stage divergence policies apply only to the plain
+	// differential implementations: instrumented (B_fuzz) and sanitizer
+	// builds must accept and survive everything the campaign feeds the
+	// plain builds, or a compile-stage finding would kill the harness
+	// instead of landing in a bucket.
+	if !c.Instrument {
+		p.StrictConstUB = c.Family == GCC && c.Opt.atLeast(O1)
+		if c.Opt.atLeast(O2) {
+			p.ExprDepthLimit = exprDepthLimit
+		}
+	}
 	switch c.Family {
 	case Clang:
 		p.WidenMulToLong = c.Opt.atLeast(O1)

@@ -1,0 +1,178 @@
+package compiler
+
+// Tests for the compile-stage diagnostic layer: the guarded compile
+// entry point (accept / reject / ICE), the per-family accept-reject
+// policy split, the family diagnostic wordings, and the deterministic
+// ICE payloads the differential oracle fingerprints.
+
+import (
+	"strings"
+	"testing"
+)
+
+const divZeroMain = `
+int main() {
+    int d = 1 / 0;
+    return d;
+}
+`
+
+// deepChainMain exceeds the O2 simplifier recursion ceiling (48).
+func deepChainMain() string {
+	return "int main() {\n    int x = 1;\n    int y = x" +
+		strings.Repeat("+1", 60) + ";\n    return y;\n}\n"
+}
+
+func TestCompileGuardedAccept(t *testing.T) {
+	info := checked(t, "int main() { return 0; }")
+	res := CompileGuarded(info, Config{Family: GCC, Opt: O2})
+	if !res.Accepted() || res.Prog == nil || res.ICE != "" || len(res.Diags) != 0 {
+		t.Fatalf("clean program not accepted cleanly: %+v", res)
+	}
+}
+
+// TestConstUBPolicySplit pins the accept/reject divergence in
+// miniature: optimizing gcc rejects constant division by zero,
+// non-optimizing gcc and clang warn and accept.
+func TestConstUBPolicySplit(t *testing.T) {
+	info := checked(t, divZeroMain)
+
+	strict := CompileGuarded(info, Config{Family: GCC, Opt: O2})
+	if strict.Accepted() || strict.ICE != "" {
+		t.Fatalf("gcc -O2 must reject constant division by zero: %+v", strict)
+	}
+	if !strings.Contains(strict.Err.Error(), "-Werror=div-by-zero") {
+		t.Errorf("gcc -O2 error lacks the -Werror spelling: %v", strict.Err)
+	}
+	if len(strict.Diags) == 0 || !strings.Contains(strict.Diags[0], "error:") {
+		t.Errorf("rejection did not render an error diagnostic: %v", strict.Diags)
+	}
+
+	lax := CompileGuarded(info, Config{Family: GCC, Opt: O0})
+	if !lax.Accepted() {
+		t.Fatalf("gcc -O0 must accept with a warning: %v", lax.Err)
+	}
+	if len(lax.Diags) != 1 || !strings.Contains(lax.Diags[0], "division by zero [-Wdiv-by-zero]") {
+		t.Errorf("gcc warning wording wrong: %v", lax.Diags)
+	}
+
+	clang := CompileGuarded(info, Config{Family: Clang, Opt: O2})
+	if !clang.Accepted() {
+		t.Fatalf("clang -O2 must accept with a warning: %v", clang.Err)
+	}
+	if len(clang.Diags) != 1 || !strings.Contains(clang.Diags[0], "division by zero is undefined") {
+		t.Errorf("clang warning wording wrong: %v", clang.Diags)
+	}
+
+	// Instrumented builds disable the strict folder: the sanitizer
+	// wants the operation to reach run time.
+	san := CompileGuarded(info, Config{Family: GCC, Opt: O2, Instrument: true})
+	if !san.Accepted() {
+		t.Errorf("instrumented gcc -O2 must accept: %v", san.Err)
+	}
+}
+
+// TestConstUBWarnings drives scanConstUB over each undefined-constant
+// shape and checks the emitted wording per family.
+func TestConstUBWarnings(t *testing.T) {
+	cases := []struct {
+		name, expr string
+		gcc, clang string
+	}{
+		{"mod zero", "5 % 0", "-Wdiv-by-zero", "remainder by zero is undefined"},
+		{"add overflow", "2147483647 + 1", "-Woverflow", "-Winteger-overflow"},
+		{"shift negative", "1 << (-1)", "left shift count is negative", "shift count is negative"},
+		{"shift wide right", "1 >> 40", "right shift count >= width of type", "shift count >= width of type"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			info := checked(t, "int main() {\n    int v = "+c.expr+";\n    return 0;\n}\n")
+			for _, fam := range []struct {
+				cfg  Config
+				want string
+			}{
+				{Config{Family: GCC, Opt: O0}, c.gcc},
+				{Config{Family: Clang, Opt: O0}, c.clang},
+			} {
+				res := CompileGuarded(info, fam.cfg)
+				if !res.Accepted() {
+					t.Fatalf("%s rejected a warning-only program: %v", fam.cfg.Name(), res.Err)
+				}
+				if len(res.Diags) != 1 {
+					t.Fatalf("%s diags = %v, want exactly one", fam.cfg.Name(), res.Diags)
+				}
+				if !strings.Contains(res.Diags[0], fam.want) {
+					t.Errorf("%s diags = %v, want substring %q", fam.cfg.Name(), res.Diags, fam.want)
+				}
+				if !strings.HasPrefix(res.Diags[0], "<source>:2: warning: ") {
+					t.Errorf("diagnostic site wrong: %q", res.Diags[0])
+				}
+			}
+		})
+	}
+
+	// Non-constant operands are run-time territory: no front-end diag.
+	info := checked(t, "int main() {\n    int z = 0;\n    int v = 5 / z;\n    return v;\n}\n")
+	if res := CompileGuarded(info, Config{Family: GCC, Opt: O0}); len(res.Diags) != 0 {
+		t.Errorf("non-constant division produced front-end diags: %v", res.Diags)
+	}
+}
+
+// TestICECaptureDeterministic: the recursion-ceiling ICE is caught at
+// the recover boundary, carries the family's crash wording, and is
+// byte-identical across repeated compiles of the same (program,
+// config) pair.
+func TestICECaptureDeterministic(t *testing.T) {
+	info := checked(t, deepChainMain())
+
+	gcc := CompileGuarded(info, Config{Family: GCC, Opt: O2})
+	if gcc.Accepted() || gcc.ICE == "" || gcc.Prog != nil {
+		t.Fatalf("gcc -O2 did not ICE on the deep chain: %+v", gcc)
+	}
+	if !strings.Contains(gcc.ICE, "internal compiler error: in simplify_expr, at expr.cc:") {
+		t.Errorf("gcc ICE wording wrong: %q", gcc.ICE)
+	}
+	if !strings.Contains(gcc.Err.Error(), "internal compiler error") {
+		t.Errorf("ICE did not surface in Err: %v", gcc.Err)
+	}
+
+	clang := CompileGuarded(info, Config{Family: Clang, Opt: O2})
+	if clang.Accepted() || clang.ICE == "" {
+		t.Fatalf("clang -O2 did not ICE on the deep chain: %+v", clang)
+	}
+	if !strings.Contains(clang.ICE, "fatal error: error in backend: simplifier recursion limit") {
+		t.Errorf("clang ICE wording wrong: %q", clang.ICE)
+	}
+
+	again := CompileGuarded(info, Config{Family: GCC, Opt: O2})
+	if again.ICE != gcc.ICE {
+		t.Errorf("ICE text not deterministic:\n%q\n%q", gcc.ICE, again.ICE)
+	}
+
+	// O0/O1 have no recursion ceiling: the same program compiles.
+	if res := CompileGuarded(info, Config{Family: GCC, Opt: O0}); !res.Accepted() {
+		t.Errorf("gcc -O0 must accept the deep chain: %v", res.Err)
+	}
+	// Instrumentation lifts the ceiling too.
+	if res := CompileGuarded(info, Config{Family: GCC, Opt: O2, Instrument: true}); !res.Accepted() {
+		t.Errorf("instrumented gcc -O2 must accept the deep chain: %v", res.Err)
+	}
+}
+
+func TestInitNotConstWording(t *testing.T) {
+	info := checked(t, "int g = 1 / 0;\nint main() { return g; }\n")
+	gcc := CompileGuarded(info, Config{Family: GCC, Opt: O0})
+	clang := CompileGuarded(info, Config{Family: Clang, Opt: O0})
+	if gcc.Accepted() || clang.Accepted() {
+		t.Fatal("non-constant global initializer must be rejected by both families")
+	}
+	if !strings.Contains(gcc.Err.Error(), "initializer element is not constant") {
+		t.Errorf("gcc wording wrong: %v", gcc.Err)
+	}
+	if !strings.Contains(clang.Err.Error(), "initializer element is not a compile-time constant") {
+		t.Errorf("clang wording wrong: %v", clang.Err)
+	}
+	if gcc.Err.Error() == clang.Err.Error() {
+		t.Error("the two families must disagree in wording (the diag-mismatch class)")
+	}
+}

@@ -13,15 +13,10 @@ import (
 // Compile lowers a checked program to bytecode under one compiler
 // implementation. The AST is never mutated, so the same Info can be
 // compiled under many configurations, including concurrently.
+// A lowering bug panics through to the caller; use CompileGuarded to
+// capture it as an ICE finding instead.
 func Compile(info *sema.Info, cfg Config) (*ir.Program, error) {
-	lw := &lowerer{
-		info:      info,
-		cfg:       cfg,
-		ps:        cfg.passes(),
-		strOff:    map[string]int64{},
-		funcIdx:   map[string]int{},
-		globalOff: map[*ast.Symbol]int64{},
-	}
+	lw := newLowerer(info, cfg)
 	prog, err := lw.compile()
 	if err != nil {
 		return nil, fmt.Errorf("compile [%s]: %w", cfg.Name(), err)
@@ -38,6 +33,17 @@ func MustCompile(info *sema.Info, cfg Config) *ir.Program {
 	return p
 }
 
+func newLowerer(info *sema.Info, cfg Config) *lowerer {
+	return &lowerer{
+		info:      info,
+		cfg:       cfg,
+		ps:        cfg.passes(),
+		strOff:    map[string]int64{},
+		funcIdx:   map[string]int{},
+		globalOff: map[*ast.Symbol]int64{},
+	}
+}
+
 type lowerer struct {
 	info *sema.Info
 	cfg  Config
@@ -47,6 +53,11 @@ type lowerer struct {
 	strOff    map[string]int64
 	funcIdx   map[string]int
 	globalOff map[*ast.Symbol]int64
+
+	// diags accumulates rendered warnings/errors (see diag.go); depth
+	// tracks expression-lowering recursion for the ICE ceiling.
+	diags []string
+	depth int
 
 	// Per-function state.
 	fl     *frameLayout
@@ -77,6 +88,12 @@ func (lw *lowerer) compile() (*ir.Program, error) {
 		return nil, fmt.Errorf("program has no main function")
 	}
 
+	// Front-end diagnostics pass: constant-UB sites warn (or, under a
+	// strict personality, reject) before any code is generated.
+	if err := lw.scanConstUB(); err != nil {
+		return nil, err
+	}
+
 	offs, glen := planGlobals(lw.cfg, lw.info.Globals)
 	lw.globalOff = offs
 	prog.GlobalsLen = glen
@@ -88,7 +105,7 @@ func (lw *lowerer) compile() (*ir.Program, error) {
 	appendInit := func(sym *ast.Symbol, declType *types.Type, init ast.Expr) error {
 		v, ok := evalConst(init)
 		if !ok {
-			return fmt.Errorf("initializer for %s is not a defined constant", sym.Name)
+			return lw.rejectf(init.Pos().Line, initNotConstText(lw.cfg.Family))
 		}
 		data, needStr := globalInitBytes(declType, v)
 		if needStr {
@@ -398,6 +415,17 @@ func (lw *lowerer) exprForEffect(e ast.Expr) {
 
 // expr lowers e, pushing its value in canonical form for typeCode(e.Type()).
 func (lw *lowerer) expr(e ast.Expr) {
+	if lim := lw.ps.ExprDepthLimit; lim > 0 {
+		// Simplifier recursion ceiling: the deliberately reproducible
+		// ICE of this compiler model. Deeply nested expressions blow it
+		// at optimizing levels, exactly the kind of input-dependent
+		// front-end crash differential campaigns must survive.
+		lw.depth++
+		if lw.depth > lim {
+			panic(lw.iceDepth(e))
+		}
+		defer func() { lw.depth-- }()
+	}
 	if p := e.Pos(); p.Line > 0 {
 		lw.line = int32(p.Line)
 	}

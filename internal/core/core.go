@@ -151,16 +151,18 @@ func Build(info *sema.Info, cfgs []compiler.Config, opts Options) (*Suite, error
 	}
 	s := &Suite{opts: opts}
 	for _, cfg := range cfgs {
-		prog, err := compiler.Compile(info, cfg)
-		if err != nil {
-			return nil, err
+		// Guarded so an internal compiler error surfaces as a build
+		// error the caller can classify, never as a harness panic.
+		res := compiler.CompileGuarded(info, cfg)
+		if res.Err != nil {
+			return nil, res.Err
 		}
 		im := &Implementation{
 			Config:    cfg,
-			Prog:      prog,
+			Prog:      res.Prog,
 			stepLimit: opts.StepLimit,
 		}
-		im.free = []*vm.Machine{vm.New(prog, vm.Options{StepLimit: opts.StepLimit})}
+		im.free = []*vm.Machine{vm.New(res.Prog, vm.Options{StepLimit: opts.StepLimit})}
 		s.Impls = append(s.Impls, im)
 	}
 	return s, nil

@@ -105,6 +105,13 @@ type PoolStats struct {
 	// UniqueBuckets is the pool-wide count of fingerprint-deduplicated
 	// findings — the triage layer's view of UniqueDiffs.
 	UniqueBuckets int
+	// CompileDivergences, ICEs, and DiagMismatches break UniqueBuckets
+	// down by compile-stage finding kind. All zero in input-fuzzing
+	// pools, whose findings are runtime-kind by construction; the
+	// compile-oracle pool shares this stats shape.
+	CompileDivergences int
+	ICEs               int
+	DiagMismatches     int
 	// UniqueCrashes counts content-distinct B_fuzz crashes pool-wide.
 	UniqueCrashes int
 	// ShardStats holds each shard's fuzzer statistics.
@@ -496,6 +503,10 @@ func (p *Pool) Stats() PoolStats {
 	st.UniqueDiffs = p.store.Len()
 	st.TotalDiffInputs = p.store.Total()
 	st.UniqueBuckets = p.buckets.Len()
+	kinds := p.buckets.KindCounts()
+	st.CompileDivergences = kinds[triage.KindCompileDivergence]
+	st.ICEs = kinds[triage.KindICE]
+	st.DiagMismatches = kinds[triage.KindDiagMismatch]
 	st.PersistErrors = p.persistErrors()
 	st.SpentExecs = p.spentTotal
 	return st

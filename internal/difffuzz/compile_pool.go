@@ -1,0 +1,526 @@
+package difffuzz
+
+// CompilePool drives the compile-stage differential oracle over a
+// *program* corpus, the way Pool drives the runtime oracle over an
+// input corpus. Every program is compiled under all k implementations
+// behind recover boundaries; accept/reject splits, ICEs, and
+// diagnostic mismatches land in triage buckets (a crashing compiler is
+// a finding, never a dead shard), and programs every implementation
+// accepts are additionally run through the runtime differential on a
+// configurable input set. Shards partition the corpus round-robin by
+// index, merge shard-local buckets at barriers in shard order
+// (merge-then-recount, like Pool), and checkpoint a durable corpus
+// cursor so kill-9/resume reproduces an uninterrupted run's buckets
+// exactly.
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"runtime/debug"
+	"sync"
+
+	"compdiff/internal/checkpoint"
+	"compdiff/internal/compiler"
+	"compdiff/internal/core"
+	"compdiff/internal/hash"
+	"compdiff/internal/minic/parser"
+	"compdiff/internal/minic/sema"
+	"compdiff/internal/telemetry"
+	"compdiff/internal/triage"
+)
+
+// CompilePoolOptions configures a compile-oracle campaign.
+type CompilePoolOptions struct {
+	// Configs are the implementations to cross-check. Defaults to the
+	// paper's ten.
+	Configs []compiler.Config
+	// Shards is the number of worker shards (default 1). Program i is
+	// owned by shard i mod Shards, independent of progress, so the
+	// assignment is stable across resume.
+	Shards int
+	// SyncEvery is the number of corpus programs processed between
+	// barriers, across all shards. Zero processes the whole corpus in
+	// one epoch. Barriers are the merge and checkpoint points.
+	SyncEvery int
+	// StepLimit bounds each runtime cross-check execution.
+	StepLimit int64
+	// Parallelism is the per-program compile and suite parallelism.
+	// Scheduling only — results are positional and deterministic.
+	Parallelism int
+	// RuntimeInputs are run differentially on every program all
+	// implementations accept, so a program corpus feeds the runtime
+	// oracle too. Default: just the empty input.
+	RuntimeInputs [][]byte
+	// StatsDir, when set, streams one telemetry snapshot per barrier
+	// to <dir>/plot.jsonl.
+	StatsDir string
+	// CheckpointDir enables durable snapshots; CheckpointEvery is the
+	// number of barriers between them (default 1).
+	CheckpointDir   string
+	CheckpointEvery int64
+
+	// resume marks pools built by ResumeCompilePool, which may (must)
+	// find an existing checkpoint in CheckpointDir.
+	resume bool
+}
+
+func (o CompilePoolOptions) configs() []compiler.Config {
+	if len(o.Configs) > 0 {
+		return o.Configs
+	}
+	return compiler.DefaultSet()
+}
+
+func (o CompilePoolOptions) runtimeInputs() [][]byte {
+	if len(o.RuntimeInputs) > 0 {
+		return o.RuntimeInputs
+	}
+	return [][]byte{nil}
+}
+
+// CompilePoolStats is the campaign summary.
+type CompilePoolStats struct {
+	Shards int
+	// Programs is the number of corpus programs processed (a dead
+	// shard's unprocessed programs are not counted).
+	Programs int64
+	// Accepted counts programs every implementation compiled.
+	Accepted int64
+	// FrontendRejects counts programs rejected uniformly — parse and
+	// sema failures plus identical-diagnostic rejects. Not findings.
+	FrontendRejects int64
+	// Findings counts finding-producing programs before dedup
+	// (compile-stage findings plus runtime divergences).
+	Findings int64
+	// UniqueBuckets is the deduplicated finding count, broken down by
+	// kind below (RuntimeBuckets counts the runtime-oracle remainder).
+	UniqueBuckets      int
+	CompileDivergences int
+	ICEs               int
+	DiagMismatches     int
+	RuntimeBuckets     int
+	// Cursor is the number of corpus programs consumed (processed or
+	// skipped by a retired shard); CorpusLen the corpus size.
+	Cursor    int
+	CorpusLen int
+	// ShardErrors has one entry per shard; non-nil marks a retired
+	// shard. ICEs never retire a shard — only a harness bug does.
+	ShardErrors []error
+}
+
+// compileShard is one worker's slice of the campaign. Its counters
+// and store are written only by the shard goroutine during an epoch
+// and read only at barriers.
+type compileShard struct {
+	index         int
+	buckets       *triage.BucketStore
+	bucketsSynced int
+
+	programs        int64
+	accepted        int64
+	frontendRejects int64
+	findings        int64
+
+	dead bool
+	err  error
+}
+
+// CompilePool is the sharded compile-oracle campaign.
+type CompilePool struct {
+	opts   CompilePoolOptions
+	cfgs   []compiler.Config
+	corpus []string
+	cursor int
+
+	shards  []*compileShard
+	buckets *triage.BucketStore
+
+	saver       *checkpoint.Saver
+	ckptEvery   int64
+	sinceCkpt   int64
+	ckptLogged  bool
+	optionsHash uint64
+
+	recorder *telemetry.Recorder
+
+	// epochHook runs at the top of each epoch (test seam, like Pool's).
+	epochHook func(epoch int)
+}
+
+// CompileCampaignHash fingerprints everything that determines a
+// compile-oracle campaign's findings: implementations, sharding,
+// barrier cadence, runtime cross-check inputs, and the corpus itself.
+// Parallelism and the observability knobs are excluded, as in
+// CampaignHash.
+func CompileCampaignHash(corpus []string, opts CompilePoolOptions) uint64 {
+	d := hash.New128(0xcc01)
+	for _, cfg := range opts.configs() {
+		fmt.Fprintf(d, "cfg:%s\n", cfg.Name())
+	}
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	fmt.Fprintf(d, "step:%d shards:%d sync:%d\n", opts.StepLimit, shards, opts.SyncEvery)
+	for _, in := range opts.runtimeInputs() {
+		fmt.Fprintf(d, "input:%d:", len(in))
+		d.Write(in)
+	}
+	for _, src := range corpus {
+		fmt.Fprintf(d, "prog:%d:%s", len(src), src)
+	}
+	h1, _ := d.Sum128()
+	return h1
+}
+
+// NewCompilePool builds a compile-oracle campaign over corpus.
+func NewCompilePool(corpus []string, opts CompilePoolOptions) (*CompilePool, error) {
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("difffuzz: compile pool needs a non-empty program corpus")
+	}
+	cfgs := opts.configs()
+	if len(cfgs) < 2 {
+		return nil, fmt.Errorf("difffuzz: need at least 2 compiler implementations, got %d", len(cfgs))
+	}
+	nshards := opts.Shards
+	if nshards < 1 {
+		nshards = 1
+	}
+	opts.Shards = nshards
+	if opts.CheckpointDir != "" && !opts.resume && checkpoint.Exists(opts.CheckpointDir) {
+		return nil, fmt.Errorf("difffuzz: checkpoint directory %s already holds a campaign (resume it, or use a fresh directory)", opts.CheckpointDir)
+	}
+
+	p := &CompilePool{
+		opts:        opts,
+		cfgs:        cfgs,
+		corpus:      append([]string(nil), corpus...),
+		buckets:     triage.NewBucketStore(),
+		optionsHash: CompileCampaignHash(corpus, opts),
+	}
+	for i := 0; i < nshards; i++ {
+		p.shards = append(p.shards, &compileShard{index: i, buckets: triage.NewBucketStore()})
+	}
+	if opts.StatsDir != "" {
+		rec, err := telemetry.NewRecorder(opts.StatsDir)
+		if err != nil {
+			return nil, fmt.Errorf("difffuzz: stats: %w", err)
+		}
+		p.recorder = rec
+	}
+	if opts.CheckpointDir != "" {
+		saver, err := checkpoint.NewSaver(opts.CheckpointDir)
+		if err != nil {
+			return nil, fmt.Errorf("difffuzz: %w", err)
+		}
+		p.saver = saver
+		p.ckptEvery = opts.CheckpointEvery
+		if p.ckptEvery < 1 {
+			p.ckptEvery = 1
+		}
+	}
+	return p, nil
+}
+
+// ResumeCompilePool rebuilds a compile pool from the checkpoint in
+// opts.CheckpointDir. Error classification matches ResumePool:
+// ErrNoCheckpoint, ErrMismatch, ErrCorrupt.
+func ResumeCompilePool(corpus []string, opts CompilePoolOptions) (*CompilePool, error) {
+	if opts.CheckpointDir == "" {
+		return nil, fmt.Errorf("difffuzz: resume requires CheckpointDir")
+	}
+	st, _, err := checkpoint.Load(opts.CheckpointDir)
+	if err != nil {
+		return nil, err
+	}
+	h := CompileCampaignHash(corpus, opts)
+	if st.OptionsHash != h {
+		return nil, fmt.Errorf("%w: checkpoint options hash %016x, this campaign hashes to %016x (same corpus and campaign options required)",
+			checkpoint.ErrMismatch, st.OptionsHash, h)
+	}
+	opts.resume = true
+	p, err := NewCompilePool(corpus, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.restore(st); err != nil {
+		return nil, fmt.Errorf("%w: %v", checkpoint.ErrCorrupt, err)
+	}
+	return p, nil
+}
+
+// Run processes the corpus from the current cursor to the end (or
+// until ctx is cancelled), merging and checkpointing at barriers.
+// Safe to call again after cancellation to finish the remainder.
+func (p *CompilePool) Run(ctx context.Context) CompilePoolStats {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	chunk := p.opts.SyncEvery
+	if chunk <= 0 {
+		chunk = len(p.corpus)
+	}
+	epoch := 0
+	for p.cursor < len(p.corpus) && ctx.Err() == nil {
+		if p.epochHook != nil {
+			p.epochHook(epoch)
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		end := p.cursor + chunk
+		if end > len(p.corpus) {
+			end = len(p.corpus)
+		}
+		start := p.cursor
+		var wg sync.WaitGroup
+		for _, sh := range p.shards {
+			if sh.dead {
+				continue
+			}
+			wg.Add(1)
+			go func(sh *compileShard) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						sh.dead = true
+						sh.err = fmt.Errorf("difffuzz: compile shard %d panicked: %v\n%s", sh.index, r, debug.Stack())
+					}
+				}()
+				for i := start; i < end; i++ {
+					if i%len(p.shards) == sh.index {
+						p.processProgram(sh, p.corpus[i])
+					}
+				}
+			}(sh)
+		}
+		wg.Wait()
+		p.cursor = end
+		epoch++
+		p.synchronizeCompile()
+		if p.recorder != nil {
+			p.recorder.Record(p.snapshotCompile())
+		}
+		if p.saver != nil {
+			p.sinceCkpt++
+			if p.sinceCkpt >= p.ckptEvery {
+				p.saveCompileCheckpoint()
+			}
+		}
+	}
+	if p.saver != nil && p.sinceCkpt > 0 {
+		p.saveCompileCheckpoint()
+	}
+	if p.recorder != nil {
+		// A cancelled epoch never reached its barrier snapshot; record
+		// the final state, then flush so process exit cannot lose it.
+		if ctx.Err() != nil {
+			p.recorder.Record(p.snapshotCompile())
+		}
+		_ = p.recorder.Sync()
+	}
+	return p.Stats()
+}
+
+// processProgram feeds one corpus program through the compile oracle
+// and, when universally accepted, the runtime oracle.
+func (p *CompilePool) processProgram(sh *compileShard, src string) {
+	sh.programs++
+	prog, err := parser.Parse(src)
+	if err != nil {
+		sh.frontendRejects++
+		return
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		sh.frontendRejects++
+		return
+	}
+	suite, co, err := core.BuildDifferential(info, p.cfgs, core.Options{
+		StepLimit:   p.opts.StepLimit,
+		Parallelism: p.opts.Parallelism,
+	})
+	if err != nil {
+		sh.frontendRejects++
+		return
+	}
+	if suite == nil {
+		// Some implementation rejected or crashed: a finding exactly
+		// when the partition or the normalized messages differ.
+		if b, _ := sh.buckets.AddCompile(co); b != nil {
+			sh.findings++
+		} else {
+			sh.frontendRejects++
+		}
+		return
+	}
+	sh.accepted++
+	for _, in := range p.opts.runtimeInputs() {
+		if o := suite.Run(in); o != nil && o.Diverged {
+			sh.findings++
+			sh.buckets.Add(o)
+		}
+	}
+}
+
+// synchronizeCompile is the barrier body: merge-then-recount of the
+// shard-local bucket stores, in shard order, exactly like Pool's.
+func (p *CompilePool) synchronizeCompile() {
+	for _, sh := range p.shards {
+		delta := sh.buckets.Since(sh.bucketsSynced)
+		sh.bucketsSynced += len(delta)
+		p.buckets.Absorb(delta)
+	}
+	totals := map[uint64]int{}
+	for _, sh := range p.shards {
+		for key, c := range sh.buckets.Counts() {
+			totals[key] += c
+		}
+	}
+	p.buckets.Recount(totals)
+}
+
+// saveCompileCheckpoint snapshots the pool at a barrier. Failures
+// never stop the campaign; the previous checkpoint stays loadable.
+func (p *CompilePool) saveCompileCheckpoint() {
+	p.sinceCkpt = 0
+	if err := p.saver.Save(p.exportCompileState()); err != nil {
+		if !p.ckptLogged {
+			log.Printf("difffuzz: checkpoint save failed (campaign continues on the previous checkpoint): %v", err)
+			p.ckptLogged = true
+		}
+	}
+}
+
+// exportCompileState builds the durable snapshot: pool buckets in
+// full, shard buckets as skeletons, and the corpus cursor.
+func (p *CompilePool) exportCompileState() *checkpoint.State {
+	st := &checkpoint.State{
+		Version:     checkpoint.Version,
+		OptionsHash: p.optionsHash,
+		SpentExecs:  int64(p.cursor),
+	}
+	st.Buckets, st.BucketTotal = p.buckets.Export()
+	cs := &checkpoint.CompileCampaignState{Cursor: p.cursor, CorpusLen: len(p.corpus)}
+	for _, sh := range p.shards {
+		snaps, total := sh.buckets.Export()
+		for i := range snaps {
+			snaps[i].Outcome = nil // skeleton: keys, counts, signatures
+			snaps[i].Compile = nil
+		}
+		cs.Shards = append(cs.Shards, checkpoint.CompileShardState{
+			Index:           sh.index,
+			Dead:            sh.dead,
+			Programs:        sh.programs,
+			Accepted:        sh.accepted,
+			FrontendRejects: sh.frontendRejects,
+			Findings:        sh.findings,
+			Buckets:         snaps,
+			BucketTotal:     total,
+		})
+	}
+	st.Compile = cs
+	return st
+}
+
+// restore rebuilds pool state from a loaded snapshot.
+func (p *CompilePool) restore(st *checkpoint.State) error {
+	cs := st.Compile
+	if cs == nil {
+		return fmt.Errorf("checkpoint holds an input-fuzzing campaign, not a compile-oracle one")
+	}
+	if cs.CorpusLen != len(p.corpus) {
+		return fmt.Errorf("checkpoint corpus length %d != %d", cs.CorpusLen, len(p.corpus))
+	}
+	if len(cs.Shards) != len(p.shards) {
+		return fmt.Errorf("checkpoint has %d shards, pool has %d", len(cs.Shards), len(p.shards))
+	}
+	if cs.Cursor < 0 || cs.Cursor > len(p.corpus) {
+		return fmt.Errorf("checkpoint cursor %d out of range", cs.Cursor)
+	}
+	p.cursor = cs.Cursor
+	p.buckets = triage.RestoreBucketStore(st.Buckets, st.BucketTotal)
+	for i, ss := range cs.Shards {
+		sh := p.shards[i]
+		sh.buckets = triage.RestoreBucketStore(ss.Buckets, ss.BucketTotal)
+		sh.bucketsSynced = len(ss.Buckets)
+		sh.dead = ss.Dead
+		sh.programs = ss.Programs
+		sh.accepted = ss.Accepted
+		sh.frontendRejects = ss.FrontendRejects
+		sh.findings = ss.Findings
+	}
+	return nil
+}
+
+// snapshotCompile aggregates shard counters into a telemetry record.
+// Execs counts processed programs (each is one k-way compile).
+func (p *CompilePool) snapshotCompile() telemetry.Snapshot {
+	var s telemetry.Snapshot
+	for _, sh := range p.shards {
+		s.Programs += sh.programs
+	}
+	s.Execs = s.Programs
+	s.UniqueBuckets = p.buckets.Len()
+	kinds := p.buckets.KindCounts()
+	s.CompileDivergences = kinds[triage.KindCompileDivergence]
+	s.ICEs = kinds[triage.KindICE]
+	s.DiagMismatches = kinds[triage.KindDiagMismatch]
+	return s
+}
+
+// Stats summarizes the campaign so far.
+func (p *CompilePool) Stats() CompilePoolStats {
+	st := CompilePoolStats{
+		Shards:    len(p.shards),
+		Cursor:    p.cursor,
+		CorpusLen: len(p.corpus),
+	}
+	for _, sh := range p.shards {
+		st.Programs += sh.programs
+		st.Accepted += sh.accepted
+		st.FrontendRejects += sh.frontendRejects
+		st.Findings += sh.findings
+		st.ShardErrors = append(st.ShardErrors, sh.err)
+	}
+	st.UniqueBuckets = p.buckets.Len()
+	kinds := p.buckets.KindCounts()
+	st.CompileDivergences = kinds[triage.KindCompileDivergence]
+	st.ICEs = kinds[triage.KindICE]
+	st.DiagMismatches = kinds[triage.KindDiagMismatch]
+	st.RuntimeBuckets = kinds[triage.KindRuntime]
+	return st
+}
+
+// BucketStore exposes the pool-wide store (reports, tables).
+func (p *CompilePool) BucketStore() *triage.BucketStore { return p.buckets }
+
+// BucketKeys is the sorted bucket-key set — the order-independent
+// fingerprint of the campaign's findings.
+func (p *CompilePool) BucketKeys() []uint64 { return p.buckets.Keys() }
+
+// ImplNames returns the implementation names, suite order.
+func (p *CompilePool) ImplNames() []string {
+	names := make([]string, len(p.cfgs))
+	for i, cfg := range p.cfgs {
+		names[i] = cfg.Name()
+	}
+	return names
+}
+
+// CheckpointSeq is the last durable checkpoint's sequence number (0
+// when none was written).
+func (p *CompilePool) CheckpointSeq() int {
+	if p.saver == nil {
+		return 0
+	}
+	return p.saver.Seq()
+}
+
+// Close releases observability resources (the stats recorder).
+func (p *CompilePool) Close() {
+	if p.recorder != nil {
+		_ = p.recorder.Close()
+	}
+}

@@ -176,6 +176,16 @@ type Snapshot struct {
 	// evidence is incomplete and reports should say so.
 	PersistErrors int64           `json:"persist_errors,omitempty"`
 	Shards        []ShardSnapshot `json:"shards,omitempty"`
+
+	// Compile-stage oracle counters, set only by program-corpus
+	// campaigns (zero and omitted in input-fuzzing campaigns). They are
+	// deliberately separate fields rather than new outcome classes:
+	// ClassCounters arrays are serialized in checkpoints, so growing
+	// NumClasses would change that schema.
+	Programs           int64 `json:"programs,omitempty"`
+	CompileDivergences int   `json:"compile_divergences,omitempty"`
+	ICEs               int   `json:"ices,omitempty"`
+	DiagMismatches     int   `json:"diag_mismatches,omitempty"`
 }
 
 // SetClasses fills the per-class fields from a ClassCounters snapshot.

@@ -18,7 +18,11 @@ type Bucket struct {
 	Fingerprint Fingerprint
 	Key         uint64
 	// Outcome is the first diverging outcome that opened the bucket.
+	// Nil for compile-stage buckets, which carry Compile instead.
 	Outcome *core.Outcome
+	// Compile is the representative compile-stage record for buckets
+	// produced by the compile oracle (Fingerprint.Kind != KindRuntime).
+	Compile *core.CompileOutcome
 	// Count is the number of diverging inputs that landed here.
 	Count int
 	// Signatures counts the distinct triage signatures merged into
@@ -58,8 +62,27 @@ func (bs *BucketStore) Add(o *core.Outcome) (*Bucket, bool) {
 }
 
 func (bs *BucketStore) addLocked(o *core.Outcome, count int, sig uint64) (*Bucket, bool) {
+	return bs.insertLocked(Of(o), o, nil, count, sig)
+}
+
+// AddCompile records a compile-stage outcome. Outcomes that are not
+// findings (all implementations accept, or all reject with identical
+// normalized diagnostics) are ignored.
+func (bs *BucketStore) AddCompile(co *core.CompileOutcome) (*Bucket, bool) {
+	if co == nil {
+		return nil, false
+	}
+	fp, ok := OfCompile(co)
+	if !ok {
+		return nil, false
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return bs.insertLocked(fp, nil, co, 1, co.Signature())
+}
+
+func (bs *BucketStore) insertLocked(fp Fingerprint, o *core.Outcome, co *core.CompileOutcome, count int, sig uint64) (*Bucket, bool) {
 	bs.total += count
-	fp := Of(o)
 	key := fp.Key()
 	if b, ok := bs.byKey[key]; ok {
 		b.Count += count
@@ -73,6 +96,7 @@ func (bs *BucketStore) addLocked(o *core.Outcome, count int, sig uint64) (*Bucke
 		Fingerprint: fp,
 		Key:         key,
 		Outcome:     o,
+		Compile:     co,
 		Count:       count,
 		Signatures:  1,
 		sigs:        map[uint64]bool{sig: true},
@@ -80,6 +104,19 @@ func (bs *BucketStore) addLocked(o *core.Outcome, count int, sig uint64) (*Bucke
 	bs.byKey[key] = b
 	bs.order = append(bs.order, key)
 	return b, true
+}
+
+// KindCounts breaks the unique-bucket count down by finding kind.
+func (bs *BucketStore) KindCounts() [NumKinds]int {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	var out [NumKinds]int
+	for _, b := range bs.byKey {
+		if k := b.Fingerprint.Kind; int(k) < NumKinds {
+			out[k]++
+		}
+	}
+	return out
 }
 
 // Absorb merges another store's buckets (typically a shard-local
@@ -105,6 +142,7 @@ func (bs *BucketStore) Absorb(buckets []*Bucket) []*Bucket {
 			Fingerprint: b.Fingerprint,
 			Key:         b.Key,
 			Outcome:     b.Outcome,
+			Compile:     b.Compile,
 			Count:       b.Count,
 			Signatures:  b.Signatures,
 			sigs:        map[uint64]bool{},
@@ -210,11 +248,12 @@ func (bs *BucketStore) Keys() []uint64 {
 // signature set flattened to a sorted slice so the encoding is
 // deterministic and round-trips byte-identically.
 type BucketSnapshot struct {
-	Fingerprint Fingerprint   `json:"fingerprint"`
-	Key         uint64        `json:"key"`
-	Outcome     *core.Outcome `json:"outcome,omitempty"`
-	Count       int           `json:"count"`
-	Signatures  []uint64      `json:"signatures"`
+	Fingerprint Fingerprint          `json:"fingerprint"`
+	Key         uint64               `json:"key"`
+	Outcome     *core.Outcome        `json:"outcome,omitempty"`
+	Compile     *core.CompileOutcome `json:"compile,omitempty"`
+	Count       int                  `json:"count"`
+	Signatures  []uint64             `json:"signatures"`
 }
 
 // Export snapshots the store for checkpointing: buckets in discovery
@@ -235,6 +274,7 @@ func (bs *BucketStore) Export() ([]BucketSnapshot, int) {
 			Fingerprint: b.Fingerprint,
 			Key:         b.Key,
 			Outcome:     b.Outcome,
+			Compile:     b.Compile,
 			Count:       b.Count,
 			Signatures:  sigs,
 		})
@@ -253,6 +293,7 @@ func RestoreBucketStore(snaps []BucketSnapshot, total int) *BucketStore {
 			Fingerprint: s.Fingerprint,
 			Key:         s.Key,
 			Outcome:     s.Outcome,
+			Compile:     s.Compile,
 			Count:       s.Count,
 			Signatures:  len(s.Signatures),
 			sigs:        make(map[uint64]bool, len(s.Signatures)),
@@ -271,6 +312,9 @@ func RestoreBucketStore(snaps []BucketSnapshot, total int) *BucketStore {
 // fingerprint, the hit counters, and the representative input with
 // the disagreeing implementation groups and their outputs.
 func (b *Bucket) Report(names []string) string {
+	if b.Compile != nil {
+		return b.reportCompile()
+	}
 	o := b.Outcome
 	var s strings.Builder
 	fmt.Fprintf(&s, "bucket %016x %s (%d inputs, %d signatures)\n",
@@ -301,6 +345,26 @@ func (b *Bucket) Report(names []string) string {
 		}
 		if !strings.HasSuffix(g.out, "\n") {
 			s.WriteString("\n")
+		}
+	}
+	return s.String()
+}
+
+// reportCompile renders a compile-stage bucket: per-implementation
+// status with the diagnostics (or crash text) that define the bucket.
+func (b *Bucket) reportCompile() string {
+	co := b.Compile
+	var s strings.Builder
+	fmt.Fprintf(&s, "bucket %016x %s (%d programs, %d signatures)\n",
+		b.Key, b.Fingerprint, b.Count, b.Signatures)
+	for _, im := range co.Impls {
+		fmt.Fprintf(&s, "[%s] %s\n", im.Name, im.Status)
+		if im.ICE != "" {
+			s.WriteString("    " + im.ICE + "\n")
+			continue
+		}
+		for _, d := range im.Diags {
+			s.WriteString("    " + d + "\n")
 		}
 	}
 	return s.String()

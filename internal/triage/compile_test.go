@@ -1,0 +1,264 @@
+package triage
+
+// Unit tests for the compile-stage half of the triage layer: the
+// OfCompile finding predicate, the Kind/Detail extension of the
+// fingerprint key, and the BucketStore's compile-bucket handling
+// (AddCompile, KindCounts, checkpoint round-trip, reports). These work
+// on synthetic CompileOutcome records so every branch — including ones
+// the real compiler set never produces — is reachable.
+
+import (
+	"strings"
+	"testing"
+
+	"compdiff/internal/core"
+)
+
+// accept/reject/ice build one synthetic per-implementation record each.
+func accept(name string) core.ImplCompile {
+	return core.ImplCompile{Name: name, Status: core.StatusAccept}
+}
+
+func reject(name string, diags ...string) core.ImplCompile {
+	return core.ImplCompile{
+		Name:   name,
+		Status: core.StatusReject,
+		Error:  "compile [" + name + "]: rejected",
+		Diags:  diags,
+	}
+}
+
+func ice(name, text string) core.ImplCompile {
+	return core.ImplCompile{
+		Name:   name,
+		Status: core.StatusICE,
+		Error:  "compile [" + name + "]: internal compiler error",
+		ICE:    text,
+	}
+}
+
+func outcome(impls ...core.ImplCompile) *core.CompileOutcome {
+	return &core.CompileOutcome{Impls: impls}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindRuntime:           "runtime",
+		KindCompileDivergence: "compile-divergence",
+		KindICE:               "ice",
+		KindDiagMismatch:      "diag-mismatch",
+		Kind(99):              "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestOfCompileNonFindings(t *testing.T) {
+	// Universal acceptance: the runtime oracle's territory.
+	if _, ok := OfCompile(outcome(accept("a"), accept("b"))); ok {
+		t.Error("all-accept outcome fingerprinted as a finding")
+	}
+	// Uniform rejection with the same diagnostic: a plain invalid
+	// program, even when line numbers drift between implementations.
+	if _, ok := OfCompile(outcome(
+		reject("a", "<source>:3: error: division by zero"),
+		reject("b", "<source>:7: error: division by zero"),
+	)); ok {
+		t.Error("uniformly-rejected program fingerprinted as a finding")
+	}
+	// Uniform rejection with no rendered diagnostics falls back to the
+	// error text; the per-implementation prefix must not split it.
+	if _, ok := OfCompile(outcome(reject("gcc -O0"), reject("clang -O2"))); ok {
+		t.Error("prefix-only error difference fingerprinted as a finding")
+	}
+}
+
+func TestOfCompileClasses(t *testing.T) {
+	div, ok := OfCompile(outcome(accept("a"), reject("b", "<source>:1: error: no")))
+	if !ok || div.Kind != KindCompileDivergence {
+		t.Fatalf("accept+reject => (%v, %v), want compile-divergence", div.Kind, ok)
+	}
+	if div.Stage != 1 || div.Partition[0] != 0 || div.Partition[1] != 1 {
+		t.Errorf("divergence shape wrong: %s", div)
+	}
+
+	crash, ok := OfCompile(outcome(accept("a"), ice("b", "internal compiler error: in fold, at expr.cc:9")))
+	if !ok || crash.Kind != KindICE {
+		t.Fatalf("accept+ice => (%v, %v), want ice", crash.Kind, ok)
+	}
+	// ICE outranks the accept/reject split in classification.
+	mixed, ok := OfCompile(outcome(accept("a"), reject("b", "e"), ice("c", "boom")))
+	if !ok || mixed.Kind != KindICE {
+		t.Fatalf("accept+reject+ice => (%v, %v), want ice", mixed.Kind, ok)
+	}
+
+	diag, ok := OfCompile(outcome(
+		reject("a", "<source>:1: error: division by zero"),
+		reject("b", "<source>:1: error: initializer element is not constant"),
+	))
+	if !ok || diag.Kind != KindDiagMismatch {
+		t.Fatalf("split rejects => (%v, %v), want diag-mismatch", diag.Kind, ok)
+	}
+
+	// Same statuses, different ICE texts: one partition cell per
+	// normalized crash, and distinct Details.
+	two, ok := OfCompile(outcome(ice("a", "crash in fold"), ice("b", "crash in lower")))
+	if !ok || two.Partition[1] != 1 {
+		t.Fatalf("distinct ICE texts merged: %s ok=%v", two, ok)
+	}
+	one, ok := OfCompile(outcome(ice("a", "crash in fold at line 3"), ice("b", "crash in fold at line 88")))
+	if !ok {
+		t.Fatal("uniform ICE outcome must still be a finding")
+	}
+	if one.Partition[1] != 0 {
+		t.Errorf("normalization-equivalent ICE texts split the partition: %s", one)
+	}
+	if one.Detail == two.Detail {
+		t.Error("different crash sets share a Detail hash")
+	}
+}
+
+func TestCompileKeyExtendsRuntimeKeyspace(t *testing.T) {
+	runtime := Fingerprint{Partition: []uint8{0, 1}, Classes: []uint8{0, 0}, Stage: 1}
+	compile := Fingerprint{Partition: []uint8{0, 1}, Classes: []uint8{0, 0}, Stage: 1,
+		Kind: KindCompileDivergence, Detail: 7}
+	if runtime.Key() == compile.Key() {
+		t.Error("kind/detail tail did not change the bucket key")
+	}
+	other := compile
+	other.Detail = 8
+	if compile.Key() == other.Key() {
+		t.Error("detail value did not change the bucket key")
+	}
+	if compile.Key() != compile.Key() {
+		t.Error("key is not deterministic")
+	}
+	if runtime.Equal(compile) || !compile.Equal(compile) {
+		t.Error("Equal ignores the kind/detail extension")
+	}
+}
+
+func TestCompileFingerprintString(t *testing.T) {
+	fp, ok := OfCompile(outcome(accept("a"), ice("b", "boom"), reject("c", "e")))
+	if !ok {
+		t.Fatal("mixed outcome must be a finding")
+	}
+	s := fp.String()
+	for _, want := range []string{"ice ", "class[air]", "detail["} {
+		if !strings.Contains(s, want) {
+			t.Errorf("compile fingerprint %q missing %q", s, want)
+		}
+	}
+	// Out-of-range class bytes render as '?' instead of panicking.
+	weird := Fingerprint{Partition: []uint8{0}, Classes: []uint8{42}, Kind: KindICE}
+	if !strings.Contains(weird.String(), "class[?]") {
+		t.Errorf("out-of-range class not rendered as '?': %s", weird)
+	}
+}
+
+func TestStripImplPrefix(t *testing.T) {
+	if got := stripImplPrefix("compile [gcc -O2]: no main function"); got != "no main function" {
+		t.Errorf("prefix not stripped: %q", got)
+	}
+	if got := stripImplPrefix("plain error"); got != "plain error" {
+		t.Errorf("unprefixed text changed: %q", got)
+	}
+}
+
+func TestAddCompileDedupAndKindCounts(t *testing.T) {
+	bs := NewBucketStore()
+	if b, _ := bs.AddCompile(nil); b != nil {
+		t.Error("nil outcome produced a bucket")
+	}
+	if b, _ := bs.AddCompile(outcome(accept("a"), accept("b"))); b != nil {
+		t.Error("non-finding outcome produced a bucket")
+	}
+
+	div := outcome(accept("a"), reject("b", "<source>:1: error: no"))
+	b1, fresh := bs.AddCompile(div)
+	if b1 == nil || !fresh {
+		t.Fatal("first finding did not open a bucket")
+	}
+	// The same finding with a shifted line number is the same bucket
+	// but a distinct raw signature.
+	b2, fresh := bs.AddCompile(outcome(accept("a"), reject("b", "<source>:44: error: no")))
+	if b2 != b1 || fresh {
+		t.Fatalf("line-shifted finding opened a new bucket")
+	}
+	if b1.Count != 2 || b1.Signatures != 2 {
+		t.Errorf("bucket counters = (%d inputs, %d signatures), want (2, 2)", b1.Count, b1.Signatures)
+	}
+
+	bs.AddCompile(outcome(accept("a"), ice("b", "boom")))
+	bs.AddCompile(outcome(reject("a", "x"), reject("b", "y")))
+	counts := bs.KindCounts()
+	want := [NumKinds]int{KindCompileDivergence: 1, KindICE: 1, KindDiagMismatch: 1}
+	if counts != want {
+		t.Errorf("KindCounts = %v, want %v", counts, want)
+	}
+	if bs.Len() != 3 || bs.Total() != 4 {
+		t.Errorf("store has %d buckets / %d total, want 3 / 4", bs.Len(), bs.Total())
+	}
+}
+
+func TestCompileBucketCheckpointRoundTrip(t *testing.T) {
+	bs := NewBucketStore()
+	bs.AddCompile(outcome(accept("a"), ice("b", "internal compiler error: in fold")))
+	bs.AddCompile(outcome(accept("a"), reject("b", "<source>:1: error: no")))
+	bs.AddCompile(outcome(accept("a"), reject("b", "<source>:9: error: no")))
+
+	snaps, total := bs.Export()
+	if len(snaps) != 2 || total != 3 {
+		t.Fatalf("Export => %d snapshots / %d total, want 2 / 3", len(snaps), total)
+	}
+	if snaps[0].Compile == nil || snaps[0].Outcome != nil {
+		t.Error("compile bucket exported without its Compile record")
+	}
+
+	re := RestoreBucketStore(snaps, total)
+	if re.Len() != 2 || re.Total() != 3 {
+		t.Fatalf("restore => %d buckets / %d total, want 2 / 3", re.Len(), re.Total())
+	}
+	rs, rtotal := re.Export()
+	if rtotal != total || len(rs) != len(snaps) {
+		t.Fatal("second export changed shape")
+	}
+	for i := range snaps {
+		if rs[i].Key != snaps[i].Key || rs[i].Count != snaps[i].Count ||
+			len(rs[i].Signatures) != len(snaps[i].Signatures) {
+			t.Errorf("snapshot %d drifted across restore: %+v vs %+v", i, rs[i], snaps[i])
+		}
+	}
+
+	// A restored store keeps deduplicating into the same buckets.
+	if _, fresh := re.AddCompile(outcome(accept("a"), reject("b", "<source>:77: error: no"))); fresh {
+		t.Error("restored store opened a duplicate bucket")
+	}
+}
+
+func TestCompileBucketReportAndTable(t *testing.T) {
+	bs := NewBucketStore()
+	b, _ := bs.AddCompile(outcome(
+		accept("gcc -O0"),
+		ice("gcc -O2", "internal compiler error: in simplify_expr, at expr.cc:4149"),
+		reject("clang -O1", "<source>:3: error: division by zero"),
+	))
+	rep := b.Report([]string{"gcc -O0", "gcc -O2", "clang -O1"})
+	for _, want := range []string{
+		"[gcc -O0] accept",
+		"[gcc -O2] ice",
+		"internal compiler error: in simplify_expr",
+		"[clang -O1] reject",
+		"division by zero",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("compile report missing %q:\n%s", want, rep)
+		}
+	}
+	if !strings.Contains(bs.Table(), "ice stage1") {
+		t.Errorf("table does not show the compile fingerprint:\n%s", bs.Table())
+	}
+}

@@ -22,6 +22,7 @@ package triage
 import (
 	"encoding/json"
 	"fmt"
+	"regexp"
 	"strings"
 
 	"compdiff/internal/core"
@@ -49,6 +50,51 @@ type Fingerprint struct {
 	// (family × rising optimization level, suite order) whose output
 	// departs from the chain head's — the "first divergent stage".
 	Stage int `json:"stage"`
+
+	// Kind says which oracle produced the finding. The zero value
+	// (KindRuntime) is the classic output-differential oracle, so
+	// runtime fingerprints — and their persisted keys — are unchanged
+	// by the compile-stage extension.
+	Kind Kind `json:"kind,omitempty"`
+	// Detail is the compile-stage identity refinement: a hash over the
+	// per-implementation (status, normalized message key) sequence.
+	// Zero for runtime findings. It distinguishes, say, two different
+	// ICEs that crash the same subset of implementations.
+	Detail uint64 `json:"detail,omitempty"`
+}
+
+// Kind is the oracle class of a finding.
+type Kind uint8
+
+const (
+	// KindRuntime: the classic output differential (paper oracle).
+	KindRuntime Kind = iota
+	// KindCompileDivergence: some implementations accept the program,
+	// others reject it.
+	KindCompileDivergence
+	// KindICE: at least one implementation crashed compiling it.
+	KindICE
+	// KindDiagMismatch: all implementations reject, but with different
+	// normalized diagnostic sets.
+	KindDiagMismatch
+
+	// NumKinds is the number of finding kinds.
+	NumKinds = 4
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindRuntime:
+		return "runtime"
+	case KindCompileDivergence:
+		return "compile-divergence"
+	case KindICE:
+		return "ice"
+	case KindDiagMismatch:
+		return "diag-mismatch"
+	}
+	return "unknown"
 }
 
 // Of computes the fingerprint of a diverging outcome. The outcome
@@ -80,20 +126,33 @@ func Of(o *core.Outcome) Fingerprint {
 
 // Key folds the fingerprint into a 64-bit bucket key. The seed is
 // distinct from the output-checksum and triage-signature seeds so the
-// three keyspaces never collide structurally.
+// three keyspaces never collide structurally. Kind and Detail are
+// mixed in only when set, so every runtime fingerprint keys exactly
+// as it did before the compile-stage oracle existed (golden files pin
+// those keys).
 func (f Fingerprint) Key() uint64 {
 	d := hash.New128(0x791a)
 	d.Write(f.Partition)
 	d.Write([]byte{0xff})
 	d.Write(f.Classes)
 	d.Write([]byte{byte(f.Stage)})
+	if f.Kind != KindRuntime || f.Detail != 0 {
+		var tail [10]byte
+		tail[0] = 0xfe
+		tail[1] = byte(f.Kind)
+		for i := 0; i < 8; i++ {
+			tail[2+i] = byte(f.Detail >> (8 * i))
+		}
+		d.Write(tail[:])
+	}
 	h1, _ := d.Sum128()
 	return h1
 }
 
 // Equal reports whether two fingerprints denote the same bucket.
 func (f Fingerprint) Equal(g Fingerprint) bool {
-	if f.Stage != g.Stage || len(f.Partition) != len(g.Partition) || len(f.Classes) != len(g.Classes) {
+	if f.Stage != g.Stage || f.Kind != g.Kind || f.Detail != g.Detail ||
+		len(f.Partition) != len(g.Partition) || len(f.Classes) != len(g.Classes) {
 		return false
 	}
 	for i := range f.Partition {
@@ -113,10 +172,20 @@ func (f Fingerprint) Equal(g Fingerprint) bool {
 // h=step-limit-hang, d=diff (unused per-impl, kept for completeness).
 var classLetters = [telemetry.NumClasses]byte{'o', 'c', 'h', 'd'}
 
+// compileLetters renders compile statuses: a=accept, r=reject, i=ice.
+var compileLetters = [...]byte{'a', 'r', 'i'}
+
 // String renders the fingerprint human-readably, e.g.
-// "stage2 part[0011122233] class[ooccoooooo]".
+// "stage2 part[0011122233] class[ooccoooooo]" for a runtime finding or
+// "ice stage2 part[0022200555] class[aaiiiaaiii] detail[…]" for a
+// compile-stage one.
 func (f Fingerprint) String() string {
 	var b strings.Builder
+	letters := classLetters[:]
+	if f.Kind != KindRuntime {
+		letters = compileLetters[:]
+		fmt.Fprintf(&b, "%s ", f.Kind)
+	}
 	fmt.Fprintf(&b, "stage%d part[", f.Stage)
 	for _, p := range f.Partition {
 		if p < 10 {
@@ -127,14 +196,111 @@ func (f Fingerprint) String() string {
 	}
 	b.WriteString("] class[")
 	for _, c := range f.Classes {
-		if int(c) < len(classLetters) {
-			b.WriteByte(classLetters[c])
+		if int(c) < len(letters) {
+			b.WriteByte(letters[c])
 		} else {
 			b.WriteByte('?')
 		}
 	}
 	b.WriteString("]")
+	if f.Kind != KindRuntime {
+		fmt.Fprintf(&b, " detail[%016x]", f.Detail)
+	}
 	return b.String()
+}
+
+// implKey is one implementation's compile-stage identity: zero for an
+// accept, the normalized diagnostic-set key for a reject, the
+// normalized crash key for an ICE. Reject identities fall back to the
+// normalized error text when no diagnostics were rendered (structural
+// rejects like a missing main), with the per-implementation "compile
+// [name]:" prefix stripped so identical complaints stay identical.
+func implKey(im core.ImplCompile) uint64 {
+	switch im.Status {
+	case core.StatusAccept:
+		return 0
+	case core.StatusICE:
+		return CrashKey(im.ICE)
+	default:
+		if len(im.Diags) > 0 {
+			return DiagSetKey(im.Diags)
+		}
+		return DiagSetKey([]string{stripImplPrefix(im.Error)})
+	}
+}
+
+var implPrefix = regexp.MustCompile(`^compile \[[^\]]*\]: `)
+
+func stripImplPrefix(s string) string {
+	return implPrefix.ReplaceAllString(s, "")
+}
+
+// OfCompile computes the fingerprint of a compile outcome and reports
+// whether it is a finding at all. Implementations are partitioned by
+// their compile-stage identity (status plus normalized message key);
+// Classes carry the per-implementation status. Non-findings — every
+// implementation accepts, or every implementation rejects with the
+// same normalized diagnostics (a plain invalid program) — return
+// ok=false.
+func OfCompile(co *core.CompileOutcome) (Fingerprint, bool) {
+	k := len(co.Impls)
+	fp := Fingerprint{
+		Partition: make([]uint8, k),
+		Classes:   make([]uint8, k),
+	}
+	keys := make([]uint64, k)
+	var anyICE, anyAccept, anyReject bool
+	uniform := true
+	for i, im := range co.Impls {
+		keys[i] = implKey(im)
+		fp.Classes[i] = uint8(im.Status)
+		switch im.Status {
+		case core.StatusAccept:
+			anyAccept = true
+		case core.StatusICE:
+			anyICE = true
+		default:
+			anyReject = true
+		}
+		rep := i
+		for j := 0; j < i; j++ {
+			if co.Impls[j].Status == im.Status && keys[j] == keys[i] {
+				rep = j
+				break
+			}
+		}
+		fp.Partition[i] = uint8(rep)
+		if fp.Stage == 0 && rep != 0 {
+			fp.Stage = i
+		}
+		if rep != 0 {
+			uniform = false
+		}
+	}
+	switch {
+	case anyICE:
+		fp.Kind = KindICE
+	case anyAccept && anyReject:
+		fp.Kind = KindCompileDivergence
+	case anyReject:
+		if uniform {
+			return Fingerprint{}, false // same complaint everywhere
+		}
+		fp.Kind = KindDiagMismatch
+	default:
+		return Fingerprint{}, false // all accepted: runtime oracle's turn
+	}
+	d := hash.New128(0x1ce7)
+	for i := range keys {
+		var rec [9]byte
+		rec[0] = byte(co.Impls[i].Status)
+		for b := 0; b < 8; b++ {
+			rec[1+b] = byte(keys[i] >> (8 * b))
+		}
+		d.Write(rec[:])
+	}
+	fp.Detail, _ = d.Sum128()
+	return fp, true
 }
 
 // MarshalJSON emits the struct fields plus the derived key and the

@@ -42,6 +42,19 @@ int main() {
 }
 `
 
+// compileHostSrc is the compile-stage host: optimizing gcc rejects
+// the constant division outright, everyone else accepts with a
+// warning, so the program itself is a compile-divergence finding.
+const compileHostSrc = `
+int pad_helper(int v) { return v * 3 + 1; }
+int main() {
+    int pad = pad_helper(5);
+    printf("pad %d\n", pad);
+    int d = 1 / 0;
+    return d;
+}
+`
+
 func FuzzReduce(f *testing.F) {
 	suite, err := core.BuildSource(fuzzHostSrc, compiler.DefaultSet(), core.Options{})
 	if err != nil {
@@ -53,10 +66,20 @@ func FuzzReduce(f *testing.F) {
 	f.Add([]byte("Uaa"))
 	f.Add([]byte("zz"))
 	f.Add([]byte{})
+	f.Add([]byte("K"))
+	f.Add([]byte("Kwith trailing input bytes"))
 
 	f.Fuzz(func(t *testing.T, input []byte) {
 		if len(input) > 32 {
 			input = input[:32]
+		}
+		if len(input) > 0 && input[0] == 'K' {
+			// Compile-stage branch: the host diverges at compile time, so
+			// Reduce must preserve the compile fingerprint without ever
+			// running the VM, and the input — whatever the fuzzer put
+			// after the gate byte — must drop out as irrelevant.
+			fuzzCompileReduce(t, input)
+			return
 		}
 		o := suite.Run(input)
 		if !o.Diverged {
@@ -100,4 +123,50 @@ func FuzzReduce(f *testing.F) {
 			t.Fatalf("reduced fingerprint %v != original %v\n%s", fp, orig, red.Source)
 		}
 	})
+}
+
+// fuzzCompileReduce asserts Reduce's contract on a compile-stage
+// finding: same fingerprint, no growth, no retained input, and the
+// output re-validates from scratch.
+func fuzzCompileReduce(t *testing.T, input []byte) {
+	_, co, err := core.BuildSourceDifferential(compileHostSrc, compiler.DefaultSet(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, ok := OfCompile(co)
+	if !ok {
+		t.Fatal("compile host is not a finding")
+	}
+	if orig.Kind == KindRuntime {
+		t.Fatalf("compile host fingerprints as runtime: %s", orig)
+	}
+
+	red, err := Reduce(compileHostSrc, input, ReduceOptions{MaxSuiteRuns: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.SuiteRuns > 120 {
+		t.Fatalf("budget overrun: %d suite runs", red.SuiteRuns)
+	}
+	if len(red.Source) > len(compileHostSrc) {
+		t.Fatalf("reduction grew the finding: %d/%d source bytes", len(red.Source), len(compileHostSrc))
+	}
+	if len(red.Input) != 0 {
+		t.Fatalf("compile-stage reduction kept input %q", red.Input)
+	}
+	if !red.Fingerprint.Equal(orig) {
+		t.Fatalf("reported fingerprint drifted: %v vs original %v", red.Fingerprint, orig)
+	}
+
+	// Re-validate from scratch, trusting nothing the reducer cached.
+	rsuite, rco, err := core.BuildSourceDifferential(red.Source, compiler.DefaultSet(), core.Options{})
+	if err != nil {
+		t.Fatalf("reduced source does not build: %v\n%s", err, red.Source)
+	}
+	if rsuite != nil {
+		t.Fatalf("reduced source compiles clean everywhere:\n%s", red.Source)
+	}
+	if fp, ok := OfCompile(rco); !ok || !fp.Equal(orig) {
+		t.Fatalf("reduced fingerprint %v != original %v\n%s", fp, orig, red.Source)
+	}
 }

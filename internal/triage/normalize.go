@@ -1,0 +1,68 @@
+package triage
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+
+	"compdiff/internal/hash"
+)
+
+// Crash and diagnostic normalization. ICE panic texts and compiler
+// diagnostics carry incidental noise — internal source locations,
+// frame addresses, recursion counters, the line the reducer just
+// moved — that would make every reproducer its own bucket. Before
+// fingerprinting, messages are normalized the way differential
+// crash-triage tooling does: file paths, line numbers, hex addresses,
+// and counters collapse to placeholders, whitespace is canonicalized,
+// and only then is the text hashed. Two crashes are "the same bug"
+// exactly when their normalized texts agree.
+
+var (
+	// Hex literals first: otherwise the digit rule would shred them.
+	normHex = regexp.MustCompile(`0[xX][0-9a-fA-F]+`)
+	// Slash paths (absolute or relative, any depth).
+	normSlashPath = regexp.MustCompile(`(?:[A-Za-z0-9_.+-]*/)+[A-Za-z0-9_.+-]+`)
+	// Bare source-file tokens like expr.cc or lower.go.
+	normFile = regexp.MustCompile(`\b[A-Za-z0-9_+-]+\.(?:c|cc|cpp|cxx|h|hpp|go|py|rs|mc)\b`)
+	// Remaining digit runs: line/column numbers, depths, counters.
+	normNum = regexp.MustCompile(`[0-9]+`)
+	normWS  = regexp.MustCompile(`\s+`)
+)
+
+// NormalizeMessage canonicalizes one diagnostic or panic message. The
+// placeholders are deliberately digit-free so the later rules cannot
+// shred them.
+func NormalizeMessage(s string) string {
+	s = normHex.ReplaceAllString(s, "<hex>")
+	s = normSlashPath.ReplaceAllString(s, "<path>")
+	s = normFile.ReplaceAllString(s, "<path>")
+	s = normNum.ReplaceAllString(s, "<n>")
+	s = normWS.ReplaceAllString(strings.TrimSpace(s), " ")
+	return s
+}
+
+// CrashKey is the normalized fingerprint of one ICE panic text.
+func CrashKey(panicText string) uint64 {
+	return hash.Sum64([]byte(NormalizeMessage(panicText)), 0x1ce)
+}
+
+// DiagSetKey is the normalized fingerprint of a diagnostic *set*:
+// messages are normalized, deduplicated, and sorted, so emission
+// order and repeated sites do not affect identity.
+func DiagSetKey(diags []string) uint64 {
+	if len(diags) == 0 {
+		return 0
+	}
+	norm := make([]string, 0, len(diags))
+	seen := map[string]bool{}
+	for _, d := range diags {
+		n := NormalizeMessage(d)
+		if !seen[n] {
+			seen[n] = true
+			norm = append(norm, n)
+		}
+	}
+	sort.Strings(norm)
+	return hash.Sum64([]byte(strings.Join(norm, "\n")), 0xd1a6)
+}

@@ -1,0 +1,102 @@
+package triage
+
+import "testing"
+
+// TestNormalizeMessage pins the normalization rules one by one.
+func TestNormalizeMessage(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"hex address", "crash at 0xDEADbeef01", "crash at <hex>"},
+		{"slash path", "in /usr/lib/gcc-12/cc1 during fold", "in <path> during fold"},
+		{"relative path", "in lib/expr/fold.cc line 9", "in <path> line <n>"},
+		{"bare file token", "at expr.cc:4149 in fold", "at <path>:<n> in fold"},
+		{"go file token", "panic in lower.go", "panic in <path>"},
+		{"digit runs", "depth 49 exceeds 48", "depth <n> exceeds <n>"},
+		{"hex before digits", "frame 0x1234 depth 12", "frame <hex> depth <n>"},
+		{"whitespace collapse", "  a\tb\n c  ", "a b c"},
+		{"plain text untouched", "error in backend", "error in backend"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := NormalizeMessage(c.in); got != c.want {
+				t.Errorf("NormalizeMessage(%q) = %q, want %q", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+// TestCrashKeyCollapsesIncidentalNoise: the same underlying crash
+// reported with different paths, line numbers, addresses, and
+// counters must hash to one key — that is what keeps a reducer's
+// line-shifted reproducer in the original bucket.
+func TestCrashKeyCollapsesIncidentalNoise(t *testing.T) {
+	base := CrashKey("internal compiler error: in simplify_expr, at expr.cc:4149: depth 49 exceeds 48 at <source>:18 (frame 0xb568a6a6086f786c)")
+	variants := []string{
+		// Different line numbers and depth counters.
+		"internal compiler error: in simplify_expr, at expr.cc:912: depth 51 exceeds 48 at <source>:3 (frame 0xb568a6a6086f786c)",
+		// Different frame address.
+		"internal compiler error: in simplify_expr, at expr.cc:4149: depth 49 exceeds 48 at <source>:18 (frame 0x1)",
+		// A path-qualified source location.
+		"internal compiler error: in simplify_expr, at gcc/fold/expr.cc:4149: depth 49 exceeds 48 at <source>:18 (frame 0xb568a6a6086f786c)",
+		// Sloppier whitespace.
+		"internal compiler error:  in simplify_expr,\tat expr.cc:4149: depth 49 exceeds 48 at <source>:18 (frame 0xb568a6a6086f786c)",
+	}
+	for i, v := range variants {
+		if got := CrashKey(v); got != base {
+			t.Errorf("variant %d: CrashKey %016x != base %016x\n%s", i, got, base, v)
+		}
+	}
+}
+
+// TestCrashKeyKeepsDistinctCrashesApart: genuinely different panics —
+// a different failing function, a different complaint — must not
+// collide.
+func TestCrashKeyKeepsDistinctCrashesApart(t *testing.T) {
+	keys := map[uint64]string{}
+	for _, text := range []string{
+		"internal compiler error: in simplify_expr, at expr.cc:4149: depth 49 exceeds 48",
+		"internal compiler error: in lower_stmt, at expr.cc:4149: depth 49 exceeds 48",
+		"fatal error: error in backend: simplifier recursion limit 48 reached at depth 49",
+		"fatal error: error in backend: register allocator ran out of colors",
+	} {
+		k := CrashKey(text)
+		if prev, dup := keys[k]; dup {
+			t.Fatalf("distinct crashes collide on %016x:\n%s\n%s", k, prev, text)
+		}
+		keys[k] = text
+	}
+}
+
+// TestDiagSetKey: set semantics — order and duplicates are identity-
+// irrelevant, content is not, and the empty set is the zero key.
+func TestDiagSetKey(t *testing.T) {
+	a := []string{
+		"<source>:2: error: division by zero [-Werror=div-by-zero]",
+		"<source>:9: warning: left shift count >= width of type [-Wshift-count-overflow]",
+	}
+	reordered := []string{a[1], a[0]}
+	duplicated := []string{a[0], a[1], a[0]}
+	lineShifted := []string{
+		"<source>:7: error: division by zero [-Werror=div-by-zero]",
+		"<source>:1: warning: left shift count >= width of type [-Wshift-count-overflow]",
+	}
+	base := DiagSetKey(a)
+	if base == 0 {
+		t.Fatal("non-empty diag set hashed to the zero key")
+	}
+	for i, set := range [][]string{reordered, duplicated, lineShifted} {
+		if got := DiagSetKey(set); got != base {
+			t.Errorf("equivalent set %d: %016x != %016x", i, got, base)
+		}
+	}
+	other := []string{"<source>:2: error: division by zero is undefined [-Wdivision-by-zero]"}
+	if DiagSetKey(other) == base {
+		t.Error("different wording collided with the base set")
+	}
+	if DiagSetKey(nil) != 0 || DiagSetKey([]string{}) != 0 {
+		t.Error("empty diag set must key to 0")
+	}
+}

@@ -73,6 +73,12 @@ var ErrNoDivergence = errors.New("triage: finding does not diverge")
 // once the frame shrinks, yet it is still the same bug as long as the
 // implementations disagree the same way.
 //
+// Compile-stage findings reduce too: when the baseline program itself
+// diverges at compile time (accept/reject split, ICE, or diagnostic
+// mismatch), the acceptance predicate becomes compile-fingerprint
+// preservation — same partition, same normalized crash/diagnostic
+// keys — and no VM run is needed.
+//
 // Reduce is deterministic: same finding, same options, same result,
 // regardless of Suite.Parallelism.
 func Reduce(src string, input []byte, opts ReduceOptions) (*Reduction, error) {
@@ -86,9 +92,35 @@ func Reduce(src string, input []byte, opts ReduceOptions) (*Reduction, error) {
 	}
 	r := &reducer{cfgs: cfgs, sopts: opts.Suite, budget: budget}
 
-	suite, err := r.build(src)
+	suite, co, err := r.buildDifferential(src)
 	if err != nil {
 		return nil, fmt.Errorf("triage: baseline: %w", err)
+	}
+	if fp, ok := OfCompile(co); ok {
+		// Compile-stage finding: the program itself is the reproducer.
+		// Reduction preserves the compile fingerprint (same
+		// accept/reject/ICE partition, same normalized message keys) and
+		// never runs the VM; the input is irrelevant and drops to empty.
+		r.compileMode = true
+		r.fp = fp
+		r.best = src
+		for !r.exhausted() {
+			if !r.reduceProgram() {
+				break
+			}
+		}
+		return &Reduction{
+			Source:          r.best,
+			Fingerprint:     r.fp,
+			OrigSourceBytes: len(src),
+			OrigInputBytes:  len(input),
+			SuiteRuns:       r.runs,
+			Builds:          r.builds,
+		}, nil
+	}
+	if suite == nil {
+		// Uniformly rejected program: nothing diverges.
+		return nil, ErrNoDivergence
 	}
 	base := r.run(suite, input)
 	if base == nil || !base.Diverged {
@@ -132,6 +164,13 @@ type reducer struct {
 	bestSuite *core.Suite
 	input     []byte
 
+	// compileMode reduces against the compile-stage fingerprint: a
+	// candidate is accepted when it reproduces the same
+	// accept/reject/ICE partition with the same normalized message
+	// keys. No VM ever runs; each candidate's k-way compilation is
+	// charged against the budget like a suite run.
+	compileMode bool
+
 	runs   int
 	builds int
 }
@@ -153,6 +192,41 @@ func (r *reducer) build(src string) (*core.Suite, error) {
 	return core.Build(info, r.cfgs, r.sopts)
 }
 
+// buildDifferential compiles src under every configuration with the
+// compile-stage oracle. Parse or sema failures are returned, not
+// counted against the budget.
+func (r *reducer) buildDifferential(src string) (*core.Suite, *core.CompileOutcome, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.builds++
+	return core.BuildDifferential(info, r.cfgs, r.sopts)
+}
+
+// tryProgramCompile evaluates one candidate source against the
+// compile-stage fingerprint.
+func (r *reducer) tryProgramCompile(src string) bool {
+	if r.exhausted() {
+		return false
+	}
+	_, co, err := r.buildDifferential(src)
+	if err != nil {
+		return false // does not parse or does not check: rejected free
+	}
+	r.runs++
+	fp, ok := OfCompile(co)
+	if !ok || !fp.Equal(r.fp) {
+		return false
+	}
+	r.best = src
+	return true
+}
+
 // run executes one differential suite run, charging the budget.
 // Returns nil when the budget is already spent.
 func (r *reducer) run(s *core.Suite, input []byte) *core.Outcome {
@@ -168,6 +242,9 @@ func (r *reducer) run(s *core.Suite, input []byte) *core.Outcome {
 func (r *reducer) tryProgram(src string) bool {
 	if src == r.best || len(src) > len(r.best) {
 		return false
+	}
+	if r.compileMode {
+		return r.tryProgramCompile(src)
 	}
 	suite, err := r.build(src)
 	if err != nil {

@@ -59,6 +59,11 @@ func selfTestCorpus(t *testing.T) []selfTestProgram {
 	}
 	var progs []selfTestProgram
 	for _, srcPath := range srcs {
+		// compile_* programs exist to be rejected (or to ICE) by part of
+		// the implementation set; they never reach the VM.
+		if strings.HasPrefix(filepath.Base(srcPath), "compile_") {
+			continue
+		}
 		src, err := os.ReadFile(srcPath)
 		if err != nil {
 			t.Fatal(err)

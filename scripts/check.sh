@@ -34,6 +34,7 @@ echo "== fuzz smoke ($FUZZTIME each)"
 go test -fuzz=FuzzParse -fuzztime="$FUZZTIME" -run='^$' ./internal/minic/parser
 go test -fuzz=FuzzSuiteRun -fuzztime="$FUZZTIME" -run='^$' .
 go test -fuzz=FuzzReduce -fuzztime="$FUZZTIME" -run='^$' ./internal/triage
+go test -fuzz=FuzzCompileOracle -fuzztime="$FUZZTIME" -run='^$' .
 
 # Coverage gate: per-package table plus hard floors on the triage
 # layer, whose whole contract lives in its tests.
@@ -96,6 +97,36 @@ fi
 grep -q '^persist errors : 0' "$SMOKE_DIR/resume.log" || {
 	echo "resume smoke: nonzero (or missing) persist-error count" >&2
 	cat "$SMOKE_DIR/resume.log" >&2
+	exit 1
+}
+
+# Compile-oracle smoke: a -programs campaign over the three compile
+# goldens must bucket exactly one finding per compile-stage class, and
+# resuming the finished campaign from its checkpoint must reconstruct
+# the same buckets instead of starting over.
+echo "== compile-oracle smoke (-programs over testdata/golden/compile_*)"
+PROG_DIR="$SMOKE_DIR/programs"
+mkdir -p "$PROG_DIR"
+cp testdata/golden/compile_*.mc "$PROG_DIR/"
+CCKPT_DIR="$SMOKE_DIR/compile-ckpt"
+"$SMOKE_DIR/compdiff-fuzz" -programs "$PROG_DIR" -shards 1 \
+	-checkpoint "$CCKPT_DIR" >"$SMOKE_DIR/compile.log" 2>&1
+grep -q '^compile classes: 1 accept/reject divergences, 1 ICEs, 1 diagnostic mismatches, 0 runtime' \
+	"$SMOKE_DIR/compile.log" || {
+	echo "compile-oracle smoke: campaign did not report one finding per compile class" >&2
+	cat "$SMOKE_DIR/compile.log" >&2
+	exit 1
+}
+"$SMOKE_DIR/compdiff-fuzz" -programs "$PROG_DIR" -shards 1 \
+	-checkpoint "$CCKPT_DIR" -resume >"$SMOKE_DIR/compile-resume.log" 2>&1
+grep -q 'resumed from checkpoint' "$SMOKE_DIR/compile-resume.log" || {
+	echo "compile-oracle smoke: resume fell back to a fresh start" >&2
+	cat "$SMOKE_DIR/compile-resume.log" >&2
+	exit 1
+}
+grep -q '^findings       : 3 (3 triage buckets)' "$SMOKE_DIR/compile-resume.log" || {
+	echo "compile-oracle smoke: resumed campaign lost buckets" >&2
+	cat "$SMOKE_DIR/compile-resume.log" >&2
 	exit 1
 }
 
