@@ -1,11 +1,13 @@
 // Command compdiff-fuzz runs a CompDiff-AFL++ campaign (paper §3.2,
 // Algorithm 1) against a MiniC program or one of the built-in
-// real-world targets.
+// real-world targets — either as a single process or as a supervised
+// farm of worker processes with an HTTP control plane.
 //
 // Usage:
 //
 //	compdiff-fuzz -target tcpdump -execs 50000
 //	compdiff-fuzz -src prog.mc -seedfile s1 -seedfile s2 -execs 100000
+//	compdiff-fuzz -serve :8080 -farm /tmp/farm -workers 4 -target tcpdump -execs-total 200000
 //
 // Flags:
 //
@@ -18,6 +20,9 @@
 //	                cross-checked at runtime on the empty input
 //	-execs N        execution budget on the instrumented binary
 //	                (per shard when -shards > 1)
+//	-execs-total N  cumulative per-shard budget across resumes: a
+//	                resumed campaign runs only the remainder (needs
+//	                -checkpoint)
 //	-seed N         fuzzer RNG seed
 //	-shards N       parallel fuzzer instances, AFL -M/-S style
 //	-jobs N         worker goroutines per differential cross-check
@@ -34,16 +39,28 @@
 //	                barriers between snapshots (default 1)
 //	-resume         continue the campaign checkpointed in -checkpoint DIR
 //	                (falls back to a fresh start when DIR has none)
+//	-heartbeat FILE atomically rewrite FILE with a status record at
+//	                every barrier (needs -checkpoint; the supervisor
+//	                uses it as the live progress watermark)
+//	-serve ADDR     supervise a worker farm and serve the HTTP control
+//	                plane on ADDR (GET /healthz /stats /plot /buckets
+//	                /findings /events, POST /pause /resume /reshard)
+//	-farm DIR       farm root directory (with -serve)
+//	-workers N      worker processes to supervise (with -serve)
 //	-list           list built-in targets and exit
 //
-// Invalid flag values (e.g. -shards 0, a negative -jobs, an explicit
-// -sync 0 on a sharded run, or -resume against a checkpoint written
-// with different source/seeds/options) are rejected up front with exit
-// code 2; a corrupt checkpoint exits 1.
+// Exit codes: 0 on success, 2 for command-line misuse (bad flags,
+// unknown -target, mutually exclusive modes, or -resume against a
+// checkpoint written with different source/seeds/options), 1 for
+// runtime failures (unreadable files, corrupt checkpoints, worker
+// fleets that end with failed workers).
 //
 // With -shards > 1 or -checkpoint set, SIGINT/SIGTERM cancels the
 // campaign gracefully at the next synchronization barrier, writes a
 // final checkpoint (when enabled), and prints what was found so far.
+// Under -serve the signal drains every worker the same way before the
+// supervisor exits; kill -9 of a worker loses at most one barrier
+// interval, which the restarted worker replays from its checkpoint.
 package main
 
 import (
@@ -51,8 +68,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/exec"
 	"os/signal"
 	"path/filepath"
 	"sort"
@@ -61,19 +81,40 @@ import (
 	"time"
 
 	"compdiff"
+	"compdiff/internal/checkpoint"
+	"compdiff/internal/supervisor"
 	"compdiff/internal/targets"
+	"compdiff/internal/telemetry"
 )
 
-type seedList [][]byte
+// seedList collects -seedfile flags, keeping both the contents (for
+// in-process campaigns) and the paths (so -serve can hand the same
+// corpus to worker processes by path).
+type seedList struct {
+	paths []string
+	data  [][]byte
+}
 
-func (s *seedList) String() string { return fmt.Sprintf("%d seeds", len(*s)) }
+func (s *seedList) String() string { return fmt.Sprintf("%d seeds", len(s.data)) }
 func (s *seedList) Set(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	*s = append(*s, data)
+	s.paths = append(s.paths, path)
+	s.data = append(s.data, data)
 	return nil
+}
+
+// usageError marks command-line misuse: realMain maps it to exit 2,
+// every other error to exit 1.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
 }
 
 // cliConfig holds every flag value that validation looks at. Keeping
@@ -84,15 +125,24 @@ type cliConfig struct {
 	src        string
 	programs   string
 	execs      int64
+	execsTotal int64
+	seed       int64
 	shards     int
 	jobs       int
 	sync       int64
 	syncSet    bool // -sync was given explicitly
 	san        string
+	diffdir    string
+	statsDir   string
 	statsEvery int64
 	checkpoint string
 	ckptEvery  int64
 	resume     bool
+	heartbeat  string
+	serve      string
+	farm       string
+	workers    int
+	workersSet bool // -workers was given explicitly
 	list       bool
 }
 
@@ -102,6 +152,41 @@ type cliConfig struct {
 func (c cliConfig) validate() error {
 	if c.list {
 		return nil
+	}
+	if c.serve != "" {
+		if c.programs != "" {
+			return fmt.Errorf("-serve supervises input-fuzzing workers; -programs campaigns run standalone")
+		}
+		if c.target == "" && c.src == "" {
+			return fmt.Errorf("-serve needs -target or -src for its workers")
+		}
+		if c.farm == "" {
+			return fmt.Errorf("-serve needs -farm DIR to hold the worker subtrees")
+		}
+		if c.workers < 1 {
+			return fmt.Errorf("-workers %d: a farm needs at least one worker", c.workers)
+		}
+		// Per-worker observability paths are derived from the farm
+		// layout; explicit ones would make every worker fight over one
+		// file.
+		for flagName, v := range map[string]string{
+			"-checkpoint": c.checkpoint, "-stats": c.statsDir,
+			"-diffdir": c.diffdir, "-heartbeat": c.heartbeat,
+		} {
+			if v != "" {
+				return fmt.Errorf("%s is per-worker under -serve; the farm layout derives it from -farm", flagName)
+			}
+		}
+		if c.resume {
+			return fmt.Errorf("-resume is implicit under -serve: workers always resume their own checkpoints")
+		}
+	} else {
+		if c.farm != "" {
+			return fmt.Errorf("-farm only makes sense with -serve")
+		}
+		if c.workersSet {
+			return fmt.Errorf("-workers only makes sense with -serve")
+		}
 	}
 	if c.target == "" && c.src == "" && c.programs == "" {
 		return fmt.Errorf("need -target, -src, or -programs (or -list)")
@@ -114,6 +199,15 @@ func (c cliConfig) validate() error {
 	}
 	if c.execs < 1 {
 		return fmt.Errorf("-execs %d: the execution budget must be at least 1", c.execs)
+	}
+	if c.execsTotal < 0 {
+		return fmt.Errorf("-execs-total %d: the cumulative budget cannot be negative", c.execsTotal)
+	}
+	if c.execsTotal > 0 && c.programs != "" {
+		return fmt.Errorf("-execs-total is an execution budget; -programs campaigns are bounded by the corpus")
+	}
+	if c.execsTotal > 0 && c.checkpoint == "" && c.serve == "" {
+		return fmt.Errorf("-execs-total needs -checkpoint: the cumulative budget is measured against the checkpointed watermark")
 	}
 	if c.shards < 1 {
 		return fmt.Errorf("-shards %d: a campaign needs at least one fuzzer instance", c.shards)
@@ -139,6 +233,9 @@ func (c cliConfig) validate() error {
 	if c.resume && c.checkpoint == "" {
 		return fmt.Errorf("-resume needs -checkpoint DIR to resume from")
 	}
+	if c.heartbeat != "" && c.checkpoint == "" {
+		return fmt.Errorf("-heartbeat needs -checkpoint: the heartbeat is the live watermark over the checkpointed one")
+	}
 	switch c.san {
 	case "none", "asan", "ubsan", "msan":
 	default:
@@ -148,251 +245,488 @@ func (c cliConfig) validate() error {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("compdiff-fuzz: ")
-	targetName := flag.String("target", "", "built-in target to fuzz")
-	srcPath := flag.String("src", "", "MiniC source file to fuzz")
-	programsDir := flag.String("programs", "", "compile-oracle campaign over every *.mc in DIR")
-	execs := flag.Int64("execs", 50_000, "execution budget (per shard)")
-	seed := flag.Int64("seed", 1, "fuzzer RNG seed")
-	shards := flag.Int("shards", 1, "parallel fuzzer instances (AFL -M/-S style)")
-	jobs := flag.Int("jobs", 1, "worker goroutines per differential cross-check")
-	syncEvery := flag.Int64("sync", 0, "executions between shard sync barriers (0 = budget/8)")
-	sanFlag := flag.String("san", "none", "sanitizer on the fuzz binary: none|asan|ubsan|msan")
-	diffdir := flag.String("diffdir", "", "persist diverging inputs")
-	statsDir := flag.String("stats", "", "record telemetry snapshots to DIR/plot.jsonl")
-	statsEvery := flag.Int64("stats-every", 0, "snapshot every N generated inputs (0 = final only)")
-	ckptDir := flag.String("checkpoint", "", "write crash-safe campaign snapshots under DIR")
-	ckptEvery := flag.Int64("checkpoint-every", 0, "sync barriers between snapshots (0 = every barrier)")
-	resume := flag.Bool("resume", false, "continue the campaign checkpointed in -checkpoint DIR")
-	list := flag.Bool("list", false, "list built-in targets")
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is the whole program behind a single exit point: flag and
+// usage errors exit 2, runtime errors exit 1, and — unlike the
+// log.Fatal calls it replaces — every error path unwinds normally, so
+// deferred cleanups (pool Close, telemetry flush) actually run.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("compdiff-fuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	targetName := fs.String("target", "", "built-in target to fuzz")
+	srcPath := fs.String("src", "", "MiniC source file to fuzz")
+	programsDir := fs.String("programs", "", "compile-oracle campaign over every *.mc in DIR")
+	execs := fs.Int64("execs", 50_000, "execution budget (per shard)")
+	execsTotal := fs.Int64("execs-total", 0, "cumulative per-shard budget across resumes (needs -checkpoint)")
+	seed := fs.Int64("seed", 1, "fuzzer RNG seed")
+	shards := fs.Int("shards", 1, "parallel fuzzer instances (AFL -M/-S style)")
+	jobs := fs.Int("jobs", 1, "worker goroutines per differential cross-check")
+	syncEvery := fs.Int64("sync", 0, "executions between shard sync barriers (0 = budget/8)")
+	sanFlag := fs.String("san", "none", "sanitizer on the fuzz binary: none|asan|ubsan|msan")
+	diffdir := fs.String("diffdir", "", "persist diverging inputs")
+	statsDir := fs.String("stats", "", "record telemetry snapshots to DIR/plot.jsonl")
+	statsEvery := fs.Int64("stats-every", 0, "snapshot every N generated inputs (0 = final only)")
+	ckptDir := fs.String("checkpoint", "", "write crash-safe campaign snapshots under DIR")
+	ckptEvery := fs.Int64("checkpoint-every", 0, "sync barriers between snapshots (0 = every barrier)")
+	resume := fs.Bool("resume", false, "continue the campaign checkpointed in -checkpoint DIR")
+	heartbeat := fs.String("heartbeat", "", "atomically rewrite FILE with a status record at every barrier")
+	serveAddr := fs.String("serve", "", "supervise a worker farm; serve the control plane on ADDR")
+	farmDir := fs.String("farm", "", "farm root directory (with -serve)")
+	workers := fs.Int("workers", 2, "worker processes to supervise (with -serve)")
+	list := fs.Bool("list", false, "list built-in targets")
 	var seeds seedList
-	flag.Var(&seeds, "seedfile", "seed input file (repeatable)")
-	flag.Parse()
+	fs.Var(&seeds, "seedfile", "seed input file (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	cfg := cliConfig{
 		target:     *targetName,
 		src:        *srcPath,
 		programs:   *programsDir,
 		execs:      *execs,
+		execsTotal: *execsTotal,
+		seed:       *seed,
 		shards:     *shards,
 		jobs:       *jobs,
 		sync:       *syncEvery,
 		san:        *sanFlag,
+		diffdir:    *diffdir,
+		statsDir:   *statsDir,
 		statsEvery: *statsEvery,
 		checkpoint: *ckptDir,
 		ckptEvery:  *ckptEvery,
 		resume:     *resume,
+		heartbeat:  *heartbeat,
+		serve:      *serveAddr,
+		farm:       *farmDir,
+		workers:    *workers,
 		list:       *list,
 	}
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "sync" {
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "sync":
 			cfg.syncSet = true
+		case "workers":
+			cfg.workersSet = true
 		}
 	})
 	if err := cfg.validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "compdiff-fuzz: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "compdiff-fuzz: %v\n", err)
+		return 2
 	}
 
-	if *list {
-		for _, tg := range targets.All() {
-			fmt.Printf("%-14s %-16s %d planted bugs\n", tg.Name, tg.InputType, len(tg.Bugs))
+	if err := run(cfg, &seeds, stdout, stderr); err != nil {
+		fmt.Fprintf(stderr, "compdiff-fuzz: %v\n", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			return 2
 		}
-		return
+		return 1
 	}
+	return 0
+}
 
-	if *programsDir != "" {
-		runProgramsCampaign(*programsDir, compdiff.CompileCampaignOptions{
-			Shards:          *shards,
-			SyncEvery:       int(*syncEvery),
-			Parallelism:     *jobs,
-			StatsDir:        *statsDir,
-			CheckpointDir:   *ckptDir,
-			CheckpointEvery: *ckptEvery,
-		}, *resume)
-		return
-	}
-
-	var src string
-	var corpus [][]byte
-	var normalizer *compdiff.Normalizer
+// run dispatches to the selected mode. Every failure comes back as an
+// error (usageError for misuse) — no exits, no Fatals.
+func run(cfg cliConfig, seeds *seedList, stdout, stderr io.Writer) error {
 	switch {
-	case *targetName != "":
-		tg := targets.ByName(*targetName)
-		if tg == nil {
-			log.Fatalf("unknown target %q (use -list)", *targetName)
+	case cfg.list:
+		for _, tg := range targets.All() {
+			fmt.Fprintf(stdout, "%-14s %-16s %d planted bugs\n", tg.Name, tg.InputType, len(tg.Bugs))
 		}
-		src = tg.Src
-		corpus = tg.Seeds
-		if tg.NeedsNormalizer {
-			normalizer = compdiff.DefaultNormalizer()
-		}
+		return nil
+	case cfg.serve != "":
+		return runServe(cfg, seeds, stdout, stderr)
+	case cfg.programs != "":
+		return runProgramsCampaign(cfg, stdout, stderr)
 	default:
-		data, err := os.ReadFile(*srcPath)
-		if err != nil {
-			log.Fatal(err)
+		return runFuzzCampaign(cfg, seeds, stdout, stderr)
+	}
+}
+
+// loadFuzzInput resolves -target / -src into (source, corpus,
+// normalizer). An unknown target name is command-line misuse; an
+// unreadable source file is a runtime failure.
+func loadFuzzInput(cfg cliConfig, seeds *seedList) (string, [][]byte, *compdiff.Normalizer, error) {
+	if cfg.target != "" {
+		tg := targets.ByName(cfg.target)
+		if tg == nil {
+			return "", nil, nil, usagef("unknown target %q (use -list)", cfg.target)
 		}
-		src = string(data)
-		corpus = seeds
+		var norm *compdiff.Normalizer
+		if tg.NeedsNormalizer {
+			norm = compdiff.DefaultNormalizer()
+		}
+		return tg.Src, tg.Seeds, norm, nil
 	}
+	data, err := os.ReadFile(cfg.src)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	return string(data), seeds.data, nil, nil
+}
 
-	san := compdiff.SanNone
-	switch *sanFlag {
+func sanMode(name string) compdiff.SanMode {
+	switch name {
 	case "asan":
-		san = compdiff.SanASan
+		return compdiff.SanASan
 	case "ubsan":
-		san = compdiff.SanUBSan
+		return compdiff.SanUBSan
 	case "msan":
-		san = compdiff.SanMSan
+		return compdiff.SanMSan
 	}
+	return compdiff.SanNone
+}
 
+// runFuzzCampaign is the classic single-process mode: a sharded pool
+// when -shards > 1 or -checkpoint is set, a plain campaign otherwise.
+func runFuzzCampaign(cfg cliConfig, seeds *seedList, stdout, stderr io.Writer) error {
+	src, corpus, normalizer, err := loadFuzzInput(cfg, seeds)
+	if err != nil {
+		return err
+	}
 	opts := compdiff.CampaignOptions{
-		FuzzSeed:        *seed,
-		Sanitizer:       san,
+		FuzzSeed:        cfg.seed,
+		Sanitizer:       sanMode(cfg.san),
 		Normalizer:      normalizer,
-		DiffDir:         *diffdir,
-		Shards:          *shards,
-		SyncEvery:       *syncEvery,
-		Parallelism:     *jobs,
-		StatsDir:        *statsDir,
-		StatsEvery:      *statsEvery,
-		CheckpointDir:   *ckptDir,
-		CheckpointEvery: *ckptEvery,
+		DiffDir:         cfg.diffdir,
+		Shards:          cfg.shards,
+		SyncEvery:       cfg.sync,
+		Parallelism:     cfg.jobs,
+		StatsDir:        cfg.statsDir,
+		StatsEvery:      cfg.statsEvery,
+		CheckpointDir:   cfg.checkpoint,
+		CheckpointEvery: cfg.ckptEvery,
+	}
+	if cfg.heartbeat != "" {
+		opts.BarrierHook = heartbeatHook(cfg.heartbeat)
 	}
 
 	// Checkpointing runs through the pool even single-sharded: the
 	// pool's synchronization barriers are the snapshot points.
-	if *shards > 1 || *ckptDir != "" {
+	if cfg.shards > 1 || cfg.checkpoint != "" {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		pool, err := buildPool(src, corpus, opts, *resume)
+		pool, err := buildPool(src, corpus, opts, cfg.resume, stderr)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer pool.Close()
-		stats := pool.Run(ctx, *execs)
 
-		fmt.Printf("shards         : %d\n", stats.Shards)
-		fmt.Printf("executions     : %d (all shards)\n", stats.Execs)
-		if *ckptDir != "" {
-			fmt.Printf("spent budget   : %d execs per shard (across resumes)\n", stats.SpentExecs)
+		budget := cfg.execs
+		if cfg.execsTotal > 0 {
+			// Cumulative budget: spend only what the checkpointed
+			// watermark has not already covered. A resumed-and-complete
+			// campaign runs nothing and just reprints its findings.
+			budget = cfg.execsTotal - pool.SpentExecs()
 		}
-		fmt.Printf("unique crashes : %d\n", stats.UniqueCrashes)
-		fmt.Printf("diff inputs    : %d (%d unique discrepancies, %d triage buckets)\n",
-			stats.TotalDiffInputs, stats.UniqueDiffs, stats.UniqueBuckets)
-		fmt.Printf("diff execs     : %d across %d implementations\n",
-			stats.DiffExecs, len(pool.ImplNames()))
-		fmt.Printf("persist errors : %d\n", stats.PersistErrors)
-		for si, fs := range stats.ShardStats {
-			role := "S"
-			if si == 0 {
-				role = "M"
-			}
-			status := ""
-			if stats.ShardErrors[si] != nil {
-				status = "  [retired: panic]"
-			}
-			fmt.Printf("  shard %d (-%s): %d execs, %d seeds%s\n", si, role, fs.Execs, fs.Seeds, status)
+		var stats compdiff.PoolStats
+		if budget > 0 {
+			stats = pool.Run(ctx, budget)
+		} else {
+			stats = pool.Stats()
+			fmt.Fprintf(stderr, "compdiff-fuzz: budget already spent (%d of %d execs per shard); reporting checkpointed findings\n",
+				pool.SpentExecs(), cfg.execsTotal)
 		}
-		printTelemetry(pool.ImplSummaries(), pool.Snapshots())
-		fmt.Println()
-		// One report per triage bucket, not per raw signature: findings
-		// whose fingerprints coincide are the same underlying bug.
-		for _, b := range pool.Buckets() {
-			fmt.Println(b.Report(pool.ImplNames()))
-		}
-		for _, c := range pool.Crashes() {
-			fmt.Printf("crash %s on input %q\n", c.Result.Exit, c.Input)
-			if c.Result.San != nil {
-				fmt.Printf("  %s\n", c.Result.San)
-			}
-		}
-		return
+
+		printPoolStats(stdout, pool, stats, cfg.checkpoint != "")
+		return nil
 	}
 
 	campaign, err := compdiff.NewCampaign(src, corpus, opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer campaign.Close()
-	stats := campaign.Run(*execs)
+	stats := campaign.Run(cfg.execs)
 
-	fmt.Printf("executions     : %d\n", stats.Execs)
-	fmt.Printf("corpus         : %d seeds\n", stats.Seeds)
-	fmt.Printf("unique crashes : %d\n", stats.UniqueCrashes)
-	fmt.Printf("diff inputs    : %d (%d unique discrepancies, %d triage buckets)\n",
+	fmt.Fprintf(stdout, "executions     : %d\n", stats.Execs)
+	fmt.Fprintf(stdout, "corpus         : %d seeds\n", stats.Seeds)
+	fmt.Fprintf(stdout, "unique crashes : %d\n", stats.UniqueCrashes)
+	fmt.Fprintf(stdout, "diff inputs    : %d (%d unique discrepancies, %d triage buckets)\n",
 		campaign.TotalDiffInputs(), len(campaign.Diffs()), len(campaign.Buckets()))
-	fmt.Printf("diff execs     : %d across %d implementations\n",
+	fmt.Fprintf(stdout, "diff execs     : %d across %d implementations\n",
 		campaign.DiffExecs, len(campaign.ImplNames()))
-	fmt.Printf("persist errors : %d\n", campaign.PersistErrors())
-	printTelemetry(campaign.ImplSummaries(), campaign.Snapshots())
-	fmt.Println()
+	fmt.Fprintf(stdout, "persist errors : %d\n", campaign.PersistErrors())
+	printTelemetry(stdout, campaign.ImplSummaries(), campaign.Snapshots())
+	fmt.Fprintln(stdout)
 
 	// One report per triage bucket, not per raw signature: findings
 	// whose fingerprints coincide are the same underlying bug.
 	for _, b := range campaign.Buckets() {
-		fmt.Println(b.Report(campaign.ImplNames()))
+		fmt.Fprintln(stdout, b.Report(campaign.ImplNames()))
 	}
 	for _, c := range campaign.Crashes() {
-		fmt.Printf("crash %s on input %q\n", c.Result.Exit, c.Input)
+		fmt.Fprintf(stdout, "crash %s on input %q\n", c.Result.Exit, c.Input)
 		if c.Result.San != nil {
-			fmt.Printf("  %s\n", c.Result.San)
+			fmt.Fprintf(stdout, "  %s\n", c.Result.San)
 		}
 	}
+	return nil
+}
+
+// heartbeatHook adapts barrier stats into the atomic heartbeat file
+// the supervisor polls between checkpoints.
+func heartbeatHook(path string) func(compdiff.PoolStats) {
+	var seq int64
+	return func(st compdiff.PoolStats) {
+		seq++
+		queue := 0
+		retired := 0
+		for _, fs := range st.ShardStats {
+			queue += fs.Seeds
+		}
+		for _, err := range st.ShardErrors {
+			if err != nil {
+				retired++
+			}
+		}
+		// Best-effort by design: a failed heartbeat write must not take
+		// down the campaign the heartbeat merely observes.
+		_ = telemetry.WriteHeartbeat(path, telemetry.Heartbeat{
+			Pid: os.Getpid(), UnixMs: time.Now().UnixMilli(), Seq: seq,
+			SpentExecs: st.SpentExecs, Execs: st.Execs, DiffExecs: st.DiffExecs,
+			Queue: queue, UniqueDiffs: st.UniqueDiffs, TotalDiffInputs: st.TotalDiffInputs,
+			UniqueBuckets: st.UniqueBuckets, UniqueCrashes: st.UniqueCrashes,
+			PersistErrors: st.PersistErrors, Shards: st.Shards, RetiredShards: retired,
+		})
+	}
+}
+
+// printPoolStats renders the sharded-campaign summary and reports.
+func printPoolStats(stdout io.Writer, pool *compdiff.CampaignPool, stats compdiff.PoolStats, ckpt bool) {
+	fmt.Fprintf(stdout, "shards         : %d\n", stats.Shards)
+	fmt.Fprintf(stdout, "executions     : %d (all shards)\n", stats.Execs)
+	if ckpt {
+		fmt.Fprintf(stdout, "spent budget   : %d execs per shard (across resumes)\n", stats.SpentExecs)
+	}
+	fmt.Fprintf(stdout, "unique crashes : %d\n", stats.UniqueCrashes)
+	fmt.Fprintf(stdout, "diff inputs    : %d (%d unique discrepancies, %d triage buckets)\n",
+		stats.TotalDiffInputs, stats.UniqueDiffs, stats.UniqueBuckets)
+	fmt.Fprintf(stdout, "diff execs     : %d across %d implementations\n",
+		stats.DiffExecs, len(pool.ImplNames()))
+	fmt.Fprintf(stdout, "persist errors : %d\n", stats.PersistErrors)
+	for si, fs := range stats.ShardStats {
+		role := "S"
+		if si == 0 {
+			role = "M"
+		}
+		status := ""
+		if stats.ShardErrors[si] != nil {
+			status = "  [retired: panic]"
+		}
+		fmt.Fprintf(stdout, "  shard %d (-%s): %d execs, %d seeds%s\n", si, role, fs.Execs, fs.Seeds, status)
+	}
+	printTelemetry(stdout, pool.ImplSummaries(), pool.Snapshots())
+	fmt.Fprintln(stdout)
+	// One report per triage bucket, not per raw signature: findings
+	// whose fingerprints coincide are the same underlying bug.
+	for _, b := range pool.Buckets() {
+		fmt.Fprintln(stdout, b.Report(pool.ImplNames()))
+	}
+	for _, c := range pool.Crashes() {
+		fmt.Fprintf(stdout, "crash %s on input %q\n", c.Result.Exit, c.Input)
+		if c.Result.San != nil {
+			fmt.Fprintf(stdout, "  %s\n", c.Result.San)
+		}
+	}
+}
+
+// runServe is the farm mode: supervise -workers worker processes
+// (each this same binary in single-process checkpointed mode) under
+// -farm, and serve the HTTP control plane on -serve until the fleet
+// completes its budget or a signal drains it.
+func runServe(cfg cliConfig, seeds *seedList, stdout, stderr io.Writer) error {
+	// Resolve the inputs now: an unknown target or unreadable source
+	// should fail the farm up front, not crash-loop every worker.
+	if _, _, _, err := loadFuzzInput(cfg, seeds); err != nil {
+		return err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("cannot locate own binary for worker re-exec: %w", err)
+	}
+	total := cfg.execsTotal
+	if total == 0 {
+		total = cfg.execs
+	}
+
+	command := func(index int, dirs checkpoint.WorkerDirs) *exec.Cmd {
+		args := []string{
+			"-execs-total", fmt.Sprint(total),
+			"-seed", fmt.Sprint(supervisor.WorkerSeed(cfg.seed, index)),
+			"-shards", fmt.Sprint(cfg.shards),
+			"-jobs", fmt.Sprint(cfg.jobs),
+			"-checkpoint", dirs.Checkpoint,
+			"-stats", dirs.Stats,
+			"-diffdir", dirs.Diff,
+			"-heartbeat", dirs.Heartbeat,
+			"-resume",
+		}
+		if cfg.syncSet {
+			args = append(args, "-sync", fmt.Sprint(cfg.sync))
+		}
+		if cfg.ckptEvery > 0 {
+			args = append(args, "-checkpoint-every", fmt.Sprint(cfg.ckptEvery))
+		}
+		if cfg.san != "none" {
+			args = append(args, "-san", cfg.san)
+		}
+		if cfg.target != "" {
+			args = append(args, "-target", cfg.target)
+		} else {
+			args = append(args, "-src", cfg.src)
+			for _, p := range seeds.paths {
+				args = append(args, "-seedfile", p)
+			}
+		}
+		return exec.Command(exe, args...)
+	}
+
+	sup, err := supervisor.New(supervisor.Config{
+		Farm: cfg.farm, Workers: cfg.workers, TotalExecs: total, Command: command,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", cfg.serve)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: sup.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	if err := sup.Start(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "farm %s: %d workers, %d execs per shard each; control plane on http://%s\n",
+		cfg.farm, cfg.workers, total, ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ticker := time.NewTicker(500 * time.Millisecond)
+	defer ticker.Stop()
+	signaled := false
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			signaled = true
+			fmt.Fprintln(stderr, "compdiff-fuzz: signal received; draining workers at their barriers")
+			break loop
+		case <-ticker.C:
+			if sup.Paused() {
+				continue // a paused farm idles until /resume
+			}
+			st := sup.Status()
+			terminal := len(st) > 0
+			for _, ws := range st {
+				if ws.State != supervisor.StateDone && ws.State != supervisor.StateFailed {
+					terminal = false
+					break
+				}
+			}
+			if terminal {
+				break loop
+			}
+		}
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	stopErr := sup.Stop(drainCtx)
+
+	fs := sup.Stats()
+	fmt.Fprintf(stdout, "farm spent     : %d execs per shard across %d workers\n", fs.SpentExecs, len(fs.Workers))
+	fmt.Fprintf(stdout, "merged         : %d execs, %d diff inputs, %d bucket inputs\n",
+		fs.Merged.Execs, fs.TotalDiffInputs, fs.BucketTotal)
+	fmt.Fprintf(stdout, "deduplicated   : %d unique signatures, %d unique buckets farm-wide\n",
+		fs.UniqueSignatures, fs.UniqueBuckets)
+	failed := 0
+	for _, ws := range fs.Workers {
+		fmt.Fprintf(stdout, "  worker %d: %s, %d execs spent, %d restarts\n",
+			ws.Index, ws.State, ws.SpentExecs, ws.Restarts)
+		if ws.State == supervisor.StateFailed {
+			failed++
+		}
+	}
+	if stopErr != nil {
+		return stopErr
+	}
+	if failed > 0 && !signaled {
+		return fmt.Errorf("%d worker(s) abandoned after exceeding the restart budget", failed)
+	}
+	return nil
 }
 
 // runProgramsCampaign is the -programs mode: a compile-oracle campaign
 // over a directory of MiniC programs. The corpus is read in sorted
 // filename order, so the campaign (and its checkpoint hash) is stable
 // across runs.
-func runProgramsCampaign(dir string, opts compdiff.CompileCampaignOptions, resume bool) {
-	paths, err := filepath.Glob(filepath.Join(dir, "*.mc"))
+func runProgramsCampaign(cfg cliConfig, stdout, stderr io.Writer) error {
+	paths, err := filepath.Glob(filepath.Join(cfg.programs, "*.mc"))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if len(paths) == 0 {
-		log.Fatalf("no *.mc programs in %s", dir)
+		return fmt.Errorf("no *.mc programs in %s", cfg.programs)
 	}
 	sort.Strings(paths)
 	corpus := make([]string, len(paths))
 	for i, path := range paths {
 		data, err := os.ReadFile(path)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		corpus[i] = string(data)
 	}
 
+	opts := compdiff.CompileCampaignOptions{
+		Shards:          cfg.shards,
+		SyncEvery:       int(cfg.sync),
+		Parallelism:     cfg.jobs,
+		StatsDir:        cfg.statsDir,
+		CheckpointDir:   cfg.checkpoint,
+		CheckpointEvery: cfg.ckptEvery,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	pool, err := buildCompilePool(corpus, opts, resume)
+	pool, err := buildCompilePool(corpus, opts, cfg.resume, stderr)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer pool.Close()
 	stats := pool.Run(ctx)
 
-	fmt.Printf("shards         : %d\n", stats.Shards)
-	fmt.Printf("programs       : %d of %d processed (%d accepted everywhere, %d uniform rejects)\n",
+	fmt.Fprintf(stdout, "shards         : %d\n", stats.Shards)
+	fmt.Fprintf(stdout, "programs       : %d of %d processed (%d accepted everywhere, %d uniform rejects)\n",
 		stats.Programs, stats.CorpusLen, stats.Accepted, stats.FrontendRejects)
-	fmt.Printf("findings       : %d (%d triage buckets)\n", stats.Findings, stats.UniqueBuckets)
-	fmt.Printf("compile classes: %d accept/reject divergences, %d ICEs, %d diagnostic mismatches, %d runtime\n",
+	fmt.Fprintf(stdout, "findings       : %d (%d triage buckets)\n", stats.Findings, stats.UniqueBuckets)
+	fmt.Fprintf(stdout, "compile classes: %d accept/reject divergences, %d ICEs, %d diagnostic mismatches, %d runtime\n",
 		stats.CompileDivergences, stats.ICEs, stats.DiagMismatches, stats.RuntimeBuckets)
 	for si, serr := range stats.ShardErrors {
 		if serr != nil {
-			fmt.Printf("  shard %d retired: %v\n", si, serr)
+			fmt.Fprintf(stdout, "  shard %d retired: %v\n", si, serr)
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	for _, b := range pool.BucketStore().Buckets() {
-		fmt.Println(b.Report(pool.ImplNames()))
+		fmt.Fprintln(stdout, b.Report(pool.ImplNames()))
 	}
+	return nil
 }
 
 // buildCompilePool mirrors buildPool's -resume behavior for the
 // compile-oracle campaign.
-func buildCompilePool(corpus []string, opts compdiff.CompileCampaignOptions, resume bool) (*compdiff.CompileCampaign, error) {
+func buildCompilePool(corpus []string, opts compdiff.CompileCampaignOptions, resume bool, stderr io.Writer) (*compdiff.CompileCampaign, error) {
 	if !resume {
 		return compdiff.NewCompileCampaign(corpus, opts)
 	}
@@ -400,16 +734,14 @@ func buildCompilePool(corpus []string, opts compdiff.CompileCampaignOptions, res
 	switch {
 	case err == nil:
 		st := pool.Stats()
-		log.Printf("resumed from checkpoint %s (seq %d, %d of %d programs already processed)",
+		fmt.Fprintf(stderr, "compdiff-fuzz: resumed from checkpoint %s (seq %d, %d of %d programs already processed)\n",
 			opts.CheckpointDir, pool.CheckpointSeq(), st.Cursor, st.CorpusLen)
 		return pool, nil
 	case errors.Is(err, compdiff.ErrNoCheckpoint):
-		log.Printf("no checkpoint in %s; starting fresh", opts.CheckpointDir)
+		fmt.Fprintf(stderr, "compdiff-fuzz: no checkpoint in %s; starting fresh\n", opts.CheckpointDir)
 		return compdiff.NewCompileCampaign(corpus, opts)
 	case errors.Is(err, compdiff.ErrCheckpointMismatch):
-		fmt.Fprintf(os.Stderr, "compdiff-fuzz: %v\n", err)
-		os.Exit(2)
-		return nil, nil // unreachable
+		return nil, usageError{err}
 	default:
 		return nil, err
 	}
@@ -420,23 +752,21 @@ func buildCompilePool(corpus []string, opts compdiff.CompileCampaignOptions, res
 // works for the first run and every restart), an options mismatch is a
 // user error (exit 2), and a corrupt checkpoint is fatal (exit 1) —
 // never a panic, and never a silent fresh start that would clobber it.
-func buildPool(src string, corpus [][]byte, opts compdiff.CampaignOptions, resume bool) (*compdiff.CampaignPool, error) {
+func buildPool(src string, corpus [][]byte, opts compdiff.CampaignOptions, resume bool, stderr io.Writer) (*compdiff.CampaignPool, error) {
 	if !resume {
 		return compdiff.NewCampaignPool(src, corpus, opts)
 	}
 	pool, err := compdiff.ResumeCampaignPool(src, corpus, opts)
 	switch {
 	case err == nil:
-		log.Printf("resumed from checkpoint %s (seq %d, %d execs per shard already spent)",
+		fmt.Fprintf(stderr, "compdiff-fuzz: resumed from checkpoint %s (seq %d, %d execs per shard already spent)\n",
 			opts.CheckpointDir, pool.CheckpointSeq(), pool.SpentExecs())
 		return pool, nil
 	case errors.Is(err, compdiff.ErrNoCheckpoint):
-		log.Printf("no checkpoint in %s; starting fresh", opts.CheckpointDir)
+		fmt.Fprintf(stderr, "compdiff-fuzz: no checkpoint in %s; starting fresh\n", opts.CheckpointDir)
 		return compdiff.NewCampaignPool(src, corpus, opts)
 	case errors.Is(err, compdiff.ErrCheckpointMismatch):
-		fmt.Fprintf(os.Stderr, "compdiff-fuzz: %v\n", err)
-		os.Exit(2)
-		return nil, nil // unreachable
+		return nil, usageError{err}
 	default:
 		return nil, err
 	}
@@ -444,18 +774,18 @@ func buildPool(src string, corpus [][]byte, opts compdiff.CampaignOptions, resum
 
 // printTelemetry renders the per-implementation summary table and the
 // campaign throughput line. No-op when stats were not requested.
-func printTelemetry(impls []compdiff.ImplSummary, snaps []compdiff.CampaignSnapshot) {
+func printTelemetry(stdout io.Writer, impls []compdiff.ImplSummary, snaps []compdiff.CampaignSnapshot) {
 	if len(impls) == 0 || len(snaps) == 0 {
 		return
 	}
 	final := snaps[len(snaps)-1]
-	fmt.Printf("throughput     : %.1f execs/sec over %s (%d snapshots)\n",
+	fmt.Fprintf(stdout, "throughput     : %.1f execs/sec over %s (%d snapshots)\n",
 		final.ExecsPerSec, (time.Duration(final.ElapsedMs) * time.Millisecond).Round(time.Millisecond),
 		len(snaps))
-	fmt.Printf("outcomes       : %d ok, %d crash, %d step-limit-hang, %d diff\n",
+	fmt.Fprintf(stdout, "outcomes       : %d ok, %d crash, %d step-limit-hang, %d diff\n",
 		final.OK, final.Crash, final.StepLimitHang, final.Diff)
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	tw := tabwriter.NewWriter(stdout, 2, 8, 2, ' ', 0)
 	fmt.Fprintln(tw, "implementation\truns\tok\tcrash\thang\tmean\tp50\tp99")
 	for _, s := range impls {
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%s\t%s\t%s\n",

@@ -66,6 +66,89 @@ func TestValidateFlags(t *testing.T) {
 			"-checkpoint-every needs -checkpoint"},
 		{"resume-without-dir", func(c *cliConfig) { c.resume = true },
 			"-resume needs -checkpoint"},
+
+		// Cumulative budgets and heartbeats ride on the checkpoint.
+		{"execs-total", func(c *cliConfig) { c.checkpoint = "ckpt"; c.execsTotal = 100_000 }, ""},
+		{"execs-total-without-checkpoint", func(c *cliConfig) { c.execsTotal = 100_000 },
+			"-execs-total needs -checkpoint"},
+		{"negative-execs-total", func(c *cliConfig) { c.checkpoint = "ckpt"; c.execsTotal = -1 },
+			"-execs-total -1"},
+		{"execs-total-programs", func(c *cliConfig) {
+			c.target = ""
+			c.programs = "progs"
+			c.checkpoint = "ckpt"
+			c.execsTotal = 100
+		}, "bounded by the corpus"},
+		{"heartbeat", func(c *cliConfig) { c.checkpoint = "ckpt"; c.heartbeat = "hb.json" }, ""},
+		{"heartbeat-without-checkpoint", func(c *cliConfig) { c.heartbeat = "hb.json" },
+			"-heartbeat needs -checkpoint"},
+
+		// Farm mode: -serve drives workers; per-worker paths are derived.
+		{"serve", func(c *cliConfig) { c.serve = ":0"; c.farm = "farm"; c.workers = 2 }, ""},
+		{"serve-src", func(c *cliConfig) {
+			c.target = ""
+			c.src = "p.mc"
+			c.serve = ":0"
+			c.farm = "farm"
+			c.workers = 4
+		}, ""},
+		{"serve-execs-total", func(c *cliConfig) {
+			c.serve = ":0"
+			c.farm = "farm"
+			c.workers = 2
+			c.execsTotal = 100_000
+		}, ""},
+		{"serve-without-farm", func(c *cliConfig) { c.serve = ":0"; c.workers = 2 },
+			"-serve needs -farm"},
+		{"serve-without-input", func(c *cliConfig) {
+			c.target = ""
+			c.serve = ":0"
+			c.farm = "farm"
+			c.workers = 2
+		}, "-serve needs -target or -src"},
+		{"serve-zero-workers", func(c *cliConfig) { c.serve = ":0"; c.farm = "farm"; c.workers = 0 },
+			"-workers 0"},
+		{"serve-programs", func(c *cliConfig) {
+			c.target = ""
+			c.programs = "progs"
+			c.serve = ":0"
+			c.farm = "farm"
+			c.workers = 2
+		}, "-programs campaigns run standalone"},
+		{"serve-explicit-checkpoint", func(c *cliConfig) {
+			c.serve = ":0"
+			c.farm = "farm"
+			c.workers = 2
+			c.checkpoint = "ckpt"
+		}, "per-worker under -serve"},
+		{"serve-explicit-heartbeat", func(c *cliConfig) {
+			c.serve = ":0"
+			c.farm = "farm"
+			c.workers = 2
+			c.heartbeat = "hb.json"
+		}, "per-worker under -serve"},
+		{"serve-explicit-diffdir", func(c *cliConfig) {
+			c.serve = ":0"
+			c.farm = "farm"
+			c.workers = 2
+			c.diffdir = "diffs"
+		}, "per-worker under -serve"},
+		{"serve-explicit-stats", func(c *cliConfig) {
+			c.serve = ":0"
+			c.farm = "farm"
+			c.workers = 2
+			c.statsDir = "stats"
+		}, "per-worker under -serve"},
+		{"serve-resume", func(c *cliConfig) {
+			c.serve = ":0"
+			c.farm = "farm"
+			c.workers = 2
+			c.resume = true
+		}, "-resume is implicit under -serve"},
+		{"farm-without-serve", func(c *cliConfig) { c.farm = "farm" },
+			"-farm only makes sense with -serve"},
+		{"workers-without-serve", func(c *cliConfig) { c.workers = 4; c.workersSet = true },
+			"-workers only makes sense with -serve"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

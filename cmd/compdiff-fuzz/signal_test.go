@@ -1,0 +1,236 @@
+package main
+
+// End-to-end shutdown-path tests over the real binary: TestMain
+// re-execs the test binary as the compdiff-fuzz CLI when
+// COMPDIFF_FUZZ_WORKER=1, so a campaign can be signaled, killed, and
+// supervised exactly as in production — no mocks between the signal
+// and the checkpoint.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"compdiff/internal/checkpoint"
+	"compdiff/internal/supervisor"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("COMPDIFF_FUZZ_WORKER") == "1" {
+		os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// workerCmd re-execs this test binary as the CLI with the given args.
+func workerCmd(args ...string) *exec.Cmd {
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "COMPDIFF_FUZZ_WORKER=1")
+	return cmd
+}
+
+// campaignArgs is the shared flag set both tests run: one fixed
+// deterministic campaign, varied only in where its checkpoint lives.
+func campaignArgs(ckpt string, total int64) []string {
+	return []string{
+		"-target", "tcpdump",
+		"-execs-total", fmt.Sprint(total),
+		"-seed", "1",
+		"-shards", "2",
+		"-sync", "400",
+		"-checkpoint", ckpt,
+		"-resume",
+	}
+}
+
+func waitManifest(t *testing.T, dir string, minSpent int64, timeout time.Duration) *checkpoint.Manifest {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if m, err := checkpoint.ReadManifest(dir); err == nil && m.SpentExecs >= minSpent {
+			return m
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("no checkpoint manifest with spent >= %d within %s", minSpent, timeout)
+	return nil
+}
+
+// TestSigtermDrainsAtBarrier: a SIGTERM mid-campaign must exit 0 with
+// a durable checkpoint strictly between start and budget — the
+// graceful path loses nothing past the last barrier.
+func TestSigtermDrainsAtBarrier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real campaign")
+	}
+	ckpt := filepath.Join(t.TempDir(), "ckpt")
+	const total = 1_000_000 // far more than the test lets it spend
+	cmd := workerCmd(campaignArgs(ckpt, total)...)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitManifest(t, ckpt, 800, 30*time.Second)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("SIGTERM drain exited non-zero: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatal("campaign did not drain within 30s of SIGTERM")
+	}
+	m, err := checkpoint.ReadManifest(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SpentExecs <= 0 || m.SpentExecs >= total {
+		t.Fatalf("drained checkpoint spent = %d, want in (0, %d)", m.SpentExecs, total)
+	}
+	st, _, err := checkpoint.Load(ckpt)
+	if err != nil {
+		t.Fatalf("drained checkpoint does not load: %v", err)
+	}
+	if st.SpentExecs != m.SpentExecs {
+		t.Fatalf("state spent %d != manifest spent %d", st.SpentExecs, m.SpentExecs)
+	}
+}
+
+// TestSupervisedResumeMatchesUninterrupted is the acceptance test:
+// kill -9 a supervised worker mid-campaign, let the supervisor restart
+// it, and require the final checkpoint to carry the same signature and
+// bucket sets (and totals) as an uninterrupted run of the same seed
+// and budget.
+func TestSupervisedResumeMatchesUninterrupted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two real campaigns")
+	}
+	const total = 20_000
+
+	// Reference: the same campaign, uninterrupted.
+	refCkpt := filepath.Join(t.TempDir(), "ckpt")
+	ref := workerCmd(campaignArgs(refCkpt, total)...)
+	if out, err := ref.CombinedOutput(); err != nil {
+		t.Fatalf("reference run failed: %v\n%s", err, out)
+	}
+	refState, _, err := checkpoint.Load(refCkpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refState.SpentExecs != total {
+		t.Fatalf("reference spent %d, want %d", refState.SpentExecs, total)
+	}
+
+	// Supervised: one worker, same seed (WorkerSeed keeps the base for
+	// worker 0), killed hard mid-run.
+	farm := t.TempDir()
+	sup, err := supervisor.New(supervisor.Config{
+		Farm:       farm,
+		Workers:    1,
+		TotalExecs: total,
+		Command: func(index int, dirs checkpoint.WorkerDirs) *exec.Cmd {
+			return workerCmd(campaignArgs(dirs.Checkpoint, total)...)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	dirs := checkpoint.WorkerLayout(farm, 0)
+
+	// Let it make durable progress, then kill -9 the worker itself
+	// (not a drain — the supervisor must notice and restart).
+	waitManifest(t, dirs.Checkpoint, 2_000, 60*time.Second)
+	st := sup.Status()
+	if len(st) != 1 || st[0].Pid == 0 {
+		t.Fatalf("no live worker to kill: %+v", st)
+	}
+	if err := syscall.Kill(st[0].Pid, syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		st = sup.Status()
+		if len(st) == 1 && st[0].State == supervisor.StateDone {
+			break
+		}
+		if len(st) == 1 && st[0].State == supervisor.StateFailed {
+			t.Fatalf("worker abandoned instead of resumed: %+v", st[0])
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never completed after kill -9: %+v", st)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sup.Stop(ctx); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if st[0].Restarts < 1 {
+		t.Fatalf("restarts = %d, want >= 1 after kill -9", st[0].Restarts)
+	}
+
+	farmState, _, err := checkpoint.Load(dirs.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if farmState.SpentExecs != total {
+		t.Fatalf("supervised spent %d, want %d", farmState.SpentExecs, total)
+	}
+
+	// The killed interval was replayed from the checkpoint, so the
+	// final states must agree exactly — same discrepancies, same
+	// triage buckets, same totals.
+	sigs := func(st *checkpoint.State) map[uint64]int {
+		m := map[uint64]int{}
+		for _, d := range st.Diffs {
+			m[d.Signature] = d.Count
+		}
+		return m
+	}
+	refSigs, farmSigs := sigs(refState), sigs(farmState)
+	if len(refSigs) == 0 {
+		t.Fatal("reference campaign found no discrepancies; test is vacuous")
+	}
+	if len(refSigs) != len(farmSigs) {
+		t.Fatalf("signature sets differ: ref %d, supervised %d", len(refSigs), len(farmSigs))
+	}
+	for sig, n := range refSigs {
+		if farmSigs[sig] != n {
+			t.Fatalf("signature %x: ref count %d, supervised %d", sig, n, farmSigs[sig])
+		}
+	}
+	buckets := func(st *checkpoint.State) map[uint64]int {
+		m := map[uint64]int{}
+		for _, b := range st.Buckets {
+			m[b.Key] = b.Count
+		}
+		return m
+	}
+	refBuckets, farmBuckets := buckets(refState), buckets(farmState)
+	if len(refBuckets) != len(farmBuckets) {
+		t.Fatalf("bucket sets differ: ref %d, supervised %d", len(refBuckets), len(farmBuckets))
+	}
+	for key, n := range refBuckets {
+		if farmBuckets[key] != n {
+			t.Fatalf("bucket %x: ref count %d, supervised %d", key, n, farmBuckets[key])
+		}
+	}
+	if refState.DiffTotal != farmState.DiffTotal || refState.BucketTotal != farmState.BucketTotal {
+		t.Fatalf("totals differ: ref %d/%d, supervised %d/%d",
+			refState.DiffTotal, refState.BucketTotal, farmState.DiffTotal, farmState.BucketTotal)
+	}
+}

@@ -49,7 +49,20 @@ type Pool struct {
 	// same underlying bug yield exactly one pool-wide bucket.
 	buckets *triage.BucketStore
 
-	mu sync.Mutex // guards shard health fields during an epoch
+	// mu guards the shard health fields a panicking shard goroutine
+	// writes during an epoch, plus the barrier-consistent stat caches
+	// below — the data a concurrent Stats reader (the control plane)
+	// touches while an epoch runs.
+	mu sync.Mutex
+	// statShards / statCrashes are barrier-consistent copies of the
+	// per-shard fuzzer stats and the content-deduplicated crash-input
+	// set. Shard fuzzers are goroutine-confined, so a live Stats call
+	// must not touch them mid-epoch; these caches are refreshed at
+	// every synchronization barrier (and at construction/restore),
+	// which is also the only moment the numbers are mutually
+	// consistent.
+	statShards  []fuzz.Stats
+	statCrashes map[string]bool
 
 	// recorder is nil unless Options ask for stats. Snapshots are taken
 	// at synchronization barriers (all shard goroutines joined, so the
@@ -71,12 +84,16 @@ type Pool struct {
 	// whose CampaignHash matches.
 	optionsHash uint64
 	// spentTotal accumulates the per-shard budget across Run calls
-	// (restored on resume, so it spans process lifetimes).
-	spentTotal int64
+	// (restored on resume, so it spans process lifetimes). Atomic so a
+	// concurrent Stats reader sees a coherent value mid-campaign.
+	spentTotal atomic.Int64
 	// persistErrs counts shared-store persistence failures observed at
-	// barriers; persistLogged / ckptLogged keep the logs to one line
-	// per failure kind per campaign.
-	persistErrs   int64
+	// barriers. Atomic: the control plane reads stats while the
+	// campaign runs, and the shard counters it is summed with are
+	// already atomics — a plain increment here was the one racy read
+	// in that path. persistLogged / ckptLogged keep the logs to one
+	// line per failure kind per campaign.
+	persistErrs   atomic.Int64
 	persistLogged bool
 	ckptLogged    bool
 }
@@ -208,7 +225,29 @@ func NewPoolChecked(info *sema.Info, seeds [][]byte, opts Options) (*Pool, error
 		}
 		p.shards = append(p.shards, &shard{c: c, queueSeen: map[uint64]bool{}})
 	}
+	p.refreshStatCache()
 	return p, nil
+}
+
+// refreshStatCache recomputes the barrier-consistent shard-stat and
+// crash-set caches that a concurrent Stats reader consumes. Called
+// only when no shard goroutine is running: at construction, at every
+// synchronization barrier, and after a checkpoint restore.
+func (p *Pool) refreshStatCache() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.statShards == nil {
+		p.statShards = make([]fuzz.Stats, len(p.shards))
+	}
+	if p.statCrashes == nil {
+		p.statCrashes = map[string]bool{}
+	}
+	for si, s := range p.shards {
+		p.statShards[si] = s.c.Stats()
+		for _, cr := range s.c.Crashes() {
+			p.statCrashes[string(cr.Input)] = true
+		}
+	}
 }
 
 // ShardSeed derives shard si's fuzzer RNG seed from the base seed.
@@ -282,7 +321,7 @@ func (p *Pool) Run(ctx context.Context, budget int64) PoolStats {
 		}
 		wg.Wait()
 		spent += step
-		p.spentTotal += step
+		p.spentTotal.Add(step)
 		p.synchronize()
 		if p.recorder != nil {
 			p.recorder.Record(p.snapshot())
@@ -292,6 +331,12 @@ func (p *Pool) Run(ctx context.Context, budget int64) PoolStats {
 			if p.sinceCkpt >= p.ckptEvery {
 				p.saveCheckpoint()
 			}
+		}
+		if p.opts.BarrierHook != nil {
+			// Last, so the hook observes the post-merge, post-checkpoint
+			// state: a heartbeat written here never claims progress the
+			// durable checkpoint does not yet hold beyond one interval.
+			p.opts.BarrierHook(p.Stats())
 		}
 		if p.liveShards() == 0 {
 			break
@@ -382,9 +427,9 @@ func (p *Pool) snapshot() telemetry.Snapshot {
 }
 
 // persistErrors totals persistence failures across the shared store
-// and the shards. Called between epochs (barrier, Stats after Run).
+// and the shards. Every term is atomic, so this is safe mid-epoch.
 func (p *Pool) persistErrors() int64 {
-	n := p.persistErrs
+	n := p.persistErrs.Load()
 	for _, s := range p.shards {
 		n += atomic.LoadInt64(&s.c.persistErrs)
 	}
@@ -417,7 +462,7 @@ func (p *Pool) synchronize() {
 		// count it and log the first occurrence.
 		fresh, err := p.store.Absorb(delta)
 		if err != nil {
-			p.persistErrs++
+			p.persistErrs.Add(1)
 			if !p.persistLogged {
 				log.Printf("difffuzz: diff persistence failed (campaign continues, on-disk evidence incomplete): %v", err)
 				p.persistLogged = true
@@ -482,24 +527,34 @@ func (p *Pool) synchronize() {
 			s.c.fuzzer.ForceSeed(data)
 		}
 	}
+
+	// 4. Refresh the barrier-consistent caches a concurrent Stats
+	// reader (the control plane) consumes while the next epoch runs.
+	p.refreshStatCache()
 }
 
-// Stats aggregates pool-wide statistics. Call after Run returns (or
-// between Run calls); shard stats are read outside any epoch.
+// Stats aggregates pool-wide statistics. Safe to call concurrently
+// with Run — the control plane polls it while a campaign executes.
+// Per-shard fuzzer numbers and the crash count are barrier-consistent
+// (refreshed at every synchronization barrier, so a mid-epoch read
+// reports the last barrier's state); the shared stores and the atomic
+// counters are read live. After Run returns the last barrier has run,
+// so every field is exact.
 func (p *Pool) Stats() PoolStats {
 	st := PoolStats{Shards: len(p.shards)}
-	crashes := map[string]bool{}
+	p.mu.Lock()
+	st.ShardStats = append([]fuzz.Stats(nil), p.statShards...)
+	st.UniqueCrashes = len(p.statCrashes)
 	for _, s := range p.shards {
-		fs := s.c.Stats()
-		st.ShardStats = append(st.ShardStats, fs)
-		st.Execs += fs.Execs
-		st.DiffExecs += atomic.LoadInt64(&s.c.DiffExecs)
 		st.ShardErrors = append(st.ShardErrors, s.err)
-		for _, cr := range s.c.Crashes() {
-			crashes[string(cr.Input)] = true
-		}
 	}
-	st.UniqueCrashes = len(crashes)
+	p.mu.Unlock()
+	for _, fs := range st.ShardStats {
+		st.Execs += fs.Execs
+	}
+	for _, s := range p.shards {
+		st.DiffExecs += atomic.LoadInt64(&s.c.DiffExecs)
+	}
 	st.UniqueDiffs = p.store.Len()
 	st.TotalDiffInputs = p.store.Total()
 	st.UniqueBuckets = p.buckets.Len()
@@ -508,7 +563,7 @@ func (p *Pool) Stats() PoolStats {
 	st.ICEs = kinds[triage.KindICE]
 	st.DiagMismatches = kinds[triage.KindDiagMismatch]
 	st.PersistErrors = p.persistErrors()
-	st.SpentExecs = p.spentTotal
+	st.SpentExecs = p.spentTotal.Load()
 	return st
 }
 

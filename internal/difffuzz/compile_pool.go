@@ -315,10 +315,17 @@ func (p *CompilePool) Run(ctx context.Context) CompilePoolStats {
 	if p.recorder != nil {
 		// A cancelled epoch never reached its barrier snapshot; record
 		// the final state, then flush so process exit cannot lose it.
+		// On cancellation the recorder is closed outright, matching the
+		// runtime pool: a signal-driven exit path may never call Close,
+		// and the plot.jsonl tail must be complete anyway (Close stays
+		// a no-op afterwards).
 		if ctx.Err() != nil {
 			p.recorder.Record(p.snapshotCompile())
+			_ = p.recorder.Sync()
+			_ = p.recorder.Close()
+		} else {
+			_ = p.recorder.Sync()
 		}
-		_ = p.recorder.Sync()
 	}
 	return p.Stats()
 }
@@ -518,7 +525,18 @@ func (p *CompilePool) CheckpointSeq() int {
 	return p.saver.Seq()
 }
 
-// Close releases observability resources (the stats recorder).
+// Snapshots returns the recorded progress series — one entry per
+// synchronization barrier, plus the final post-cancel snapshot when a
+// run was cancelled (empty when stats are disabled).
+func (p *CompilePool) Snapshots() []telemetry.Snapshot {
+	if p.recorder == nil {
+		return nil
+	}
+	return p.recorder.Snapshots()
+}
+
+// Close releases observability resources (the stats recorder). A
+// no-op when the recorder was already closed by a cancelled Run.
 func (p *CompilePool) Close() {
 	if p.recorder != nil {
 		_ = p.recorder.Close()

@@ -87,7 +87,7 @@ func ResumePool(src string, seeds [][]byte, opts Options) (*Pool, error) {
 
 // SpentExecs is the cumulative per-shard execution budget consumed
 // across all Run calls, including runs before a resume.
-func (p *Pool) SpentExecs() int64 { return p.spentTotal }
+func (p *Pool) SpentExecs() int64 { return p.spentTotal.Load() }
 
 // CheckpointSeq is the sequence number of the last durable checkpoint
 // (0 when checkpointing is off or nothing has been saved).
@@ -104,8 +104,8 @@ func (p *Pool) exportState() *checkpoint.State {
 	st := &checkpoint.State{
 		Version:       checkpoint.Version,
 		OptionsHash:   p.optionsHash,
-		SpentExecs:    p.spentTotal,
-		PersistErrors: p.persistErrs,
+		SpentExecs:    p.spentTotal.Load(),
+		PersistErrors: p.persistErrs.Load(),
 	}
 	for si, s := range p.shards {
 		ss := checkpoint.ShardState{
@@ -164,8 +164,8 @@ func (p *Pool) restore(st *checkpoint.State) error {
 	// findings non-destructive).
 	p.store = core.RestoreDiffStore(p.opts.DiffDir, st.Diffs, st.DiffTotal)
 	p.buckets = triage.RestoreBucketStore(st.Buckets, st.BucketTotal)
-	p.spentTotal = st.SpentExecs
-	p.persistErrs = st.PersistErrors
+	p.spentTotal.Store(st.SpentExecs)
+	p.persistErrs.Store(st.PersistErrors)
 	for i, s := range p.shards {
 		ss := &st.Shards[i]
 		if ss.Index != i {
@@ -184,6 +184,10 @@ func (p *Pool) restore(st *checkpoint.State) error {
 			s.queueSeen[h] = true
 		}
 	}
+	// The caches a concurrent Stats reader sees must reflect the
+	// restored shard state, not the discarded construction-time state.
+	p.statCrashes = nil
+	p.refreshStatCache()
 	return nil
 }
 

@@ -1,0 +1,88 @@
+package supervisor
+
+// Lifecycle event log with sequence-number watermarks. Every state
+// transition the supervisor performs — spawn, exit, restart, backoff,
+// give-up, pause, resume, reshard, replay-gap — is appended with a
+// monotonic Seq. Consumers (the /events endpoint, the e2e smoke)
+// poll with a since-watermark; the log is a bounded ring, so a slow
+// consumer is told about the gap instead of silently missing events.
+
+import (
+	"sync"
+	"time"
+)
+
+// Event kinds. FarmWorker (-1) marks farm-level events.
+const (
+	EventSpawn     = "spawn"      // worker process started
+	EventExit      = "exit"       // worker process exited
+	EventReplayGap = "replay-gap" // unclean exit lost execs past the durable watermark
+	EventBackoff   = "backoff"    // restart delayed by exponential backoff
+	EventRestart   = "restart"    // worker restarting after an exit
+	EventGiveUp    = "give-up"    // restart intensity exceeded; worker abandoned
+	EventDone      = "done"       // worker completed its budget
+	EventPause     = "pause"      // farm paused (workers drain at barriers)
+	EventResume    = "resume"     // farm resumed
+	EventReshard   = "reshard"    // worker count changed
+	EventStop      = "stop"       // farm shutting down
+)
+
+// FarmWorker is the Worker value for events about the farm as a whole.
+const FarmWorker = -1
+
+// Event is one supervisor lifecycle transition.
+type Event struct {
+	Seq    int64  `json:"seq"`
+	UnixMs int64  `json:"unix_ms"`
+	Worker int    `json:"worker"` // worker index, or FarmWorker
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// eventLog is a fixed-capacity ring of recent events. Seq never
+// resets, so a reader holding a watermark can detect eviction: if the
+// oldest retained event is more than one past the watermark, events
+// were lost to the ring bound.
+type eventLog struct {
+	mu   sync.Mutex
+	buf  []Event
+	seq  int64
+	size int
+}
+
+func newEventLog(size int) *eventLog {
+	if size < 1 {
+		size = 1
+	}
+	return &eventLog{size: size}
+}
+
+func (l *eventLog) add(worker int, kind, detail string) Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	ev := Event{Seq: l.seq, UnixMs: time.Now().UnixMilli(), Worker: worker, Kind: kind, Detail: detail}
+	l.buf = append(l.buf, ev)
+	if len(l.buf) > l.size {
+		l.buf = l.buf[len(l.buf)-l.size:]
+	}
+	return ev
+}
+
+// since returns the retained events with Seq > watermark, plus
+// whether any events in (watermark, first-retained) were evicted.
+func (l *eventLog) since(watermark int64) (events []Event, gap bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lo := 0
+	for lo < len(l.buf) && l.buf[lo].Seq <= watermark {
+		lo++
+	}
+	events = append(events, l.buf[lo:]...)
+	if len(l.buf) > 0 && l.buf[0].Seq > watermark+1 {
+		gap = true
+	} else if len(l.buf) == 0 && l.seq > watermark {
+		gap = true
+	}
+	return events, gap
+}

@@ -1,0 +1,181 @@
+package supervisor
+
+// HTTP control plane. Handler returns a mux the CLI mounts on the
+// -serve address:
+//
+//	GET  /healthz            liveness + fleet summary
+//	GET  /stats              merged telemetry + supervision view
+//	GET  /plot?worker=N&n=K  tail of worker N's plot.jsonl (raw JSONL)
+//	GET  /buckets            cross-worker merged triage buckets
+//	GET  /findings           cross-worker merged unique discrepancies
+//	GET  /events?since=S     lifecycle events after watermark S
+//	POST /pause              drain workers at their barriers and park
+//	POST /resume             unpark
+//	POST /reshard?workers=N  drain, then relaunch with N workers
+//
+// Everything is JSON; mutations are POST-only so a crawling browser
+// cannot pause a farm.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler builds the control-plane mux.
+func (s *Supervisor) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/plot", s.handlePlot)
+	mux.HandleFunc("/buckets", s.handleBuckets)
+	mux.HandleFunc("/findings", s.handleFindings)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/pause", s.handlePause)
+	mux.HandleFunc("/resume", s.handleResume)
+	mux.HandleFunc("/reshard", s.handleReshard)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func requireGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed (mutations are POST)", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+func (s *Supervisor) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	st := s.Status()
+	counts := map[string]int{}
+	for _, ws := range st {
+		counts[ws.State]++
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"paused":  s.Paused(),
+		"workers": len(st),
+		"states":  counts,
+	})
+}
+
+func (s *Supervisor) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Supervisor) handlePlot(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	worker, err := queryInt(r, "worker", 0)
+	if err != nil {
+		http.Error(w, "bad worker parameter", http.StatusBadRequest)
+		return
+	}
+	n, err := queryInt(r, "n", 32)
+	if err != nil {
+		http.Error(w, "bad n parameter", http.StatusBadRequest)
+		return
+	}
+	lines := s.PlotTail(worker, n)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for _, line := range lines {
+		w.Write(line)
+		w.Write([]byte("\n"))
+	}
+}
+
+func (s *Supervisor) handleBuckets(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	b := s.Buckets()
+	writeJSON(w, http.StatusOK, map[string]any{"unique": len(b), "buckets": b})
+}
+
+func (s *Supervisor) handleFindings(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	f := s.Findings()
+	writeJSON(w, http.StatusOK, map[string]any{"unique": len(f), "findings": f})
+}
+
+func (s *Supervisor) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	since, err := queryInt(r, "since", 0)
+	if err != nil {
+		http.Error(w, "bad since parameter", http.StatusBadRequest)
+		return
+	}
+	events, gap := s.Events(int64(since))
+	next := int64(since)
+	if len(events) > 0 {
+		next = events[len(events)-1].Seq
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"events": events, "gap": gap, "next_since": next})
+}
+
+func (s *Supervisor) handlePause(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	s.Pause()
+	writeJSON(w, http.StatusOK, map[string]any{"paused": true})
+}
+
+func (s *Supervisor) handleResume(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	s.Resume()
+	writeJSON(w, http.StatusOK, map[string]any{"paused": false})
+}
+
+func (s *Supervisor) handleReshard(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	n, err := queryInt(r, "workers", -1)
+	if err != nil || n < 1 {
+		http.Error(w, "reshard needs ?workers=N with N >= 1", http.StatusBadRequest)
+		return
+	}
+	if err := s.Reshard(n); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workers": n})
+}
+
+func queryInt(r *http.Request, key string, def int) (int, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	return strconv.Atoi(v)
+}

@@ -1,0 +1,134 @@
+package telemetry
+
+// Worker heartbeats and cross-worker snapshot merging — the telemetry
+// half of the supervised-farm control plane. A worker process writes
+// one Heartbeat atomically at every pool synchronization barrier; the
+// supervisor reads it for liveness and for the execution watermark it
+// reconciles against the durable checkpoint watermark after a crash
+// (the gap between the two is the window a restart will replay). The
+// supervisor's /stats endpoint merges each worker's latest plot
+// snapshot with MergeSnapshots.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Heartbeat is one worker's barrier-consistent status record. Every
+// field is taken at a pool synchronization barrier, so the counters
+// are mutually consistent; Seq increases by one per barrier within a
+// process, and SpentExecs is the cross-process watermark (cumulative
+// per-shard budget, carried across resumes by the checkpoint).
+type Heartbeat struct {
+	Pid    int   `json:"pid"`
+	UnixMs int64 `json:"unix_ms"`
+	// Seq counts barriers within this process lifetime.
+	Seq int64 `json:"seq"`
+	// SpentExecs is the cumulative per-shard budget consumed across
+	// process lifetimes — the watermark the supervisor reconciles with
+	// the checkpoint manifest after an unclean exit.
+	SpentExecs int64 `json:"spent_execs"`
+	Execs      int64 `json:"execs"`
+	DiffExecs  int64 `json:"diff_execs"`
+	Queue      int   `json:"queue"`
+	// UniqueDiffs / UniqueBuckets / UniqueCrashes are this worker's own
+	// deduplicated counts; cross-worker dedup happens in the supervisor
+	// from the checkpointed signature sets.
+	UniqueDiffs     int   `json:"unique_diffs"`
+	TotalDiffInputs int   `json:"total_diff_inputs"`
+	UniqueBuckets   int   `json:"unique_buckets"`
+	UniqueCrashes   int   `json:"unique_crashes"`
+	PersistErrors   int64 `json:"persist_errors"`
+	Shards          int   `json:"shards"`
+	RetiredShards   int   `json:"retired_shards"`
+}
+
+// WriteHeartbeat atomically replaces the heartbeat file at path:
+// write to a temp name in the same directory, then rename. A reader
+// never sees a torn record, and a kill mid-write leaves the previous
+// heartbeat in place — the same old-or-new guarantee the checkpoint
+// protocol gives, minus the fsyncs (a heartbeat is advisory; losing
+// the newest one costs nothing).
+func WriteHeartbeat(path string, hb Heartbeat) error {
+	data, err := json.Marshal(hb)
+	if err != nil {
+		return fmt.Errorf("telemetry: heartbeat encode: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("telemetry: heartbeat: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("telemetry: heartbeat: %w", err)
+	}
+	return nil
+}
+
+// ReadHeartbeat loads the heartbeat at path. A missing file returns
+// os.ErrNotExist (wrapped): the worker has not reached its first
+// barrier yet.
+func ReadHeartbeat(path string) (*Heartbeat, error) {
+	data, err := os.ReadFile(filepath.Clean(path))
+	if err != nil {
+		return nil, err
+	}
+	var hb Heartbeat
+	if err := json.Unmarshal(data, &hb); err != nil {
+		return nil, fmt.Errorf("telemetry: heartbeat decode: %w", err)
+	}
+	return &hb, nil
+}
+
+// MergeSnapshots combines per-worker progress snapshots into one
+// farm-wide view: counters and per-class outcome counts sum, the
+// queue sums, elapsed time is the maximum (workers run concurrently,
+// not back to back), the throughput is recomputed from the merged
+// execs over that elapsed time, and the plateau is the minimum across
+// workers — the farm last found a new path when its most recently
+// successful worker did, so one worker at zero zeroes the farm.
+// The Unique* fields sum — an upper bound on the true deduplicated
+// counts, which only the checkpointed signature sets can give; the
+// supervisor's /stats reports both. Shard lists concatenate in
+// argument order.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	var m Snapshot
+	plateau := int64(-1)
+	for _, s := range snaps {
+		if plateau < 0 || s.PlateauExecs < plateau {
+			plateau = s.PlateauExecs
+		}
+		m.Execs += s.Execs
+		m.DiffExecs += s.DiffExecs
+		m.Queue += s.Queue
+		m.UniqueDiffs += s.UniqueDiffs
+		m.TotalDiffInputs += s.TotalDiffInputs
+		m.UniqueBuckets += s.UniqueBuckets
+		m.UniqueCrashes += s.UniqueCrashes
+		m.OK += s.OK
+		m.Crash += s.Crash
+		m.StepLimitHang += s.StepLimitHang
+		m.Diff += s.Diff
+		m.PersistErrors += s.PersistErrors
+		m.Programs += s.Programs
+		m.CompileDivergences += s.CompileDivergences
+		m.ICEs += s.ICEs
+		m.DiagMismatches += s.DiagMismatches
+		if s.ElapsedMs > m.ElapsedMs {
+			m.ElapsedMs = s.ElapsedMs
+		}
+		if s.UnixMs > m.UnixMs {
+			m.UnixMs = s.UnixMs
+		}
+		m.Shards = append(m.Shards, s.Shards...)
+	}
+	if plateau > 0 {
+		m.PlateauExecs = plateau
+	}
+	if m.ElapsedMs > 0 {
+		m.ExecsPerSec = float64(m.Execs) / (float64(m.ElapsedMs) / 1000)
+	}
+	return m
+}

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "STATUS.json")
+
+	if _, err := ReadHeartbeat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing heartbeat: got %v, want ErrNotExist", err)
+	}
+
+	hb := Heartbeat{Pid: 42, UnixMs: 1700000000000, Seq: 3, SpentExecs: 900,
+		Execs: 1800, DiffExecs: 40, Queue: 12, UniqueDiffs: 2, TotalDiffInputs: 5,
+		UniqueBuckets: 2, UniqueCrashes: 1, PersistErrors: 0, Shards: 2, RetiredShards: 0}
+	if err := WriteHeartbeat(path, hb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHeartbeat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != hb {
+		t.Fatalf("round trip: got %+v, want %+v", *got, hb)
+	}
+
+	// Overwrite is atomic-replace: the new record fully supersedes the
+	// old and no temp file lingers.
+	hb.Seq, hb.SpentExecs = 4, 1200
+	if err := WriteHeartbeat(path, hb); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadHeartbeat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 4 || got.SpentExecs != 1200 {
+		t.Fatalf("overwrite: got %+v", *got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+
+	// A torn/garbage file is a decode error, not a zero heartbeat.
+	if err := os.WriteFile(path, []byte("{\"pid\": 42, \"un"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadHeartbeat(path); err == nil {
+		t.Fatal("truncated heartbeat decoded without error")
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	a := Snapshot{UnixMs: 100, ElapsedMs: 2000, Execs: 1000, DiffExecs: 100,
+		Queue: 5, UniqueDiffs: 2, TotalDiffInputs: 4, UniqueBuckets: 2, UniqueCrashes: 1,
+		OK: 900, Crash: 50, StepLimitHang: 20, Diff: 30, PersistErrors: 1,
+		PlateauExecs: 600, Shards: []ShardSnapshot{{Shard: 0}}}
+	b := Snapshot{UnixMs: 150, ElapsedMs: 1000, Execs: 500, DiffExecs: 20,
+		Queue: 3, UniqueDiffs: 1, TotalDiffInputs: 1, UniqueBuckets: 1, UniqueCrashes: 0,
+		OK: 470, Crash: 10, StepLimitHang: 5, Diff: 15,
+		Shards: []ShardSnapshot{{Shard: 0}, {Shard: 1}}}
+
+	m := MergeSnapshots(a, b)
+	if m.Execs != 1500 || m.DiffExecs != 120 || m.Queue != 8 ||
+		m.UniqueDiffs != 3 || m.TotalDiffInputs != 5 || m.UniqueBuckets != 3 ||
+		m.UniqueCrashes != 1 || m.PersistErrors != 1 {
+		t.Fatalf("sums: %+v", m)
+	}
+	if m.ClassTotal() != m.Execs {
+		t.Fatalf("merged classes sum to %d, execs %d", m.ClassTotal(), m.Execs)
+	}
+	// Workers run concurrently: elapsed is the max, not the sum, and
+	// throughput is recomputed over that wall clock.
+	if m.ElapsedMs != 2000 || m.UnixMs != 150 {
+		t.Fatalf("elapsed=%d unix=%d", m.ElapsedMs, m.UnixMs)
+	}
+	if want := 1500 / 2.0; m.ExecsPerSec != want {
+		t.Fatalf("ExecsPerSec = %v, want %v", m.ExecsPerSec, want)
+	}
+	// One worker still finding new paths means the farm is not
+	// plateaued: the zero (not-plateaued) value wins over a's 600.
+	if m.PlateauExecs != 0 {
+		t.Fatalf("PlateauExecs = %d, want 0 (b is not plateaued)", m.PlateauExecs)
+	}
+	if len(m.Shards) != 3 {
+		t.Fatalf("shards concatenate: got %d", len(m.Shards))
+	}
+
+	// When every worker is plateaued, the farm's plateau is the
+	// shortest one — the most recent global discovery.
+	b.PlateauExecs = 900
+	if m := MergeSnapshots(a, b); m.PlateauExecs != 600 {
+		t.Fatalf("all-plateaued merge: PlateauExecs = %d, want 600", m.PlateauExecs)
+	}
+
+	// Merging nothing is a zero snapshot.
+	if z := MergeSnapshots(); z.Execs != 0 || z.ExecsPerSec != 0 {
+		t.Fatalf("empty merge: %+v", z)
+	}
+}

@@ -130,4 +130,79 @@ grep -q '^findings       : 3 (3 triage buckets)' "$SMOKE_DIR/compile-resume.log"
 	exit 1
 }
 
+# Serve smoke: a two-worker farm must come up, answer the control
+# plane, survive kill -9 of a worker (restart event + stats that keep
+# the killed worker's progress), and drain cleanly on SIGTERM.
+echo "== serve smoke (2 workers, kill -9 one, SIGTERM drain)"
+FARM_DIR="$SMOKE_DIR/farm"
+SERVE_ADDR="127.0.0.1:18479"
+"$SMOKE_DIR/compdiff-fuzz" -serve "$SERVE_ADDR" -farm "$FARM_DIR" -workers 2 \
+	-target tcpdump -execs-total 50000000 -sync 500 >"$SMOKE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+i=0
+until curl -sf "http://$SERVE_ADDR/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	if [ "$i" -gt 150 ] || ! kill -0 "$SERVE_PID" 2>/dev/null; then
+		echo "serve smoke: control plane never came up" >&2
+		kill -9 "$SERVE_PID" 2>/dev/null || true
+		cat "$SMOKE_DIR/serve.log" >&2
+		exit 1
+	fi
+	sleep 0.2
+done
+# Wait for both workers to report durable progress, then kill one.
+i=0
+until [ -f "$FARM_DIR/workers/worker-000/checkpoint/MANIFEST.json" ] &&
+	[ -f "$FARM_DIR/workers/worker-001/checkpoint/MANIFEST.json" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 300 ]; then
+		echo "serve smoke: workers made no durable progress after 60s" >&2
+		kill -9 "$SERVE_PID" 2>/dev/null || true
+		cat "$SMOKE_DIR/serve.log" >&2
+		exit 1
+	fi
+	sleep 0.2
+done
+WORKER_PID="$(curl -s "http://$SERVE_ADDR/stats" |
+	sed -n 's/.*"pid": \([0-9][0-9]*\).*/\1/p' | head -1)"
+if [ -z "$WORKER_PID" ]; then
+	echo "serve smoke: /stats reported no worker pid" >&2
+	kill -9 "$SERVE_PID" 2>/dev/null || true
+	exit 1
+fi
+kill -9 "$WORKER_PID"
+i=0
+until curl -s "http://$SERVE_ADDR/events" | grep -q '"kind": "restart"'; do
+	i=$((i + 1))
+	if [ "$i" -gt 150 ]; then
+		echo "serve smoke: no restart event after killing worker $WORKER_PID" >&2
+		curl -s "http://$SERVE_ADDR/events" >&2 || true
+		kill -9 "$SERVE_PID" 2>/dev/null || true
+		exit 1
+	fi
+	sleep 0.2
+done
+curl -s "http://$SERVE_ADDR/stats" | grep -q '"spent_execs": [1-9]' || {
+	echo "serve smoke: merged stats show no spent execs" >&2
+	kill -9 "$SERVE_PID" 2>/dev/null || true
+	exit 1
+}
+kill -TERM "$SERVE_PID"
+i=0
+while kill -0 "$SERVE_PID" 2>/dev/null; do
+	i=$((i + 1))
+	if [ "$i" -gt 150 ]; then
+		echo "serve smoke: supervisor did not drain within 30s of SIGTERM" >&2
+		kill -9 "$SERVE_PID" 2>/dev/null || true
+		cat "$SMOKE_DIR/serve.log" >&2
+		exit 1
+	fi
+	sleep 0.2
+done
+grep -q '^farm spent' "$SMOKE_DIR/serve.log" || {
+	echo "serve smoke: no farm summary after drain" >&2
+	cat "$SMOKE_DIR/serve.log" >&2
+	exit 1
+}
+
 echo "== check OK"

@@ -44,5 +44,8 @@ floor compdiff/internal/difffuzz 80
 # The checkpoint layer's whole contract — atomic saves, torn-file
 # detection, resume fidelity — is only observable through its tests.
 floor compdiff/internal/checkpoint 85
+# The supervisor is all failure paths: restart intensity, backoff,
+# replay gaps, drain races. Untested lines here are untested outages.
+floor compdiff/internal/supervisor 85
 
 echo "== cover OK"
