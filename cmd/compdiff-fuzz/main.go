@@ -129,6 +129,7 @@ type cliConfig struct {
 	seed       int64
 	shards     int
 	jobs       int
+	batch      int
 	sync       int64
 	syncSet    bool // -sync was given explicitly
 	san        string
@@ -215,6 +216,9 @@ func (c cliConfig) validate() error {
 	if c.jobs < 1 {
 		return fmt.Errorf("-jobs %d: the cross-check needs at least one worker", c.jobs)
 	}
+	if c.batch < 0 {
+		return fmt.Errorf("-batch %d: the batch size cannot be negative (0 or 1 mean per-exec)", c.batch)
+	}
 	if c.sync < 0 {
 		return fmt.Errorf("-sync %d: the barrier interval cannot be negative", c.sync)
 	}
@@ -263,6 +267,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "fuzzer RNG seed")
 	shards := fs.Int("shards", 1, "parallel fuzzer instances (AFL -M/-S style)")
 	jobs := fs.Int("jobs", 1, "worker goroutines per differential cross-check")
+	batch := fs.Int("batch", 1, "inputs cross-checked per warm machine-set borrow (1 = per-exec)")
 	syncEvery := fs.Int64("sync", 0, "executions between shard sync barriers (0 = budget/8)")
 	sanFlag := fs.String("san", "none", "sanitizer on the fuzz binary: none|asan|ubsan|msan")
 	diffdir := fs.String("diffdir", "", "persist diverging inputs")
@@ -294,6 +299,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		seed:       *seed,
 		shards:     *shards,
 		jobs:       *jobs,
+		batch:      *batch,
 		sync:       *syncEvery,
 		san:        *sanFlag,
 		diffdir:    *diffdir,
@@ -399,6 +405,7 @@ func runFuzzCampaign(cfg cliConfig, seeds *seedList, stdout, stderr io.Writer) e
 		Shards:          cfg.shards,
 		SyncEvery:       cfg.sync,
 		Parallelism:     cfg.jobs,
+		BatchSize:       cfg.batch,
 		StatsDir:        cfg.statsDir,
 		StatsEvery:      cfg.statsEvery,
 		CheckpointDir:   cfg.checkpoint,
@@ -710,6 +717,9 @@ func runProgramsCampaign(cfg cliConfig, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "programs       : %d of %d processed (%d accepted everywhere, %d uniform rejects)\n",
 		stats.Programs, stats.CorpusLen, stats.Accepted, stats.FrontendRejects)
 	fmt.Fprintf(stdout, "findings       : %d (%d triage buckets)\n", stats.Findings, stats.UniqueBuckets)
+	cs := pool.CacheStats()
+	fmt.Fprintf(stdout, "compile cache  : %d hits, %d misses, %d evictions (%d resident, %d bytes)\n",
+		cs.Hits, cs.Misses, cs.Evictions, cs.Entries, cs.Bytes)
 	fmt.Fprintf(stdout, "compile classes: %d accept/reject divergences, %d ICEs, %d diagnostic mismatches, %d runtime\n",
 		stats.CompileDivergences, stats.ICEs, stats.DiagMismatches, stats.RuntimeBuckets)
 	for si, serr := range stats.ShardErrors {

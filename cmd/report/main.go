@@ -25,10 +25,14 @@ import (
 	"strings"
 
 	"compdiff/internal/bench"
+	"compdiff/internal/compiler"
 	"compdiff/internal/difffuzz"
 	"compdiff/internal/juliet"
+	"compdiff/internal/minic/parser"
+	"compdiff/internal/minic/sema"
 	"compdiff/internal/targets"
 	"compdiff/internal/triage"
+	"compdiff/internal/vm"
 )
 
 func main() {
@@ -47,13 +51,15 @@ func main() {
 	trTarget := flag.String("triage-target", "readelf", "built-in target for -triage")
 	trExecs := flag.Int64("triage-execs", 5000, "campaign budget for -triage")
 	co := flag.Bool("compile-oracle", false, "compile-stage oracle demo: the three finding classes")
+	op := flag.Bool("opcode-pairs", false, "dynamic fallthrough opcode-pair histogram over the built-in corpus")
+	opTop := flag.Int("opcode-pairs-top", 20, "rows to print for -opcode-pairs")
 	scale := flag.Int("scale", 1, "divide Juliet category sizes by N (speed knob)")
 	flag.Parse()
 
 	if *all {
 		*t2, *t3, *f1, *t4, *t5, *t6, *f2, *ov, *tr, *co = true, true, true, true, true, true, true, true, true, true
 	}
-	if !(*t2 || *t3 || *f1 || *t4 || *t5 || *t6 || *f2 || *ov || *tr || *co) {
+	if !(*t2 || *t3 || *f1 || *t4 || *t5 || *t6 || *f2 || *ov || *tr || *co || *op) {
 		flag.Usage()
 		return
 	}
@@ -127,6 +133,51 @@ func main() {
 		fmt.Println("==== Compile-stage oracle: the three finding classes ====")
 		fmt.Println(compileOracleSummary())
 	}
+
+	if *op {
+		fmt.Println("==== Opcode-pair histogram (fallthrough pairs, built-in corpus) ====")
+		fmt.Println(opcodePairSummary(*opTop))
+	}
+}
+
+// opcodePairSummary runs every built-in target's seeds through the
+// default implementation set under the pair profiler and renders the
+// most frequent fallthrough opcode pairs — the data that justifies
+// the fast loop's superinstruction set (scripts/bench.sh reports it
+// next to the timing trajectory).
+func opcodePairSummary(top int) string {
+	var prof vm.PairProfile
+	cfgs := compiler.DefaultSet()
+	for _, tg := range targets.All() {
+		info := sema.MustCheck(parser.MustParse(tg.Src))
+		for _, cfg := range cfgs {
+			res := compiler.CompileGuarded(info, cfg)
+			if res.Err != nil {
+				continue
+			}
+			m := vm.New(res.Prog, vm.Options{})
+			for _, seed := range tg.Seeds {
+				m.ProfilePairs(seed, &prof)
+			}
+		}
+	}
+	pairs := prof.Pairs()
+	var total int64
+	for _, p := range pairs {
+		total += p.Count
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d instructions executed, %d fallthrough pairs (%d distinct)\n",
+		prof.Steps(), total, len(pairs))
+	fmt.Fprintf(&b, "%-24s %12s %7s\n", "pair", "count", "share")
+	if top > len(pairs) {
+		top = len(pairs)
+	}
+	for _, p := range pairs[:top] {
+		fmt.Fprintf(&b, "%-24s %12d %6.2f%%\n",
+			p.A.String()+"+"+p.B.String(), p.Count, 100*float64(p.Count)/float64(total))
+	}
+	return b.String()
 }
 
 // triageSummary fuzzes one built-in target briefly and renders the

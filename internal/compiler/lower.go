@@ -208,7 +208,7 @@ func (lw *lowerer) lowerFunc(f *ast.FuncDecl) (*ir.Func, error) {
 		ParamOff:  lw.fl.paramOff,
 		ParamKind: lw.fl.paramKind,
 		Slots:     lw.fl.slots,
-		Code:      lw.code,
+		Code:      peepholeFold(lw.code),
 	}, nil
 }
 

@@ -147,6 +147,25 @@ func BuildDifferential(info *sema.Info, cfgs []compiler.Config, opts Options) (*
 			results[i] = compiler.CompileGuarded(info, cfgs[i])
 		}
 	}
+	return AssembleDifferential(results, cfgs, opts)
+}
+
+// AssembleDifferential builds the compile outcome and (when all
+// implementations accepted) a fresh Suite from per-implementation
+// compile results obtained elsewhere — the progcache hit path, where
+// the k lowered programs already exist and only the outcome
+// classification and the machines need constructing. results must be
+// positional with cfgs. Each call yields an independent Suite: the
+// cached *ir.Programs are immutable and shared read-only, the
+// machines are new.
+func AssembleDifferential(results []compiler.Result, cfgs []compiler.Config, opts Options) (*Suite, *CompileOutcome, error) {
+	opts = opts.withDefaults()
+	if len(cfgs) < 2 {
+		return nil, nil, fmt.Errorf("compdiff: need at least 2 compiler implementations, got %d", len(cfgs))
+	}
+	if len(results) != len(cfgs) {
+		return nil, nil, fmt.Errorf("compdiff: %d compile results for %d configurations", len(results), len(cfgs))
+	}
 
 	co := &CompileOutcome{Impls: make([]ImplCompile, len(cfgs))}
 	for i, res := range results {

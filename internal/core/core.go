@@ -260,31 +260,70 @@ func (s *Suite) RunFast(input []byte) *Outcome {
 	return s.run(input, false)
 }
 
-func (s *Suite) run(input []byte, materialize bool) *Outcome {
-	out := &Outcome{Input: input}
-	k := len(s.Impls)
-	// shared holds machine-owned results (vm.RunShared): valid while
-	// the machines stay borrowed, i.e. until this function returns.
+// RunBatch is the persistent-mode batch executor: it borrows one warm
+// machine set, runs every input in order against it (dirty-page reset
+// between inputs happens inside each machine), and parks the set once
+// at the end — the borrow/park atomics and scratch lookups leave the
+// per-exec path entirely. Each input gets exactly the RunFast
+// treatment (same machines, same retry policy, same checksums), so a
+// batch of N is byte-identical to N sequential RunFast calls; the
+// differential self-test layer pins that equivalence. One outcome per
+// input is appended to dst (reusable across calls) and the extended
+// slice returned. Outcomes of diverged inputs are materialized;
+// callers that retain them must also stop reusing the input buffers,
+// as Outcome.Input aliases the caller's slice.
+func (s *Suite) RunBatch(inputs [][]byte, dst []*Outcome) []*Outcome {
+	if len(inputs) == 0 {
+		return dst
+	}
+	sc := s.borrow()
+	defer s.park(sc)
+	for _, input := range inputs {
+		dst = append(dst, s.runWith(sc, input, false))
+	}
+	return dst
+}
+
+// borrow checks out one complete machine set, preferring the parked
+// scratch (two atomics) over the per-implementation free lists.
+func (s *Suite) borrow() *runScratch {
 	sc := s.scratch.Swap(nil)
 	if sc == nil {
 		sc = &runScratch{
-			machines: make([]*vm.Machine, k),
-			shared:   make([]*vm.Result, k),
+			machines: make([]*vm.Machine, len(s.Impls)),
+			shared:   make([]*vm.Result, len(s.Impls)),
 		}
 		for i, im := range s.Impls {
 			sc.machines[i] = im.acquire()
 		}
 	}
-	machines, shared := sc.machines, sc.shared
-	defer func() {
-		if !s.scratch.CompareAndSwap(nil, sc) {
-			// Another run parked its set first; hand these machines
-			// back to their implementations.
-			for i, im := range s.Impls {
-				im.release(machines[i])
-			}
+	return sc
+}
+
+// park returns a borrow set; if another run parked its set first the
+// machines go back to their implementations' free lists.
+func (s *Suite) park(sc *runScratch) {
+	if !s.scratch.CompareAndSwap(nil, sc) {
+		for i, im := range s.Impls {
+			im.release(sc.machines[i])
 		}
-	}()
+	}
+}
+
+func (s *Suite) run(input []byte, materialize bool) *Outcome {
+	sc := s.borrow()
+	defer s.park(sc)
+	return s.runWith(sc, input, materialize)
+}
+
+// runWith is the differential execution core, operating on an
+// already-borrowed machine set.
+func (s *Suite) runWith(sc *runScratch, input []byte, materialize bool) *Outcome {
+	out := &Outcome{Input: input}
+	k := len(s.Impls)
+	// shared holds machine-owned results (vm.RunShared): valid while
+	// the machines stay borrowed.
+	machines, shared := sc.machines, sc.shared
 	if m := s.opts.Metrics; m != nil {
 		s.forEachTimed(k, func(i int) {
 			shared[i] = machines[i].RunShared(input)

@@ -1,0 +1,147 @@
+package difffuzz
+
+// Batch-mode regression tests: BatchSize changes when cross-checks
+// happen, never what they find. A batched pool must produce the same
+// signatures, buckets, and exec totals as an unbatched one; a batched
+// campaign interrupted mid-chunk must resume into the same findings;
+// and CampaignHash must ignore BatchSize so a checkpoint taken at one
+// batch size resumes at any other.
+
+import (
+	"context"
+	"testing"
+)
+
+// poolStatsMatch asserts the throughput-independent campaign totals
+// agree: fuzzer-side shard stats, differential exec counts, and the
+// cumulative budget.
+func poolStatsMatch(t *testing.T, a, b *Pool) {
+	t.Helper()
+	as, bs := a.Stats(), b.Stats()
+	if as.Execs != bs.Execs || as.DiffExecs != bs.DiffExecs {
+		t.Fatalf("exec totals diverged: (%d execs, %d diff) vs (%d execs, %d diff)",
+			as.Execs, as.DiffExecs, bs.Execs, bs.DiffExecs)
+	}
+	if a.SpentExecs() != b.SpentExecs() {
+		t.Fatalf("spent budgets diverged: %d vs %d", a.SpentExecs(), b.SpentExecs())
+	}
+	for si := range as.ShardStats {
+		if as.ShardStats[si] != bs.ShardStats[si] {
+			t.Fatalf("shard %d stats diverged:\n%+v\n%+v", si, as.ShardStats[si], bs.ShardStats[si])
+		}
+	}
+}
+
+// TestPoolBatchMatchesUnbatched: a BatchSize=64 pool is byte-identical
+// to a BatchSize=1 pool over the same budget — same signature and
+// bucket sets, same per-signature counts, same exec totals. This is
+// the campaign-level face of the core RunBatch self-test.
+func TestPoolBatchMatchesUnbatched(t *testing.T) {
+	tg := poolTarget(t)
+	base := Options{FuzzSeed: 7, Shards: 2, SyncEvery: 300}
+
+	unbatched, err := NewPool(tg.Src, tg.Seeds, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbatched.Run(context.Background(), 900)
+
+	batchedOpts := base
+	batchedOpts.BatchSize = 64
+	batched, err := NewPool(tg.Src, tg.Seeds, batchedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched.Run(context.Background(), 900)
+
+	comparePoolFindings(t, unbatched, batched)
+	poolStatsMatch(t, unbatched, batched)
+}
+
+// TestPoolBatchResumeEquivalence is the mid-chunk resume regression:
+// with SyncEvery=300 and BatchSize=64, every barrier lands mid-chunk
+// (300 % 64 != 0), so the flush-at-Run-boundary path is what makes the
+// checkpoint complete. An interrupted-and-resumed batched campaign
+// must match an uninterrupted unbatched one — signatures, buckets,
+// and exec totals.
+func TestPoolBatchResumeEquivalence(t *testing.T) {
+	tg := poolTarget(t)
+	opts := Options{FuzzSeed: 7, Shards: 2, SyncEvery: 300, BatchSize: 64}
+	if opts.SyncEvery%int64(opts.BatchSize) == 0 {
+		t.Fatal("test needs a barrier that splits a batch chunk")
+	}
+
+	freshOpts := Options{FuzzSeed: 7, Shards: 2, SyncEvery: 300}
+	fresh, err := NewPool(tg.Src, tg.Seeds, freshOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.Run(context.Background(), 1200)
+
+	ckptOpts := opts
+	ckptOpts.CheckpointDir = t.TempDir()
+	first, err := NewPool(tg.Src, tg.Seeds, ckptOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Run(context.Background(), 600)
+
+	resumed, err := ResumePool(tg.Src, tg.Seeds, ckptOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.SpentExecs(); got != 600 {
+		t.Fatalf("resumed pool reports %d spent execs, checkpoint held 600", got)
+	}
+	resumed.Run(context.Background(), 600)
+	if got := resumed.SpentExecs(); got != 1200 {
+		t.Fatalf("resumed pool spent %d total, want 1200", got)
+	}
+
+	comparePoolFindings(t, fresh, resumed)
+	poolStatsMatch(t, fresh, resumed)
+}
+
+// TestCampaignHashIgnoresBatchSize pins the exclusion both ways: the
+// hash is equal at BatchSize 1 and 64, and a checkpoint written by a
+// batched campaign resumes under a different batch size (the knob is
+// operational, not semantic — changing it must never strand a
+// checkpoint behind ErrMismatch).
+func TestCampaignHashIgnoresBatchSize(t *testing.T) {
+	tg := poolTarget(t)
+	base := Options{FuzzSeed: 7, Shards: 2, SyncEvery: 300}
+	b1, b64 := base, base
+	b1.BatchSize = 1
+	b64.BatchSize = 64
+	h1 := CampaignHash(tg.Src, tg.Seeds, b1)
+	h64 := CampaignHash(tg.Src, tg.Seeds, b64)
+	if h1 != h64 {
+		t.Fatalf("CampaignHash depends on BatchSize: %016x (1) vs %016x (64)", h1, h64)
+	}
+	if h0 := CampaignHash(tg.Src, tg.Seeds, base); h0 != h1 {
+		t.Fatalf("CampaignHash depends on unset BatchSize: %016x vs %016x", h0, h1)
+	}
+
+	ckptOpts := b64
+	ckptOpts.CheckpointDir = t.TempDir()
+	p, err := NewPool(tg.Src, tg.Seeds, ckptOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(context.Background(), 600)
+
+	crossOpts := ckptOpts
+	crossOpts.BatchSize = 1
+	resumed, err := ResumePool(tg.Src, tg.Seeds, crossOpts)
+	if err != nil {
+		t.Fatalf("resume across a BatchSize change must succeed: %v", err)
+	}
+	resumed.Run(context.Background(), 600)
+
+	fresh, err := NewPool(tg.Src, tg.Seeds, Options{FuzzSeed: 7, Shards: 2, SyncEvery: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.Run(context.Background(), 1200)
+	comparePoolFindings(t, fresh, resumed)
+}

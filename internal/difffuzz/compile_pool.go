@@ -24,8 +24,7 @@ import (
 	"compdiff/internal/compiler"
 	"compdiff/internal/core"
 	"compdiff/internal/hash"
-	"compdiff/internal/minic/parser"
-	"compdiff/internal/minic/sema"
+	"compdiff/internal/progcache"
 	"compdiff/internal/telemetry"
 	"compdiff/internal/triage"
 )
@@ -52,6 +51,15 @@ type CompilePoolOptions struct {
 	// implementations accept, so a program corpus feeds the runtime
 	// oracle too. Default: just the empty input.
 	RuntimeInputs [][]byte
+	// CacheBudget is the byte budget of the shared compiled-program
+	// cache (internal/progcache): every corpus program is compiled at
+	// most once per distinct source text, and revisits — duplicate
+	// corpus entries, or the future -evolve progen revisit path — cost
+	// one hash and a map probe. 0 selects progcache.DefaultBudget, a
+	// negative budget disables bounding, and setting it has no effect
+	// on findings (a cached record is a pure function of the source),
+	// which is why it stays out of CompileCampaignHash.
+	CacheBudget int64
 	// StatsDir, when set, streams one telemetry snapshot per barrier
 	// to <dir>/plot.jsonl.
 	StatsDir string
@@ -135,6 +143,7 @@ type CompilePool struct {
 
 	shards  []*compileShard
 	buckets *triage.BucketStore
+	cache   *progcache.Cache
 
 	saver       *checkpoint.Saver
 	ckptEvery   int64
@@ -197,6 +206,7 @@ func NewCompilePool(corpus []string, opts CompilePoolOptions) (*CompilePool, err
 		cfgs:        cfgs,
 		corpus:      append([]string(nil), corpus...),
 		buckets:     triage.NewBucketStore(),
+		cache:       progcache.New(opts.CacheBudget),
 		optionsHash: CompileCampaignHash(corpus, opts),
 	}
 	for i := 0; i < nshards; i++ {
@@ -334,17 +344,17 @@ func (p *CompilePool) Run(ctx context.Context) CompilePoolStats {
 // and, when universally accepted, the runtime oracle.
 func (p *CompilePool) processProgram(sh *compileShard, src string) {
 	sh.programs++
-	prog, err := parser.Parse(src)
-	if err != nil {
+	// The cache serves revisits of an already-seen source without
+	// re-running the front end or the k lowerings; the record is a
+	// pure function of the source, so hit and miss paths produce
+	// identical outcomes. Machines are built fresh per call — shards
+	// share compiled programs read-only, never execution state.
+	comp := p.cache.Get(src, p.cfgs, p.opts.Parallelism)
+	if comp.FrontendErr != nil {
 		sh.frontendRejects++
 		return
 	}
-	info, err := sema.Check(prog)
-	if err != nil {
-		sh.frontendRejects++
-		return
-	}
-	suite, co, err := core.BuildDifferential(info, p.cfgs, core.Options{
+	suite, co, err := core.AssembleDifferential(comp.Results, p.cfgs, core.Options{
 		StepLimit:   p.opts.StepLimit,
 		Parallelism: p.opts.Parallelism,
 	})
@@ -499,6 +509,13 @@ func (p *CompilePool) Stats() CompilePoolStats {
 	st.RuntimeBuckets = kinds[triage.KindRuntime]
 	return st
 }
+
+// CacheStats exposes the compiled-program cache counters: hits are
+// corpus revisits served without recompilation. Deliberately not part
+// of CompilePoolStats — the counters are process-local (a resumed
+// pool starts cold), while the stats struct is the cross-resume
+// determinism fingerprint.
+func (p *CompilePool) CacheStats() progcache.Stats { return p.cache.Stats() }
 
 // BucketStore exposes the pool-wide store (reports, tables).
 func (p *CompilePool) BucketStore() *triage.BucketStore { return p.buckets }

@@ -122,6 +122,27 @@ func IntBinOK(op Op, tc TypeCode, a, b uint64) (uint64, bool) {
 	return 0, false
 }
 
+// IntAlu computes the non-trapping integer ALU ops (Add, Sub, Mul,
+// BitAnd, BitOr, BitXor) on canonical values. Both interpreter loops
+// and the AluImm superinstruction evaluate through it, so the fused
+// and unfused forms cannot drift.
+func IntAlu(op Op, tc TypeCode, a, b uint64) uint64 {
+	switch op {
+	case Add:
+		return Canon(tc, a+b)
+	case Sub:
+		return Canon(tc, a-b)
+	case Mul:
+		return Canon(tc, a*b)
+	case BitAnd:
+		return Canon(tc, a&b)
+	case BitOr:
+		return Canon(tc, a|b)
+	default:
+		return Canon(tc, a^b)
+	}
+}
+
 // IntCmp compares canonical values a, b under tc's signedness.
 func IntCmp(op Op, tc TypeCode, a, b uint64) bool {
 	if tc.Signed() {

@@ -101,7 +101,22 @@ const (
 	// optimizers emit it where they exploit UB to fold computations.
 	// Imm seeds the value; the profile's personality perturbs it.
 	Poison
+
+	// Superinstructions. The compiler's peephole pass fuses the
+	// highest-frequency fallthrough pairs of the corpus opcode-pair
+	// histogram (`report -opcode-pairs`) into single opcodes; each is
+	// defined as exactly the pair it replaces, executed in one step.
+	// Every implementation runs the same pass, so fused binaries stay
+	// pairwise comparable.
+	LdLoc  // FrameAddr+Load: push mem[frameBase+Imm] (A = width, B = load mode)
+	CmpImm // ConstI+Cmp*: pop a, push a <op> Imm (A = TypeCode, B = Op-CmpEq; integer only)
+	AluImm // ConstI+{Add..Mul,BitAnd..BitXor}: pop a, push a <op> Imm (A = TypeCode, B = Op-Add)
 )
+
+// NumOps is the number of defined opcodes — the dimension of
+// opcode-indexed tables (the VM's pair-frequency profiler sizes its
+// histogram with it).
+const NumOps = int(AluImm) + 1
 
 var opNames = [...]string{
 	Nop: "nop", ConstI: "consti", ConstF: "constf", StrAddr: "straddr",
@@ -117,6 +132,7 @@ var opNames = [...]string{
 	Call: "call", CallB: "callb", Ret: "ret", Unreach: "unreach",
 	TSet: "tset", TGet: "tget", TPop: "tpop",
 	Edge: "edge", Poison: "poison",
+	LdLoc: "ldloc", CmpImm: "cmpimm", AluImm: "aluimm",
 }
 
 // String returns the mnemonic.

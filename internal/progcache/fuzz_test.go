@@ -1,0 +1,155 @@
+package progcache_test
+
+// FuzzProgCache is the cache's own differential oracle: whatever the
+// fuzzer feeds it, a cache hit must be bit-identical to a cold
+// compile of the same source, and LRU eviction under a deliberately
+// tiny byte budget must never corrupt a record a concurrent reader is
+// holding. Records are immutable by contract; this is the test that
+// makes the contract load-bearing.
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"compdiff/internal/compiler"
+	"compdiff/internal/progcache"
+)
+
+// fuzzConfigs keeps the per-execution compile cost low while still
+// spanning families and optimization levels.
+func fuzzConfigs() []compiler.Config {
+	return []compiler.Config{
+		{Family: compiler.GCC, Opt: compiler.O0},
+		{Family: compiler.Clang, Opt: compiler.O2},
+		{Family: compiler.GCC, Opt: compiler.O3},
+	}
+}
+
+// churnSources are fixed well-formed programs interleaved with the
+// fuzzed source so the tiny budget keeps evicting.
+var churnSources = []string{
+	`int main() { printf("a\n"); return 0; }`,
+	`int main() { int i; int s = 0; for (i = 0; i < 10; i = i + 1) { s = s + i; } printf("%d\n", s); return 0; }`,
+	`int f(int x) { return x * x; } int main() { printf("%d\n", f(7)); return 0; }`,
+}
+
+// assertSameCompiled demands bit-identical records: same front-end
+// verdict, same per-config error/ICE/diagnostics text, and deeply
+// equal lowered programs.
+func assertSameCompiled(t *testing.T, want, got *progcache.Compiled) {
+	t.Helper()
+	if (want.FrontendErr == nil) != (got.FrontendErr == nil) {
+		t.Fatalf("frontend verdict diverged: cold=%v cached=%v", want.FrontendErr, got.FrontendErr)
+	}
+	if want.FrontendErr != nil {
+		if want.FrontendErr.Error() != got.FrontendErr.Error() {
+			t.Fatalf("frontend error diverged: cold=%q cached=%q", want.FrontendErr, got.FrontendErr)
+		}
+		return
+	}
+	if len(want.Results) != len(got.Results) {
+		t.Fatalf("result count diverged: cold=%d cached=%d", len(want.Results), len(got.Results))
+	}
+	for i := range want.Results {
+		w, g := &want.Results[i], &got.Results[i]
+		if (w.Err == nil) != (g.Err == nil) ||
+			(w.Err != nil && w.Err.Error() != g.Err.Error()) {
+			t.Fatalf("config %d: error diverged: cold=%v cached=%v", i, w.Err, g.Err)
+		}
+		if w.ICE != g.ICE {
+			t.Fatalf("config %d: ICE diverged: cold=%q cached=%q", i, w.ICE, g.ICE)
+		}
+		if !reflect.DeepEqual(w.Diags, g.Diags) {
+			t.Fatalf("config %d: diagnostics diverged: cold=%v cached=%v", i, w.Diags, g.Diags)
+		}
+		if !reflect.DeepEqual(w.Prog, g.Prog) {
+			t.Fatalf("config %d: lowered program diverged", i)
+		}
+	}
+}
+
+func FuzzProgCache(f *testing.F) {
+	f.Add(`int main() { printf("hi\n"); return 0; }`, uint8(3))
+	f.Add(`int main() { int x; read_input(&x, 4); printf("%d\n", x * 3); return 0; }`, uint8(0))
+	f.Add(`int main() { return`, uint8(1)) // parse reject
+	f.Add(`int main() { undeclared = 1; return 0; }`, uint8(7))
+	f.Fuzz(func(t *testing.T, src string, budgetKnob uint8) {
+		if len(src) > 4<<10 {
+			t.Skip("oversized source")
+		}
+		cfgs := fuzzConfigs()
+		// Budgets from 1 byte (every insert immediately evicts) up to
+		// a few KiB (some residency, constant churn).
+		cache := progcache.New(int64(budgetKnob)*97 + 1)
+
+		// Cold records, compiled outside the cache, are the ground
+		// truth each concurrent reader checks its hits against.
+		sources := append([]string{src}, churnSources...)
+		cold := make([]*progcache.Compiled, len(sources))
+		for i, s := range sources {
+			cold[i] = progcache.Compile(s, cfgs, 1)
+		}
+
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 2*len(sources); i++ {
+					// Distinct per-worker orders maximize interleaved
+					// insert/evict/hit traffic on the shared cache.
+					j := (i + w) % len(sources)
+					assertSameCompiled(t, cold[j], cache.Get(sources[j], cfgs, 1))
+				}
+			}()
+		}
+		wg.Wait()
+
+		st := cache.Stats()
+		if st.Hits+st.Misses == 0 {
+			t.Fatal("cache saw no traffic")
+		}
+		if st.Bytes < 0 {
+			t.Fatalf("negative resident size %d after eviction churn", st.Bytes)
+		}
+	})
+}
+
+// TestCacheEvictionBounds pins the budget arithmetic directly: after
+// any Get sequence, resident bytes stay at or under the budget (the
+// newest record is evicted too when it alone exceeds it).
+func TestCacheEvictionBounds(t *testing.T) {
+	cfgs := fuzzConfigs()
+	for _, budget := range []int64{1, 512, 4096, 1 << 20} {
+		cache := progcache.New(budget)
+		for i := 0; i < 3; i++ {
+			for _, s := range churnSources {
+				cache.Get(s, cfgs, 1)
+				if st := cache.Stats(); st.Bytes > budget {
+					t.Fatalf("budget %d: resident %d bytes", budget, st.Bytes)
+				}
+			}
+		}
+	}
+}
+
+// TestCacheUnboundedNeverEvicts pins the negative-budget contract.
+func TestCacheUnboundedNeverEvicts(t *testing.T) {
+	cache := progcache.New(-1)
+	cfgs := fuzzConfigs()
+	for _, s := range churnSources {
+		cache.Get(s, cfgs, 1)
+	}
+	st := cache.Stats()
+	if st.Evictions != 0 || st.Entries != len(churnSources) {
+		t.Fatalf("unbounded cache evicted: %+v", st)
+	}
+	for _, s := range churnSources {
+		cache.Get(s, cfgs, 1)
+	}
+	if st := cache.Stats(); st.Hits != int64(len(churnSources)) {
+		t.Fatalf("second pass should be all hits: %+v", st)
+	}
+}

@@ -10,47 +10,53 @@ import (
 	"compdiff/internal/minic/sema"
 )
 
-// builtin dispatches a runtime-library call. args are in declaration
-// order regardless of the binary's evaluation order.
-func (m *Machine) builtin(id int, args []uint64, taints []bool, line int32) {
+// builtin dispatches a runtime-library call. sl is the popped argument
+// window of the operand stack, aliased in place (no copy); rev means
+// the binary pushed right-to-left, so arguments read back-to-front.
+//
+// Aliasing invariant: sl overlaps the stack slots a result push will
+// reuse, so every builtin must finish reading its arguments before its
+// (single, final) push. All builtins follow this shape; new ones must
+// too.
+func (m *Machine) builtin(id int, sl []slot, rev bool, line int32) {
 	switch id {
 	case sema.BPrintf:
-		m.doPrintf(args, line)
+		m.doPrintf(sl, rev, line)
 	case sema.BMalloc:
-		m.push(m.malloc(int64(arg(args, 0))))
+		m.push(m.malloc(int64(barg(sl, rev, 0))))
 	case sema.BFree:
-		m.free(arg(args, 0), line)
+		m.free(barg(sl, rev, 0), line)
 	case sema.BMemcpy:
-		m.doMemcpy(arg(args, 0), arg(args, 1), int64(arg(args, 2)), line)
+		m.doMemcpy(barg(sl, rev, 0), barg(sl, rev, 1), int64(barg(sl, rev, 2)), line)
 	case sema.BMemset:
-		m.doMemset(arg(args, 0), byte(arg(args, 1)), int64(arg(args, 2)), line)
+		m.doMemset(barg(sl, rev, 0), byte(barg(sl, rev, 1)), int64(barg(sl, rev, 2)), line)
 	case sema.BStrlen:
-		if n, ok := m.cStringLen(arg(args, 0), line); ok {
+		if n, ok := m.cStringLen(barg(sl, rev, 0), line); ok {
 			m.push(uint64(n))
 		}
 	case sema.BStrcpy:
-		m.doStrcpy(arg(args, 0), arg(args, 1), line)
+		m.doStrcpy(barg(sl, rev, 0), barg(sl, rev, 1), line)
 	case sema.BStrncpy:
-		m.doStrncpy(arg(args, 0), arg(args, 1), int64(arg(args, 2)), line)
+		m.doStrncpy(barg(sl, rev, 0), barg(sl, rev, 1), int64(barg(sl, rev, 2)), line)
 	case sema.BStrcmp:
-		m.doStrcmp(arg(args, 0), arg(args, 1), line)
+		m.doStrcmp(barg(sl, rev, 0), barg(sl, rev, 1), line)
 	case sema.BStrcat:
-		m.doStrcat(arg(args, 0), arg(args, 1), line)
+		m.doStrcat(barg(sl, rev, 0), barg(sl, rev, 1), line)
 	case sema.BInputSize:
 		m.push(uint64(len(m.input)))
 	case sema.BInputByte:
-		i := int64(arg(args, 0))
+		i := int64(barg(sl, rev, 0))
 		if i >= 0 && i < int64(len(m.input)) {
 			m.push(uint64(m.input[i]))
 		} else {
 			m.push(ir.Canon(ir.I32, ^uint64(0))) // -1
 		}
 	case sema.BReadInput:
-		m.doReadInput(arg(args, 0), int64(arg(args, 1)), line)
+		m.doReadInput(barg(sl, rev, 0), int64(barg(sl, rev, 1)), line)
 	case sema.BExit:
-		m.exitNormally(int32(arg(args, 0)))
+		m.exitNormally(int32(barg(sl, rev, 0)))
 	case sema.BAbs:
-		v := int32(arg(args, 0))
+		v := int32(barg(sl, rev, 0))
 		if v == math.MinInt32 {
 			if m.opts.San == SanUBSan {
 				m.report("ubsan", "signed-integer-overflow", line)
@@ -64,8 +70,8 @@ func (m *Machine) builtin(id int, args []uint64, taints []bool, line int32) {
 		}
 		m.push(ir.Canon(ir.I32, uint64(v)))
 	case sema.BPow:
-		x := math.Float64frombits(arg(args, 0))
-		y := math.Float64frombits(arg(args, 1))
+		x := math.Float64frombits(barg(sl, rev, 0))
+		y := math.Float64frombits(barg(sl, rev, 1))
 		var r float64
 		if m.prof.PowViaExp2 {
 			// The exp2 libcall substitution: same math, last-ulp
@@ -76,9 +82,9 @@ func (m *Machine) builtin(id int, args []uint64, taints []bool, line int32) {
 		}
 		m.push(math.Float64bits(r))
 	case sema.BSqrt:
-		m.push(math.Float64bits(math.Sqrt(math.Float64frombits(arg(args, 0)))))
+		m.push(math.Float64bits(math.Sqrt(math.Float64frombits(barg(sl, rev, 0)))))
 	case sema.BFabs:
-		m.push(math.Float64bits(math.Abs(math.Float64frombits(arg(args, 0)))))
+		m.push(math.Float64bits(math.Abs(math.Float64frombits(barg(sl, rev, 0)))))
 	case sema.BTimeNow:
 		m.timeCnt++
 		if m.opts.TimeNow != nil {
@@ -90,46 +96,80 @@ func (m *Machine) builtin(id int, args []uint64, taints []bool, line int32) {
 	default:
 		m.trap(VMFault)
 	}
-	_ = taints
 }
 
-func arg(args []uint64, i int) uint64 {
-	if i < len(args) {
-		return args[i]
+// nextArg reads the printf verb's next argument and advances the
+// cursor.
+func nextArg(sl []slot, rev bool, ai *int) uint64 {
+	v := barg(sl, rev, *ai)
+	*ai++
+	return v
+}
+
+// barg reads argument i (declaration order) out of the aliased stack
+// window; missing arguments read as 0 (CWE-685 semantics, matching the
+// old marshalled-buffer path).
+func barg(sl []slot, rev bool, i int) uint64 {
+	if i >= len(sl) {
+		return 0
 	}
-	return 0
+	if rev {
+		return sl[len(sl)-1-i].v
+	}
+	return sl[i].v
 }
 
 // ---------------------------------------------------------------------------
 // printf
 
-// doPrintf implements a C-like printf over guest memory. The format
-// string is aliased straight out of guest memory when the scan can be
-// vectorized (guest memory is not written while formatting), and the
-// output is built in place at the tail of the stdout buffer, so the
-// dominant output path of the fuzzing loop does neither copies nor
-// allocation. A fault mid-format truncates back to base — exactly the
-// discard the old build-then-write sequence performed.
-func (m *Machine) doPrintf(args []uint64, line int32) {
-	var format []byte
-	if fa := arg(args, 0); m.asanShadow == nil && fa >= ir.NullTop && fa < ir.MemSize {
-		end := fa + 1<<16 + 1 // scan window: the runaway cutoff
-		if end > ir.MemSize {
-			end = ir.MemSize
+// doPrintf implements a C-like printf over guest memory. Formats are
+// compiled to a small op plan (literal slices + verbs) and executed;
+// plans for formats living below GlobalsBase — memory checkAccess
+// makes immutable, where every string literal lands — are cached per
+// machine in a direct-mapped table, so steady-state printf skips the
+// scan/parse entirely. Output is built in place at the tail of the
+// stdout buffer: the dominant output path of the fuzzing loop does
+// neither copies nor allocation. A fault mid-format truncates back to
+// base — exactly the discard the old build-then-write sequence
+// performed.
+func (m *Machine) doPrintf(sl []slot, rev bool, line int32) {
+	var ops []fmtOp
+	if fa := barg(sl, rev, 0); m.asanShadow == nil && fa >= ir.NullTop && fa < ir.MemSize {
+		// Cached plans exist only for formats proven to sit entirely in
+		// read-only memory, so an address hit needs no re-scan at all.
+		e := &m.fmtCache[(fa*0x9e3779b97f4a7c15)>>(64-fmtCacheBits)]
+		if e.addr == fa {
+			ops = e.ops
+		} else {
+			end := fa + 1<<16 + 1 // scan window: the runaway cutoff
+			if end > ir.MemSize {
+				end = ir.MemSize
+			}
+			n := indexZero(m.mem[fa:end])
+			if n < 0 || n > 1<<16 {
+				m.trap(SigSegv)
+				return
+			}
+			format := m.mem[fa : fa+uint64(n)]
+			if fa+uint64(n) < ir.GlobalsBase {
+				// Immutable, so the plan's literal slices may alias the
+				// guest string forever.
+				e.addr = fa
+				e.ops = compileFmt(format, nil)
+				ops = e.ops
+			} else {
+				m.fmtScratch = compileFmt(format, m.fmtScratch)
+				ops = m.fmtScratch
+			}
 		}
-		n := indexZero(m.mem[fa:end])
-		if n < 0 || n > 1<<16 {
-			m.trap(SigSegv)
-			return
-		}
-		format = m.mem[fa : fa+uint64(n)]
 	} else {
-		f, ok := m.appendGuestCString(m.strBuf[:0], arg(args, 0), line)
+		f, ok := m.appendGuestCString(m.strBuf[:0], barg(sl, rev, 0), line)
 		m.strBuf = f[:0]
 		if !ok {
 			return
 		}
-		format = f
+		m.fmtScratch = compileFmt(f, m.fmtScratch)
+		ops = m.fmtScratch
 	}
 	// Build into the live stdout tail when the output cap allows the
 	// write; otherwise format into scratch just for the return value.
@@ -143,27 +183,117 @@ func (m *Machine) doPrintf(args []uint64, line int32) {
 		out = m.fmtBuf[:0]
 	}
 	ai := 1
-	next := func() uint64 {
-		v := arg(args, ai)
-		ai++
-		return v
+	for k := range ops {
+		op := &ops[k]
+		switch op.verb {
+		case 0:
+			out = append(out, op.lit...)
+		case 'd':
+			var w int64
+			if op.long {
+				w = int64(nextArg(sl, rev, &ai))
+			} else {
+				w = int64(int32(nextArg(sl, rev, &ai)))
+			}
+			if uint64(w) < 10 { // single digit, the common case
+				out = append(out, byte('0'+w))
+			} else {
+				out = strconv.AppendInt(out, w, 10)
+			}
+		case 'u':
+			if op.long {
+				out = strconv.AppendUint(out, nextArg(sl, rev, &ai), 10)
+			} else {
+				out = strconv.AppendUint(out, uint64(uint32(nextArg(sl, rev, &ai))), 10)
+			}
+		case 'x':
+			if op.long {
+				out = strconv.AppendUint(out, nextArg(sl, rev, &ai), 16)
+			} else {
+				out = strconv.AppendUint(out, uint64(uint32(nextArg(sl, rev, &ai))), 16)
+			}
+		case 'c':
+			out = append(out, byte(nextArg(sl, rev, &ai)))
+		case 's':
+			var ok bool
+			out, ok = m.appendGuestCString(out, nextArg(sl, rev, &ai), line)
+			if !ok {
+				if direct {
+					m.stdout = out[:base]
+				} else {
+					m.fmtBuf = out[:0]
+				}
+				return
+			}
+		case 'p':
+			out = append(out, fmt.Sprintf("0x%x", nextArg(sl, rev, &ai))...)
+		case 'f', 'g':
+			f := math.Float64frombits(nextArg(sl, rev, &ai))
+			p := 6
+			if op.prec >= 0 {
+				p = op.prec
+			}
+			if op.verb == 'g' {
+				out = strconv.AppendFloat(out, f, 'g', -1, 64)
+			} else {
+				out = strconv.AppendFloat(out, f, 'f', p, 64)
+			}
+		}
 	}
+	if direct {
+		m.stdout = out
+		m.push(ir.Canon(ir.I32, uint64(len(out)-base)))
+	} else {
+		m.fmtBuf = out[:0]
+		m.push(ir.Canon(ir.I32, uint64(len(out))))
+	}
+}
+
+// fmtCacheBits sizes the direct-mapped format-plan cache (1<<bits
+// entries); collisions just overwrite — correctness only needs the
+// exact-address match.
+const fmtCacheBits = 5
+
+type fmtCacheEnt struct {
+	addr uint64
+	ops  []fmtOp
+}
+
+// fmtOp is one step of a compiled printf plan: emit the literal slice
+// (verb 0), or format the next argument (verb 'd'/'u'/'x'/'c'/'s'/
+// 'p'/'f'/'g' with the parsed precision and length modifier).
+type fmtOp struct {
+	lit  []byte
+	prec int
+	verb byte
+	long bool
+}
+
+// compileFmt parses a printf format into its op plan, reusing ops'
+// backing when possible. Literal ops alias subslices of format —
+// including the recovery outputs for a bare trailing '%', '%%', and
+// unknown verbs — so the caller guarantees format outlives the plan.
+// The parse mirrors the old inline loop exactly: same precision and
+// 'l' handling, same silent drop of a format ending mid-verb, same
+// '%X' passthrough for unknown X.
+func compileFmt(format []byte, ops []fmtOp) []fmtOp {
+	ops = ops[:0]
 	i := 0
 	for i < len(format) {
 		if format[i] != '%' {
-			// Copy the literal run up to the next verb in one append.
 			j := bytes.IndexByte(format[i:], '%')
 			if j < 0 {
-				out = append(out, format[i:]...)
+				ops = append(ops, fmtOp{lit: format[i:]})
 				break
 			}
-			out = append(out, format[i:i+j]...)
+			ops = append(ops, fmtOp{lit: format[i : i+j]})
 			i += j
 			continue
 		}
+		pct := i
 		i++
 		if i >= len(format) {
-			out = append(out, '%')
+			ops = append(ops, fmtOp{lit: format[pct : pct+1]})
 			break
 		}
 		// Optional precision like %.12f and length modifier l/ll.
@@ -185,65 +315,18 @@ func (m *Machine) doPrintf(args []uint64, line int32) {
 		if i >= len(format) {
 			break
 		}
-		switch format[i] {
-		case 'd':
-			if longMod {
-				out = strconv.AppendInt(out, int64(next()), 10)
-			} else {
-				out = strconv.AppendInt(out, int64(int32(next())), 10)
-			}
-		case 'u':
-			if longMod {
-				out = strconv.AppendUint(out, next(), 10)
-			} else {
-				out = strconv.AppendUint(out, uint64(uint32(next())), 10)
-			}
-		case 'x':
-			if longMod {
-				out = strconv.AppendUint(out, next(), 16)
-			} else {
-				out = strconv.AppendUint(out, uint64(uint32(next())), 16)
-			}
-		case 'c':
-			out = append(out, byte(next()))
-		case 's':
-			var ok bool
-			out, ok = m.appendGuestCString(out, next(), line)
-			if !ok {
-				if direct {
-					m.stdout = out[:base]
-				} else {
-					m.fmtBuf = out[:0]
-				}
-				return
-			}
-		case 'p':
-			out = append(out, fmt.Sprintf("0x%x", next())...)
-		case 'f', 'g':
-			f := math.Float64frombits(next())
-			p := 6
-			if prec >= 0 {
-				p = prec
-			}
-			if format[i] == 'g' {
-				out = strconv.AppendFloat(out, f, 'g', -1, 64)
-			} else {
-				out = strconv.AppendFloat(out, f, 'f', p, 64)
-			}
+		switch c := format[i]; c {
+		case 'd', 'u', 'x', 'c', 's', 'p', 'f', 'g':
+			ops = append(ops, fmtOp{verb: c, prec: prec, long: longMod})
 		case '%':
-			out = append(out, '%')
+			ops = append(ops, fmtOp{lit: format[i : i+1]})
 		default:
-			out = append(out, '%', format[i])
+			ops = append(ops, fmtOp{lit: format[pct : pct+1]})
+			ops = append(ops, fmtOp{lit: format[i : i+1]})
 		}
 		i++
 	}
-	if direct {
-		m.stdout = out
-		m.push(ir.Canon(ir.I32, uint64(len(out)-base)))
-	} else {
-		m.fmtBuf = out[:0]
-		m.push(ir.Canon(ir.I32, uint64(len(out))))
-	}
+	return ops
 }
 
 // appendGuestCString appends the NUL-terminated guest string at addr
@@ -487,12 +570,23 @@ func (m *Machine) doReadInput(buf uint64, max int64, line int32) {
 		n = 0
 	}
 	if n > 0 {
-		if !m.checkAccess(buf, uint64(n), true, line) {
-			return
+		// Writable guest memory is exactly [GlobalsBase, MemSize); with
+		// no ASan shadow that is the whole access check, inlined here so
+		// the per-exec input copy skips the general path.
+		if end := buf + uint64(n); m.asanShadow == nil && buf >= ir.GlobalsBase && end > buf && end <= ir.MemSize {
+			m.markDirty(buf, uint64(n))
+			copy(m.mem[buf:end], m.input[:n])
+			if m.msanInit != nil {
+				m.markInit(buf, uint64(n), true)
+			}
+		} else {
+			if !m.checkAccess(buf, uint64(n), true, line) {
+				return
+			}
+			m.markDirty(buf, uint64(n))
+			copy(m.mem[buf:buf+uint64(n)], m.input[:n])
+			m.markInit(buf, uint64(n), true)
 		}
-		m.markDirty(buf, uint64(n))
-		copy(m.mem[buf:buf+uint64(n)], m.input[:n])
-		m.markInit(buf, uint64(n), true)
 	}
 	m.push(uint64(n))
 }

@@ -63,29 +63,12 @@ func (m *Machine) step() {
 			m.report("msan", "use-of-uninitialized-value", in.Line)
 			return
 		}
-		w := uint64(in.A)
-		if !m.checkAccess(addr, w, false, in.Line) {
-			return
-		}
-		t := m.loadTaint(addr, w)
-		raw := m.rawLoad(addr, int(in.A))
-		var v uint64
-		switch in.B {
-		case 1: // sign-extend
-			switch in.A {
-			case 1:
-				v = uint64(int64(int8(raw)))
-			case 4:
-				v = uint64(int64(int32(raw)))
-			default:
-				v = raw
-			}
-		case 2: // float32
-			v = f32val(uint32(raw))
-		default: // zero-extend or float64
-			v = raw
-		}
-		m.pushT(v, t)
+		m.loadAt(addr, &in)
+
+	case ir.LdLoc:
+		// Fused FrameAddr+Load: the address is a frame displacement,
+		// which can never carry taint.
+		m.loadAt(fr.base+uint64(in.Imm), &in)
 
 	case ir.Store:
 		v, tv := m.popT()
@@ -113,22 +96,28 @@ func (m *Machine) step() {
 			m.report("ubsan", "signed-integer-overflow", in.Line)
 			return
 		}
-		var r uint64
-		switch in.Op {
-		case ir.Add:
-			r = ir.Canon(tc, a+b)
-		case ir.Sub:
-			r = ir.Canon(tc, a-b)
-		case ir.Mul:
-			r = ir.Canon(tc, a*b)
-		case ir.BitAnd:
-			r = ir.Canon(tc, a&b)
-		case ir.BitOr:
-			r = ir.Canon(tc, a|b)
-		default:
-			r = ir.Canon(tc, a^b)
+		m.pushT(ir.IntAlu(in.Op, tc, a, b), ta || tb)
+
+	case ir.AluImm:
+		// Fused ConstI+ALU: the constant is the right operand and is
+		// never tainted; sanitizer behaviour matches the pair.
+		a, ta := m.popT()
+		tc := ir.TypeCode(in.A)
+		op := ir.Add + ir.Op(in.B)
+		if m.opts.San == SanUBSan && ir.OverflowSigned(op, tc, a, uint64(in.Imm)) {
+			m.report("ubsan", "signed-integer-overflow", in.Line)
+			return
 		}
-		m.pushT(r, ta || tb)
+		m.pushT(ir.IntAlu(op, tc, a, uint64(in.Imm)), ta)
+
+	case ir.CmpImm:
+		// Fused ConstI+Cmp* (integer only; emission guarantees it).
+		a, ta := m.popT()
+		v := uint64(0)
+		if ir.IntCmp(ir.CmpEq+ir.Op(in.B), ir.TypeCode(in.A), a, uint64(in.Imm)) {
+			v = 1
+		}
+		m.pushT(v, ta)
 
 	case ir.Div, ir.Mod:
 		m.execDivMod(&in)
@@ -229,12 +218,15 @@ func (m *Machine) step() {
 		}
 
 	case ir.Call:
-		args, taints := m.popArgs(int(in.A), in.B == 1)
-		m.callT(int(in.Imm), args, taints)
+		// The argument window aliases the popped stack slots in place.
+		m.sp -= int(in.A)
+		m.callS(int(in.Imm), m.ops[m.sp:m.sp+int(in.A)], in.B == 1)
 
 	case ir.CallB:
-		args, taints := m.popArgs(int(in.A), in.B == 1)
-		m.builtin(int(in.Imm), args, taints, in.Line)
+		// The argument window aliases the popped stack slots in place
+		// (see builtin's aliasing invariant).
+		m.sp -= int(in.A)
+		m.builtin(int(in.Imm), m.ops[m.sp:m.sp+int(in.A)], in.B == 1, in.Line)
 
 	case ir.Ret:
 		m.ret(in.A == 1)
@@ -268,6 +260,35 @@ func (m *Machine) step() {
 	default:
 		m.trap(VMFault)
 	}
+}
+
+// loadAt performs a Load's memory access, width handling, and taint
+// propagation at addr. Shared by Load and the fused LdLoc so the two
+// cannot drift.
+func (m *Machine) loadAt(addr uint64, in *ir.Instr) {
+	w := uint64(in.A)
+	if !m.checkAccess(addr, w, false, in.Line) {
+		return
+	}
+	t := m.loadTaint(addr, w)
+	raw := m.rawLoad(addr, int(in.A))
+	var v uint64
+	switch in.B {
+	case 1: // sign-extend
+		switch in.A {
+		case 1:
+			v = uint64(int64(int8(raw)))
+		case 4:
+			v = uint64(int64(int32(raw)))
+		default:
+			v = raw
+		}
+	case 2: // float32
+		v = f32val(uint32(raw))
+	default: // zero-extend or float64
+		v = raw
+	}
+	m.pushT(v, t)
 }
 
 // execDivMod implements Div/Mod with the profile-dependent UB policy.

@@ -21,9 +21,10 @@ import (
 //
 // Local-state discipline: `sp`/`ops` are authoritative inside the
 // inner loop. Every exit (return, halt check) writes m.sp back; every
-// helper call that reads or writes the machine stack (popArgs/callT,
-// ret, builtin, execDivMod, execShift) is bracketed by a write-back
-// and a re-load. report() and trap() never touch the operand stack,
+// helper call that reads or writes the machine stack (callS, ret,
+// builtin, execDivMod, execShift) is bracketed by a write-back and a
+// re-load; callS and builtin take their argument window as an in-place
+// alias of the popped slots instead of a marshalled copy. report() and trap() never touch the operand stack,
 // so the inline cases may fire them freely before falling into the
 // halt check.
 
@@ -71,17 +72,18 @@ outer:
 			batch = rem
 		}
 		target := steps + batch
+		n := batch
 
-		for steps < target {
+		for n > 0 {
 			if uint(pc) >= uint(len(code)) {
 				m.sp = sp
-				m.steps = steps + 1
+				m.steps = target - n + 1
 				m.trap(VMFault)
 				return
 			}
 			in := &code[pc]
 			pc++
-			steps++
+			n--
 			if trace {
 				m.traceLine(in.Line)
 			}
@@ -91,19 +93,55 @@ outer:
 				continue
 			case ir.ConstI:
 				v := uint64(in.Imm)
-				// Fused ConstI+Conv: the conversion folds into the push.
-				// Guards keep this observationally identical to two
-				// dispatches — both instructions fit in the current
-				// batch (so limit accounting is unchanged), and trace
-				// mode records per-instruction lines, so it never fuses.
-				if !trace && steps+1 < target && uint(pc) < uint(len(code)) && code[pc].Op == ir.Conv {
-					nx := &code[pc]
-					pc++
-					steps++
-					if from, to := ir.TypeCode(nx.A), ir.TypeCode(nx.B); !from.IsFloat() && !to.IsFloat() {
-						v = ir.Canon(to, v)
-					} else {
-						v = ir.ConvWord(from, to, v)
+				// Fused ConstI+Conv and ConstI+Cmp* (+Jz/Jnz): the
+				// conversion or comparison folds into the push. Guards
+				// keep this observationally identical to the separate
+				// dispatches — every fused instruction fits in the
+				// current batch (so limit accounting is unchanged), and
+				// trace mode records per-instruction lines, so it never
+				// fuses.
+				if uint(pc) < uint(len(code)) && !trace && n > 1 {
+					switch nx := &code[pc]; nx.Op {
+					case ir.Conv:
+						pc++
+						n--
+						if from, to := ir.TypeCode(nx.A), ir.TypeCode(nx.B); !from.IsFloat() && !to.IsFloat() {
+							v = ir.Canon(to, v)
+						} else {
+							v = ir.ConvWord(from, to, v)
+						}
+					case ir.CmpEq, ir.CmpNe, ir.CmpLt, ir.CmpLe, ir.CmpGt, ir.CmpGe:
+						// Compare-with-immediate: the lhs is already on
+						// the stack, so the push/pop round trip
+						// disappears. Float codes keep the unfused path
+						// (the immediate is an integer by construction).
+						if tc := ir.TypeCode(nx.A); !tc.IsFloat() && sp > 0 {
+							pc++
+							n--
+							a := ops[sp-1]
+							res := ir.IntCmp(nx.Op, tc, a.v, v)
+							// Chained branch: consti,cmp,jz is the
+							// dominant conditional shape. An untainted
+							// operand is required — a tainted branch is
+							// MSan's core report, handled unfused.
+							if uint(pc) < uint(len(code)) && !a.t && n > 1 {
+								if br := &code[pc]; br.Op == ir.Jz || br.Op == ir.Jnz {
+									pc++
+									n--
+									sp--
+									if (br.Op == ir.Jz) != res {
+										pc = int(br.Imm)
+									}
+									continue
+								}
+							}
+							r := uint64(0)
+							if res {
+								r = 1
+							}
+							ops[sp-1] = slot{v: r, t: a.t}
+							continue
+						}
 					}
 				}
 				if sp == len(ops) {
@@ -140,12 +178,12 @@ outer:
 				// bookkeeping, no trap possible) and both instructions
 				// fit in the current batch; anything else falls back to
 				// the plain push and lets the Load case handle it.
-				if !trace && steps+1 < target && uint(pc) < uint(len(code)) && code[pc].Op == ir.Load {
+				if uint(pc) < uint(len(code)) && code[pc].Op == ir.Load && !trace && n > 1 {
 					nx := &code[pc]
 					w := uint64(nx.A)
 					if end := addr + w; plain && addr >= ir.NullTop && end >= addr && end <= ir.MemSize {
 						pc++
-						steps++
+						n--
 						raw := m.rawLoad(addr, int(nx.A))
 						var v uint64
 						switch nx.B {
@@ -162,6 +200,18 @@ outer:
 							v = f32val(uint32(raw))
 						default: // zero-extend or float64
 							v = raw
+						}
+						// Third link of the FrameAddr+Load chain: a
+						// trailing Conv folds into the same push.
+						if uint(pc) < uint(len(code)) && code[pc].Op == ir.Conv && n > 1 {
+							cv := &code[pc]
+							pc++
+							n--
+							if from, to := ir.TypeCode(cv.A), ir.TypeCode(cv.B); !from.IsFloat() && !to.IsFloat() {
+								v = ir.Canon(to, v)
+							} else {
+								v = ir.ConvWord(from, to, v)
+							}
 						}
 						if sp == len(ops) {
 							m.sp = sp
@@ -239,6 +289,19 @@ outer:
 					v = f32val(uint32(raw))
 				default: // zero-extend or float64
 					v = raw
+				}
+				// Fused Load+Conv: the widening that follows nearly every
+				// sub-word load folds into the push (taint is untouched —
+				// Conv propagates it unchanged).
+				if uint(pc) < uint(len(code)) && code[pc].Op == ir.Conv && !trace && n > 1 {
+					nx := &code[pc]
+					pc++
+					n--
+					if from, to := ir.TypeCode(nx.A), ir.TypeCode(nx.B); !from.IsFloat() && !to.IsFloat() {
+						v = ir.Canon(to, v)
+					} else {
+						v = ir.ConvWord(from, to, v)
+					}
 				}
 				ops[sp] = slot{v: v, t: t}
 				sp++
@@ -383,6 +446,22 @@ outer:
 						res = a.v >= b.v
 					}
 				}
+				// Fused Cmp*+Jz/Jnz: the comparison feeds the branch
+				// directly instead of round-tripping a 0/1 through the
+				// stack. Tainted operands keep the unfused path so the
+				// branch-on-uninitialized MSan report fires from the
+				// plain Jz/Jnz case with its own line number.
+				if uint(pc) < uint(len(code)) && !a.t && !b.t && !trace && n > 1 {
+					if nx := &code[pc]; nx.Op == ir.Jz || nx.Op == ir.Jnz {
+						pc++
+						n--
+						sp--
+						if (nx.Op == ir.Jz) != res {
+							pc = int(nx.Imm)
+						}
+						continue
+					}
+				}
 				v := uint64(0)
 				if res {
 					v = 1
@@ -401,6 +480,23 @@ outer:
 					v = ir.Canon(to, s.v)
 				} else {
 					v = ir.ConvWord(from, to, s.v)
+				}
+				// Fused Conv+Add: the widen-then-add shape of C's usual
+				// arithmetic conversions. A UBSan overflow falls back to
+				// the plain push so the Add case reports it with its own
+				// operand handling.
+				if uint(pc) < uint(len(code)) && sp > 1 && !trace && n > 1 {
+					if nx := &code[pc]; nx.Op == ir.Add {
+						tc := ir.TypeCode(nx.A)
+						a := ops[sp-2]
+						if !(ubsan && ir.OverflowSigned(ir.Add, tc, a.v, v)) {
+							pc++
+							n--
+							sp--
+							ops[sp-1] = slot{v: ir.Canon(tc, a.v+v), t: a.t || s.t}
+							continue
+						}
+					}
 				}
 				ops[sp-1] = slot{v: v, t: s.t}
 				continue
@@ -463,10 +559,11 @@ outer:
 				// the frame stack changes; the hoisted locals are
 				// re-derived for the callee at the top of the outer loop.
 				fr.pc = pc
+				steps = target - n
 				m.steps = steps
+				sp -= int(in.A)
 				m.sp = sp
-				args, taints := m.popArgs(int(in.A), in.B == 1)
-				m.callT(int(in.Imm), args, taints)
+				m.callS(int(in.Imm), ops[sp:sp+int(in.A)], in.B == 1)
 				continue outer
 
 			case ir.CallB:
@@ -474,15 +571,19 @@ outer:
 				// frame stays valid; they do push results and may halt
 				// (exit, trap, sanitizer report), so the operand stack is
 				// synced both ways and the common halt check below runs.
+				// The argument window aliases the popped stack slots in
+				// place (see builtin's aliasing invariant) — no
+				// marshalling copy on the hot path.
+				sp -= int(in.A)
 				m.sp = sp
-				args, taints := m.popArgs(int(in.A), in.B == 1)
-				m.builtin(int(in.Imm), args, taints, in.Line)
+				m.builtin(int(in.Imm), ops[sp:sp+int(in.A)], in.B == 1, in.Line)
 				sp = m.sp
 				ops = m.ops
 
 			case ir.Ret:
 				// The caller's pc was written back when it executed the
 				// Call; dropping this frame needs no writeback.
+				steps = target - n
 				m.steps = steps
 				m.sp = sp
 				m.ret(in.A == 1)
@@ -527,6 +628,96 @@ outer:
 				sp++
 				continue
 
+			case ir.LdLoc:
+				// Fused FrameAddr+Load superinstruction: the Load fast
+				// path with the address taken straight from the frame.
+				// Frame displacements can never carry taint, so the
+				// tainted-address report of the unfused pair is
+				// unreachable here.
+				addr := base + uint64(in.Imm)
+				w := uint64(in.A)
+				var t bool
+				if end := addr + w; plain && addr >= ir.NullTop && end >= addr && end <= ir.MemSize {
+					// Mapped and no sanitizer bookkeeping: skip the calls.
+				} else {
+					if !m.checkAccess(addr, w, false, in.Line) {
+						break
+					}
+					t = m.loadTaint(addr, w)
+				}
+				raw := m.rawLoad(addr, int(in.A))
+				var v uint64
+				switch in.B {
+				case 1: // sign-extend
+					switch in.A {
+					case 1:
+						v = uint64(int64(int8(raw)))
+					case 4:
+						v = uint64(int64(int32(raw)))
+					default:
+						v = raw
+					}
+				case 2: // float32
+					v = f32val(uint32(raw))
+				default: // zero-extend or float64
+					v = raw
+				}
+				// Same trailing-Conv fold as Load.
+				if uint(pc) < uint(len(code)) && code[pc].Op == ir.Conv && !trace && n > 1 {
+					nx := &code[pc]
+					pc++
+					n--
+					if from, to := ir.TypeCode(nx.A), ir.TypeCode(nx.B); !from.IsFloat() && !to.IsFloat() {
+						v = ir.Canon(to, v)
+					} else {
+						v = ir.ConvWord(from, to, v)
+					}
+				}
+				if sp == len(ops) {
+					m.sp = sp
+					m.growOps()
+					ops = m.ops
+				}
+				ops[sp] = slot{v: v, t: t}
+				sp++
+				continue
+
+			case ir.CmpImm:
+				// Fused ConstI+Cmp* superinstruction, with the same
+				// trailing Jz/Jnz dispatch fusion as Cmp (a tainted
+				// operand falls through so the branch reports it).
+				a := ops[sp-1]
+				res := ir.IntCmp(ir.CmpEq+ir.Op(in.B), ir.TypeCode(in.A), a.v, uint64(in.Imm))
+				if uint(pc) < uint(len(code)) && !a.t && !trace && n > 1 {
+					if nx := &code[pc]; nx.Op == ir.Jz || nx.Op == ir.Jnz {
+						pc++
+						n--
+						sp--
+						if (nx.Op == ir.Jz) != res {
+							pc = int(nx.Imm)
+						}
+						continue
+					}
+				}
+				v := uint64(0)
+				if res {
+					v = 1
+				}
+				ops[sp-1] = slot{v: v, t: a.t}
+				continue
+
+			case ir.AluImm:
+				// Fused ConstI+ALU superinstruction.
+				a := ops[sp-1]
+				tc := ir.TypeCode(in.A)
+				op := ir.Add + ir.Op(in.B)
+				if ubsan && ir.OverflowSigned(op, tc, a.v, uint64(in.Imm)) {
+					m.report("ubsan", "signed-integer-overflow", in.Line)
+					break
+				}
+				ops[sp-1] = slot{v: ir.IntAlu(op, tc, a.v, uint64(in.Imm)), t: a.t}
+				continue
+
 			case ir.Unreach:
 				m.trap(VMFault)
 
@@ -539,13 +730,14 @@ outer:
 			// the plain data ops above `continue` past it.
 			if m.halt {
 				m.sp = sp
-				m.steps = steps
+				m.steps = target - n
 				return
 			}
 		}
 
 		// Batch boundary inside one frame: persist the resume point and
 		// stack, and let the outer loop re-check the budget.
+		steps = target
 		fr.pc = pc
 		m.sp = sp
 	}

@@ -140,11 +140,6 @@ type Machine struct {
 
 	frames []frame
 
-	// Reusable argument marshalling buffers for Call/CallB, so calls
-	// do not allocate per instruction.
-	argBuf   []uint64
-	taintBuf []bool
-
 	// Stack segment allocation.
 	stackLow, stackHigh uint64
 
@@ -174,9 +169,12 @@ type Machine struct {
 	// byte slices alias the machine's output buffers.
 	res Result
 
-	// Scratch buffers reused by the printf builtin.
-	fmtBuf []byte
-	strBuf []byte
+	// Scratch buffers reused by the printf builtin, and the
+	// direct-mapped compiled-format plan cache (see doPrintf).
+	fmtBuf     []byte
+	strBuf     []byte
+	fmtCache   [1 << fmtCacheBits]fmtCacheEnt
+	fmtScratch []fmtOp
 }
 
 // markDirty records that [addr, addr+size) may have been written.
@@ -230,8 +228,6 @@ func New(prog *ir.Program, opts Options) *Machine {
 	m.ops = make([]slot, 256)
 	m.temps = make([]slot, 64)
 	m.frames = make([]frame, 0, 64)
-	m.argBuf = make([]uint64, 16)
-	m.taintBuf = make([]bool, 16)
 	if opts.Coverage {
 		m.cov = make([]byte, CovMapSize)
 		n := prog.NumEdges
@@ -323,7 +319,7 @@ func (m *Machine) RunSharedWithLimit(input []byte, limit int64) *Result {
 func (m *Machine) runShared(input []byte, limit int64) *Result {
 	m.reset(input)
 	m.limit = limit
-	m.call(m.prog.Main, nil)
+	m.call(m.prog.Main)
 	if m.opts.Reference {
 		for !m.halt {
 			m.step()
@@ -331,14 +327,16 @@ func (m *Machine) runShared(input []byte, limit int64) *Result {
 	} else {
 		m.runLoop()
 	}
-	m.res = Result{
-		Exit:   m.exit,
-		Code:   m.code,
-		Stdout: m.stdout,
-		Stderr: m.stderr,
-		Steps:  m.steps,
-		San:    m.san,
-	}
+	// Field-at-a-time writeback: m.res is machine-owned and reused, so
+	// assigning a composite literal would copy a temporary for no
+	// benefit on the hottest exit path.
+	m.res.Exit = m.exit
+	m.res.Code = m.code
+	m.res.Stdout = m.stdout
+	m.res.Stderr = m.stderr
+	m.res.Steps = m.steps
+	m.res.San = m.san
+	m.res.Trace = nil
 	if m.opts.TraceLines {
 		m.res.Trace = m.trace
 	}
@@ -500,41 +498,17 @@ func (m *Machine) growTemps() {
 	m.temps = next
 }
 
-// popArgs pops the top n operand slots into the machine's reusable
-// argument buffers, returning them in declaration order. rev means the
-// binary pushed right-to-left (first argument on top).
-func (m *Machine) popArgs(n int, rev bool) ([]uint64, []bool) {
-	if cap(m.argBuf) < n {
-		m.argBuf = make([]uint64, n)
-		m.taintBuf = make([]bool, n)
-	}
-	args := m.argBuf[:n]
-	taints := m.taintBuf[:n]
-	m.sp -= n
-	slots := m.ops[m.sp : m.sp+n]
-	if rev {
-		// First pop (the stack top) is the first argument.
-		for i, s := range slots {
-			args[n-1-i] = s.v
-			taints[n-1-i] = s.t
-		}
-	} else {
-		for i, s := range slots {
-			args[i] = s.v
-			taints[i] = s.t
-		}
-	}
-	return args, taints
+// call invokes function fi with no arguments (program entry).
+func (m *Machine) call(fi int) {
+	m.callS(fi, nil, false)
 }
 
-// call invokes function fi with the given argument words (already in
-// declaration order). Extra arguments are dropped; missing ones leave
+// callS invokes function fi. sl is the popped argument window of the
+// operand stack, aliased in place (same zero-copy protocol as
+// builtin); rev means the binary pushed right-to-left, so arguments
+// read back-to-front. Extra arguments are dropped; missing ones leave
 // the parameter slots holding stack garbage (CWE-685 semantics).
-func (m *Machine) call(fi int, args []uint64) {
-	m.callT(fi, args, nil)
-}
-
-func (m *Machine) callT(fi int, args []uint64, taints []bool) {
+func (m *Machine) callS(fi int, sl []slot, rev bool) {
 	fn := m.prog.Funcs[fi]
 	var base uint64
 	if m.prof.StackDown {
@@ -574,18 +548,21 @@ func (m *Machine) callT(fi int, args []uint64, taints []bool) {
 		}
 	}
 
-	for i := 0; i < len(fn.ParamOff) && i < len(args); i++ {
+	for i := 0; i < len(fn.ParamOff) && i < len(sl); i++ {
 		addr := base + uint64(fn.ParamOff[i])
 		w := paramWidth(fn.ParamKind[i])
-		v := args[i]
+		s := sl[i]
+		if rev {
+			s = sl[len(sl)-1-i]
+		}
+		v := s.v
 		if fn.ParamKind[i] == ir.F32 {
 			v = ir.ConvWord(ir.F64, ir.F32, v)
 			v = uint64(f32bits(v))
 		}
 		m.rawStore(addr, w, v)
 		if m.msanInit != nil {
-			t := i < len(taints) && taints[i]
-			m.markInit(addr, uint64(w), !t)
+			m.markInit(addr, uint64(w), !s.t)
 		}
 	}
 	m.frames = append(m.frames, frame{fn: fn, base: base})

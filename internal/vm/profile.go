@@ -1,0 +1,89 @@
+package vm
+
+import (
+	"sort"
+
+	"compdiff/internal/ir"
+)
+
+// Opcode-pair frequency profiling: the data that picks the fast
+// loop's superinstruction set. A fusion peephole can only combine two
+// instructions that are pc-adjacent in one function's code array and
+// executed back to back, so the profiler counts exactly those dynamic
+// fallthrough pairs — a taken branch, a call, or a return between two
+// opcodes never increments a pair, because no peephole could fuse
+// across it.
+
+// OpPair is one fallthrough opcode pair with its dynamic execution
+// count.
+type OpPair struct {
+	A, B  ir.Op
+	Count int64
+}
+
+// PairProfile accumulates fallthrough-pair counts across runs.
+type PairProfile struct {
+	counts [ir.NumOps * ir.NumOps]int64
+	steps  int64
+}
+
+// Steps is the total number of instructions executed into the profile.
+func (p *PairProfile) Steps() int64 { return p.steps }
+
+// Pairs returns the non-zero pairs, most frequent first (ties broken
+// by opcode order, so the report is deterministic).
+func (p *PairProfile) Pairs() []OpPair {
+	var out []OpPair
+	for a := 0; a < ir.NumOps; a++ {
+		for b := 0; b < ir.NumOps; b++ {
+			if n := p.counts[a*ir.NumOps+b]; n > 0 {
+				out = append(out, OpPair{A: ir.Op(a), B: ir.Op(b), Count: n})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// ProfilePairs executes input under the reference loop, recording
+// every executed fallthrough opcode pair into prof. The run itself is
+// semantically identical to Run (the reference loop is the spec);
+// profiling exists for corpus measurement, not the hot path.
+func (m *Machine) ProfilePairs(input []byte, prof *PairProfile) *Result {
+	m.reset(input)
+	m.limit = m.opts.StepLimit
+	m.call(m.prog.Main)
+	var prevFn *ir.Func
+	prevPC := -1
+	prevOp := 0
+	for !m.halt {
+		if fr := &m.frames[len(m.frames)-1]; uint(fr.pc) < uint(len(fr.fn.Code)) {
+			op := int(fr.fn.Code[fr.pc].Op)
+			if prevFn == fr.fn && fr.pc == prevPC+1 {
+				prof.counts[prevOp*ir.NumOps+op]++
+			}
+			prevFn, prevPC, prevOp = fr.fn, fr.pc, op
+		} else {
+			prevFn = nil
+		}
+		m.step()
+		prof.steps++
+	}
+	m.res = Result{
+		Exit:   m.exit,
+		Code:   m.code,
+		Stdout: m.stdout,
+		Stderr: m.stderr,
+		Steps:  m.steps,
+		San:    m.san,
+	}
+	return &m.res
+}

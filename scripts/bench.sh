@@ -8,19 +8,66 @@
 # Usage: scripts/bench.sh [outfile] [bench-regex] [benchtime]
 #   outfile      defaults to BENCH_<YYYY-MM-DD>.json
 #   bench-regex  defaults to the perf-tracked set (differential
-#                overhead + suite hot path)
+#                overhead + suite hot path + batch/cache/campaign)
 #   benchtime    defaults to 1s
+#
+#        scripts/bench.sh -diff OLD.json NEW.json
+#   compares two records benchmark-by-benchmark and prints the deltas
+#   (negative = faster).
 #
 # Examples:
 #   scripts/bench.sh                                # trajectory record
 #   scripts/bench.sh BENCH_baseline.json            # named record
 #   scripts/bench.sh /dev/stdout 'SuiteRun' 100x    # quick look
+#   scripts/bench.sh -diff BENCH_2026-08-06.json BENCH_2026-08-08.json
 set -eu
 
 cd "$(dirname "$0")/.."
 
+# extract_rows FILE: one "name ns_per_op" pair per line from a
+# bench.sh JSON record (the records are line-structured by
+# construction: one benchmark object per line).
+extract_rows() {
+    awk '
+    /"name"/ {
+        line = $0
+        name = line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+        ns = line; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
+        if (name != "" && ns != "") print name, ns
+    }' "$1"
+}
+
+if [ "${1:-}" = "-diff" ]; then
+    [ $# -eq 3 ] || { echo "usage: scripts/bench.sh -diff OLD.json NEW.json" >&2; exit 2; }
+    OLD="$2"; NEW="$3"
+    [ -r "$OLD" ] || { echo "bench.sh: cannot read $OLD" >&2; exit 1; }
+    [ -r "$NEW" ] || { echo "bench.sh: cannot read $NEW" >&2; exit 1; }
+    { extract_rows "$OLD" | sed 's/^/old /'; extract_rows "$NEW" | sed 's/^/new /'; } | awk '
+    $1 == "old" { old[$2] = $3; order[n++] = $2 }
+    $1 == "new" { new[$2] = $3; if (!($2 in old)) order[n++] = $2 }
+    END {
+        printf "%-36s %12s %12s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+        both = 0
+        for (i = 0; i < n; i++) {
+            name = order[i]
+            if (seen[name]++) continue
+            if (name in old && name in new) {
+                delta = (new[name] - old[name]) / old[name] * 100
+                printf "%-36s %12.1f %12.1f %+8.1f%%\n", name, old[name], new[name], delta
+                both++
+            } else if (name in old) {
+                printf "%-36s %12.1f %12s %9s\n", name, old[name], "-", "gone"
+            } else {
+                printf "%-36s %12s %12.1f %9s\n", name, "-", new[name], "new"
+            }
+        }
+        if (both == 0) { print "bench.sh: no common benchmarks between the two records" > "/dev/stderr"; exit 1 }
+    }'
+    exit 0
+fi
+
 OUT="${1:-BENCH_$(date +%Y-%m-%d).json}"
-BENCH="${2:-OverheadSingleBinary|OverheadRecommendedPair|OverheadFullTen|SuiteRunSequential|SuiteRunFast|SuiteRunParallel\$|DifferentialRunListing1}"
+BENCH="${2:-OverheadSingleBinary|OverheadRecommendedPair|OverheadFullTen|SuiteRunSequential|SuiteRunFast|SuiteRunParallel\$|SuiteRunBatch64|ProgCacheHit|CampaignFourShards|DifferentialRunListing1}"
 BENCHTIME="${3:-1s}"
 
 RAW="$(mktemp)"
@@ -59,3 +106,10 @@ END {
 }' "$RAW" > "$OUT"
 
 [ "$OUT" = /dev/stdout ] || echo "wrote $OUT" >&2
+
+# Corpus opcode-pair histogram: the evidence behind the compile-time
+# peephole folds and the LdLoc/CmpImm/AluImm superinstruction set
+# (internal/compiler/peep.go picks its patterns from these pairs).
+echo >&2
+echo "== corpus opcode-pair histogram (superinstruction selection) ==" >&2
+go run ./cmd/report -opcode-pairs -opcode-pairs-top 12 >&2 || true

@@ -25,16 +25,42 @@ echo "== vm differential self-test (-race)"
 go test -race -run 'TestDifferentialSelfTest|TestRunSharedMatchesRun|TestStepLimitBatchAccounting' \
 	-count=1 ./internal/vm
 
+# The batch-executor self-test is the same guard one layer up:
+# Suite.RunBatch must be byte-identical to per-input Run over the
+# golden corpus and the generated sweep, sequentially and with the
+# parallel cross-check, under the race detector.
+echo "== core batch-executor self-test (-race)"
+go test -race -run 'TestRunBatchMatchesRun|TestRunBatchMatchesRunParallel|TestRunBatchSingletonIsRunFast' \
+	-count=1 ./internal/core
+
 # Benchmark smoke: the headline hot-path benchmark must still run (10
 # iterations — correctness of the harness, not a timing gate).
 echo "== bench smoke (BenchmarkOverheadFullTen, 10x)"
 go test -run='^$' -bench='^BenchmarkOverheadFullTen$' -benchtime=10x -benchmem .
+
+# Batch/cache bench smoke: the persistent-mode batch executor and the
+# compiled-program cache benchmarks must exist and produce rows
+# bench.sh can parse into the trajectory record (guards both the
+# benchmarks and the bench.sh JSON pipeline).
+echo "== bench smoke (SuiteRunBatch64 + ProgCacheHit via bench.sh)"
+BENCH_SMOKE_JSON="$(mktemp)"
+scripts/bench.sh "$BENCH_SMOKE_JSON" 'SuiteRunBatch64|ProgCacheHit' 10x >/dev/null 2>&1
+for b in BenchmarkSuiteRunBatch64 BenchmarkProgCacheHit; do
+	grep -q "\"name\": \"$b\", \"ns_per_op\": [0-9]" "$BENCH_SMOKE_JSON" || {
+		echo "bench smoke: $b missing from bench.sh output" >&2
+		cat "$BENCH_SMOKE_JSON" >&2
+		rm -f "$BENCH_SMOKE_JSON"
+		exit 1
+	}
+done
+rm -f "$BENCH_SMOKE_JSON"
 
 echo "== fuzz smoke ($FUZZTIME each)"
 go test -fuzz=FuzzParse -fuzztime="$FUZZTIME" -run='^$' ./internal/minic/parser
 go test -fuzz=FuzzSuiteRun -fuzztime="$FUZZTIME" -run='^$' .
 go test -fuzz=FuzzReduce -fuzztime="$FUZZTIME" -run='^$' ./internal/triage
 go test -fuzz=FuzzCompileOracle -fuzztime="$FUZZTIME" -run='^$' .
+go test -fuzz=FuzzProgCache -fuzztime="$FUZZTIME" -run='^$' ./internal/progcache
 
 # Coverage gate: per-package table plus hard floors on the triage
 # layer, whose whole contract lives in its tests.
