@@ -7,6 +7,7 @@
 //
 //	compdiff-fuzz -target tcpdump -execs 50000
 //	compdiff-fuzz -src prog.mc -seedfile s1 -seedfile s2 -execs 100000
+//	compdiff-fuzz -evolve -pop 24 -generations 20 -stats out
 //	compdiff-fuzz -serve :8080 -farm /tmp/farm -workers 4 -target tcpdump -execs-total 200000
 //
 // Flags:
@@ -18,6 +19,13 @@
 //	                errors, and diagnostic mismatches become triage
 //	                buckets; universally-accepted programs are
 //	                cross-checked at runtime on the empty input
+//	-evolve         evolutionary coverage-directed campaign: a
+//	                population of generated programs is scored by
+//	                optimizer-pass coverage, divergence proximity, and
+//	                parsimony, then bred with unstable-code idiom
+//	                mutations; findings land in the usual triage buckets
+//	-pop N          population size (with -evolve; default 24)
+//	-generations N  generations to evolve (with -evolve; default 20)
 //	-execs N        execution budget on the instrumented binary
 //	                (per shard when -shards > 1)
 //	-execs-total N  cumulative per-shard budget across resumes: a
@@ -121,30 +129,35 @@ func usagef(format string, args ...any) error {
 // it a plain struct keeps validate a pure function the tests can
 // drive without touching the flag package or os.Args.
 type cliConfig struct {
-	target     string
-	src        string
-	programs   string
-	execs      int64
-	execsTotal int64
-	seed       int64
-	shards     int
-	jobs       int
-	batch      int
-	sync       int64
-	syncSet    bool // -sync was given explicitly
-	san        string
-	diffdir    string
-	statsDir   string
-	statsEvery int64
-	checkpoint string
-	ckptEvery  int64
-	resume     bool
-	heartbeat  string
-	serve      string
-	farm       string
-	workers    int
-	workersSet bool // -workers was given explicitly
-	list       bool
+	target      string
+	src         string
+	programs    string
+	evolve      bool
+	pop         int
+	popSet      bool // -pop was given explicitly
+	generations int
+	gensSet     bool // -generations was given explicitly
+	execs       int64
+	execsTotal  int64
+	seed        int64
+	shards      int
+	jobs        int
+	batch       int
+	sync        int64
+	syncSet     bool // -sync was given explicitly
+	san         string
+	diffdir     string
+	statsDir    string
+	statsEvery  int64
+	checkpoint  string
+	ckptEvery   int64
+	resume      bool
+	heartbeat   string
+	serve       string
+	farm        string
+	workers     int
+	workersSet  bool // -workers was given explicitly
+	list        bool
 }
 
 // validate rejects nonsensical flag combinations up front — before
@@ -157,6 +170,9 @@ func (c cliConfig) validate() error {
 	if c.serve != "" {
 		if c.programs != "" {
 			return fmt.Errorf("-serve supervises input-fuzzing workers; -programs campaigns run standalone")
+		}
+		if c.evolve {
+			return fmt.Errorf("-serve supervises input-fuzzing workers; -evolve campaigns run standalone")
 		}
 		if c.target == "" && c.src == "" {
 			return fmt.Errorf("-serve needs -target or -src for its workers")
@@ -189,14 +205,31 @@ func (c cliConfig) validate() error {
 			return fmt.Errorf("-workers only makes sense with -serve")
 		}
 	}
-	if c.target == "" && c.src == "" && c.programs == "" {
-		return fmt.Errorf("need -target, -src, or -programs (or -list)")
+	if c.target == "" && c.src == "" && c.programs == "" && !c.evolve {
+		return fmt.Errorf("need -target, -src, -programs, or -evolve (or -list)")
 	}
 	if (c.target != "" && c.src != "") || (c.programs != "" && (c.target != "" || c.src != "")) {
 		return fmt.Errorf("-target, -src, and -programs are mutually exclusive")
 	}
+	if c.evolve && (c.target != "" || c.src != "" || c.programs != "") {
+		return fmt.Errorf("-evolve generates its own programs; it excludes -target, -src, and -programs")
+	}
+	if !c.evolve && (c.popSet || c.gensSet) {
+		return fmt.Errorf("-pop and -generations only make sense with -evolve")
+	}
+	if c.evolve {
+		if c.pop < 2 {
+			return fmt.Errorf("-pop %d: an evolutionary population needs at least 2 genomes", c.pop)
+		}
+		if c.generations < 1 {
+			return fmt.Errorf("-generations %d: an evolutionary campaign needs at least 1 generation", c.generations)
+		}
+	}
 	if c.programs != "" && c.san != "none" {
 		return fmt.Errorf("-san applies to the fuzzing binary; a -programs campaign has none")
+	}
+	if c.evolve && c.san != "none" {
+		return fmt.Errorf("-san applies to the fuzzing binary; an -evolve campaign has none")
 	}
 	if c.execs < 1 {
 		return fmt.Errorf("-execs %d: the execution budget must be at least 1", c.execs)
@@ -206,6 +239,9 @@ func (c cliConfig) validate() error {
 	}
 	if c.execsTotal > 0 && c.programs != "" {
 		return fmt.Errorf("-execs-total is an execution budget; -programs campaigns are bounded by the corpus")
+	}
+	if c.execsTotal > 0 && c.evolve {
+		return fmt.Errorf("-execs-total is an execution budget; -evolve campaigns are bounded by -pop × -generations")
 	}
 	if c.execsTotal > 0 && c.checkpoint == "" && c.serve == "" {
 		return fmt.Errorf("-execs-total needs -checkpoint: the cumulative budget is measured against the checkpointed watermark")
@@ -262,6 +298,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	targetName := fs.String("target", "", "built-in target to fuzz")
 	srcPath := fs.String("src", "", "MiniC source file to fuzz")
 	programsDir := fs.String("programs", "", "compile-oracle campaign over every *.mc in DIR")
+	evolveMode := fs.Bool("evolve", false, "evolutionary coverage-directed campaign")
+	pop := fs.Int("pop", 24, "population size (with -evolve)")
+	generations := fs.Int("generations", 20, "generations to evolve (with -evolve)")
 	execs := fs.Int64("execs", 50_000, "execution budget (per shard)")
 	execsTotal := fs.Int64("execs-total", 0, "cumulative per-shard budget across resumes (needs -checkpoint)")
 	seed := fs.Int64("seed", 1, "fuzzer RNG seed")
@@ -291,28 +330,31 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := cliConfig{
-		target:     *targetName,
-		src:        *srcPath,
-		programs:   *programsDir,
-		execs:      *execs,
-		execsTotal: *execsTotal,
-		seed:       *seed,
-		shards:     *shards,
-		jobs:       *jobs,
-		batch:      *batch,
-		sync:       *syncEvery,
-		san:        *sanFlag,
-		diffdir:    *diffdir,
-		statsDir:   *statsDir,
-		statsEvery: *statsEvery,
-		checkpoint: *ckptDir,
-		ckptEvery:  *ckptEvery,
-		resume:     *resume,
-		heartbeat:  *heartbeat,
-		serve:      *serveAddr,
-		farm:       *farmDir,
-		workers:    *workers,
-		list:       *list,
+		target:      *targetName,
+		src:         *srcPath,
+		programs:    *programsDir,
+		evolve:      *evolveMode,
+		pop:         *pop,
+		generations: *generations,
+		execs:       *execs,
+		execsTotal:  *execsTotal,
+		seed:        *seed,
+		shards:      *shards,
+		jobs:        *jobs,
+		batch:       *batch,
+		sync:        *syncEvery,
+		san:         *sanFlag,
+		diffdir:     *diffdir,
+		statsDir:    *statsDir,
+		statsEvery:  *statsEvery,
+		checkpoint:  *ckptDir,
+		ckptEvery:   *ckptEvery,
+		resume:      *resume,
+		heartbeat:   *heartbeat,
+		serve:       *serveAddr,
+		farm:        *farmDir,
+		workers:     *workers,
+		list:        *list,
 	}
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
@@ -320,6 +362,10 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			cfg.syncSet = true
 		case "workers":
 			cfg.workersSet = true
+		case "pop":
+			cfg.popSet = true
+		case "generations":
+			cfg.gensSet = true
 		}
 	})
 	if err := cfg.validate(); err != nil {
@@ -351,6 +397,8 @@ func run(cfg cliConfig, seeds *seedList, stdout, stderr io.Writer) error {
 		return runServe(cfg, seeds, stdout, stderr)
 	case cfg.programs != "":
 		return runProgramsCampaign(cfg, stdout, stderr)
+	case cfg.evolve:
+		return runEvolveCampaign(cfg, stdout, stderr)
 	default:
 		return runFuzzCampaign(cfg, seeds, stdout, stderr)
 	}
@@ -750,6 +798,80 @@ func buildCompilePool(corpus []string, opts compdiff.CompileCampaignOptions, res
 	case errors.Is(err, compdiff.ErrNoCheckpoint):
 		fmt.Fprintf(stderr, "compdiff-fuzz: no checkpoint in %s; starting fresh\n", opts.CheckpointDir)
 		return compdiff.NewCompileCampaign(corpus, opts)
+	case errors.Is(err, compdiff.ErrCheckpointMismatch):
+		return nil, usageError{err}
+	default:
+		return nil, err
+	}
+}
+
+// runEvolveCampaign is the -evolve mode: an evolutionary
+// coverage-directed campaign. No corpus is read — the founder
+// population is generated from -seed and everything after that is
+// bred under the composite fitness; the program budget is
+// -pop × -generations genome evaluations.
+func runEvolveCampaign(cfg cliConfig, stdout, stderr io.Writer) error {
+	opts := compdiff.EvolveCampaignOptions{
+		Pop:             cfg.pop,
+		Generations:     cfg.generations,
+		Seed:            cfg.seed,
+		Shards:          cfg.shards,
+		Parallelism:     cfg.jobs,
+		StatsDir:        cfg.statsDir,
+		CheckpointDir:   cfg.checkpoint,
+		CheckpointEvery: cfg.ckptEvery,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	pool, err := buildEvolvePool(opts, cfg.resume, stderr)
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	stats := pool.Run(ctx)
+
+	fmt.Fprintf(stdout, "shards         : %d\n", stats.Shards)
+	fmt.Fprintf(stdout, "generations    : %d of %d evaluated (population %d)\n",
+		stats.Generation, stats.Generations, stats.Pop)
+	fmt.Fprintf(stdout, "programs       : %d genome evaluations (%d front-end/uniform rejects)\n",
+		stats.Programs, stats.FrontendRejects)
+	fmt.Fprintf(stdout, "pass coverage  : %d (implementation, pass) pairs fired\n", stats.PassCoverage)
+	fmt.Fprintf(stdout, "fitness        : best %.1f, mean %.1f (last generation)\n",
+		stats.BestFitness, stats.MeanFitness)
+	fmt.Fprintf(stdout, "findings       : %d (%d triage buckets)\n", stats.Findings, stats.UniqueBuckets)
+	cs := pool.CacheStats()
+	fmt.Fprintf(stdout, "compile cache  : %d hits, %d misses, %d evictions (%d resident, %d bytes)\n",
+		cs.Hits, cs.Misses, cs.Evictions, cs.Entries, cs.Bytes)
+	fmt.Fprintf(stdout, "finding classes: %d accept/reject divergences, %d ICEs, %d diagnostic mismatches, %d runtime\n",
+		stats.CompileDivergences, stats.ICEs, stats.DiagMismatches, stats.RuntimeBuckets)
+	for si, serr := range stats.ShardErrors {
+		if serr != nil {
+			fmt.Fprintf(stdout, "  shard %d retired: %v\n", si, serr)
+		}
+	}
+	fmt.Fprintln(stdout)
+	for _, b := range pool.BucketStore().Buckets() {
+		fmt.Fprintln(stdout, b.Report(pool.ImplNames()))
+	}
+	return nil
+}
+
+// buildEvolvePool mirrors buildPool's -resume behavior for the
+// evolutionary campaign.
+func buildEvolvePool(opts compdiff.EvolveCampaignOptions, resume bool, stderr io.Writer) (*compdiff.EvolveCampaign, error) {
+	if !resume {
+		return compdiff.NewEvolveCampaign(opts)
+	}
+	pool, err := compdiff.ResumeEvolveCampaign(opts)
+	switch {
+	case err == nil:
+		st := pool.Stats()
+		fmt.Fprintf(stderr, "compdiff-fuzz: resumed from checkpoint %s (seq %d, generation %d of %d already evaluated)\n",
+			opts.CheckpointDir, pool.CheckpointSeq(), st.Generation, st.Generations)
+		return pool, nil
+	case errors.Is(err, compdiff.ErrNoCheckpoint):
+		fmt.Fprintf(stderr, "compdiff-fuzz: no checkpoint in %s; starting fresh\n", opts.CheckpointDir)
+		return compdiff.NewEvolveCampaign(opts)
 	case errors.Is(err, compdiff.ErrCheckpointMismatch):
 		return nil, usageError{err}
 	default:

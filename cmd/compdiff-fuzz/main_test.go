@@ -35,7 +35,7 @@ func TestValidateFlags(t *testing.T) {
 		// so it must pass even without -checkpoint.
 		{"default-checkpoint-every", func(c *cliConfig) { c.ckptEvery = 0 }, ""},
 
-		{"no-input", func(c *cliConfig) { c.target = "" }, "need -target, -src, or -programs"},
+		{"no-input", func(c *cliConfig) { c.target = "" }, "need -target, -src, -programs, or -evolve"},
 		{"both-inputs", func(c *cliConfig) { c.src = "p.mc" }, "mutually exclusive"},
 		{"programs-mode", func(c *cliConfig) { c.target = ""; c.programs = "progs" }, ""},
 		{"programs-and-target", func(c *cliConfig) { c.programs = "progs" }, "mutually exclusive"},
@@ -43,6 +43,69 @@ func TestValidateFlags(t *testing.T) {
 			"mutually exclusive"},
 		{"programs-with-san", func(c *cliConfig) { c.target = ""; c.programs = "progs"; c.san = "asan" },
 			"-programs campaign"},
+
+		// Evolutionary campaigns: -evolve replaces the input modes and
+		// owns the -pop / -generations knobs.
+		{"evolve-mode", func(c *cliConfig) { c.target = ""; c.evolve = true; c.pop = 24; c.generations = 20 }, ""},
+		{"evolve-checkpoint-resume", func(c *cliConfig) {
+			c.target = ""
+			c.evolve = true
+			c.pop = 8
+			c.generations = 4
+			c.checkpoint = "ckpt"
+			c.resume = true
+		}, ""},
+		{"evolve-zero-pop", func(c *cliConfig) { c.target = ""; c.evolve = true; c.pop = 0; c.generations = 20 },
+			"-pop 0"},
+		{"evolve-one-pop", func(c *cliConfig) { c.target = ""; c.evolve = true; c.pop = 1; c.generations = 20 },
+			"-pop 1"},
+		{"evolve-zero-generations", func(c *cliConfig) { c.target = ""; c.evolve = true; c.pop = 24; c.generations = 0 },
+			"-generations 0"},
+		{"evolve-negative-generations", func(c *cliConfig) { c.target = ""; c.evolve = true; c.pop = 24; c.generations = -3 },
+			"-generations -3"},
+		{"evolve-and-target", func(c *cliConfig) { c.evolve = true; c.pop = 24; c.generations = 20 },
+			"-evolve generates its own programs"},
+		{"evolve-and-src", func(c *cliConfig) {
+			c.target = ""
+			c.src = "p.mc"
+			c.evolve = true
+			c.pop = 24
+			c.generations = 20
+		}, "-evolve generates its own programs"},
+		{"evolve-and-programs", func(c *cliConfig) {
+			c.target = ""
+			c.programs = "progs"
+			c.evolve = true
+			c.pop = 24
+			c.generations = 20
+		}, "-evolve generates its own programs"},
+		{"evolve-with-san", func(c *cliConfig) {
+			c.target = ""
+			c.evolve = true
+			c.pop = 24
+			c.generations = 20
+			c.san = "ubsan"
+		}, "-evolve campaign"},
+		{"pop-without-evolve", func(c *cliConfig) { c.pop = 24; c.popSet = true },
+			"only make sense with -evolve"},
+		{"generations-without-evolve", func(c *cliConfig) { c.generations = 20; c.gensSet = true },
+			"only make sense with -evolve"},
+		{"evolve-execs-total", func(c *cliConfig) {
+			c.target = ""
+			c.evolve = true
+			c.pop = 24
+			c.generations = 20
+			c.checkpoint = "ckpt"
+			c.execsTotal = 100
+		}, "bounded by -pop"},
+		{"serve-evolve", func(c *cliConfig) {
+			c.serve = ":0"
+			c.farm = "farm"
+			c.workers = 2
+			c.evolve = true
+			c.pop = 24
+			c.generations = 20
+		}, "-evolve campaigns run standalone"},
 		{"zero-execs", func(c *cliConfig) { c.execs = 0 }, "-execs 0"},
 		{"negative-execs", func(c *cliConfig) { c.execs = -10 }, "-execs -10"},
 		{"zero-shards", func(c *cliConfig) { c.shards = 0 }, "-shards 0"},

@@ -361,3 +361,47 @@ func NewCompileCampaign(corpus []string, opts CompileCampaignOptions) (*CompileC
 func ResumeCompileCampaign(corpus []string, opts CompileCampaignOptions) (*CompileCampaign, error) {
 	return difffuzz.ResumeCompilePool(corpus, opts)
 }
+
+// EvolveCampaign is an evolutionary coverage-directed campaign
+// (-evolve): a population of MiniC programs is evaluated through the
+// compile-stage and runtime differential oracles each generation,
+// scored by a composite fitness — cumulative optimizer-pass coverage,
+// divergence proximity from the checksum-agreement partition, and
+// expected-length parsimony — and bred with mutation operators that
+// invert the triage reduction passes (splicing in the unstable-code
+// idioms reduction strips out). Every offspring is gated through the
+// shared front end, and findings land in the same triage buckets as
+// every other campaign mode.
+type EvolveCampaign = difffuzz.EvolvePool
+
+// EvolveCampaignOptions configures an evolutionary campaign.
+type EvolveCampaignOptions = difffuzz.EvolvePoolOptions
+
+// EvolveCampaignStats summarizes an evolutionary campaign: generation
+// progress, cumulative pass coverage, last-generation fitness, and the
+// finding counters shared with the other campaign modes.
+type EvolveCampaignStats = difffuzz.EvolvePoolStats
+
+// NewEvolveCampaign builds a fresh evolutionary campaign; the founder
+// population is generated from opts.Seed. With opts.CheckpointDir set,
+// the campaign writes a crash-safe snapshot at its generation
+// barriers; ResumeEvolveCampaign picks a killed campaign back up with
+// the same population sequence and final finding set as an
+// uninterrupted run.
+func NewEvolveCampaign(opts EvolveCampaignOptions) (*EvolveCampaign, error) {
+	return difffuzz.NewEvolvePool(opts)
+}
+
+// ResumeEvolveCampaign rebuilds an evolutionary campaign from the
+// checkpoint in opts.CheckpointDir. Error classes match
+// ResumeCampaignPool's.
+func ResumeEvolveCampaign(opts EvolveCampaignOptions) (*EvolveCampaign, error) {
+	return difffuzz.ResumeEvolvePool(opts)
+}
+
+// EvolveCampaignHash fingerprints the determinism-relevant knobs of an
+// evolutionary campaign; checkpoints only resume into a campaign with
+// a matching hash.
+func EvolveCampaignHash(opts EvolveCampaignOptions) uint64 {
+	return difffuzz.EvolveCampaignHash(opts)
+}

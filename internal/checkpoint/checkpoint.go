@@ -37,6 +37,7 @@ import (
 	"strings"
 
 	"compdiff/internal/core"
+	"compdiff/internal/evolve"
 	"compdiff/internal/fuzz"
 	"compdiff/internal/hash"
 	"compdiff/internal/telemetry"
@@ -95,6 +96,9 @@ type State struct {
 	// campaigns, which have no fuzzer shards: their durable state is a
 	// corpus cursor plus per-shard counters and bucket skeletons.
 	Compile *CompileCampaignState `json:"compile,omitempty"`
+	// Evolve is set only by evolutionary campaigns: the current
+	// population, generation, cumulative pass coverage, and counters.
+	Evolve *EvolveCampaignState `json:"evolve,omitempty"`
 }
 
 // ShardState is one shard's slice of the snapshot.
@@ -150,12 +154,38 @@ type CompileShardState struct {
 	BucketTotal     int                     `json:"shard_bucket_total"`
 }
 
+// EvolveCampaignState is an evolutionary campaign's slice of the
+// snapshot. Snapshots are taken only at generation barriers — the one
+// moment the population, cumulative coverage, and bucket store are
+// mutually consistent — so no RNG or mid-generation state appears
+// here: every per-generation RNG stream is re-derived from
+// (seed, generation), and a kill mid-generation resumes by
+// re-evaluating the checkpointed population deterministically.
+type EvolveCampaignState struct {
+	// Generation is the next generation to evaluate.
+	Generation int `json:"generation"`
+	// Genomes is the current population in index order.
+	Genomes []evolve.Genome `json:"genomes"`
+	// CumBits is the cumulative per-implementation fired-rewrite
+	// bitmap (suite order), the base NewBits fitness is scored against.
+	CumBits []uint32 `json:"cum_bits"`
+	// Counters, cumulative across the campaign.
+	Programs        int64 `json:"programs"`
+	FrontendRejects int64 `json:"frontend_rejects"`
+	Findings        int64 `json:"findings"`
+	// BestFitness and MeanFitness are the last evaluated generation's
+	// fitness telemetry, so a resumed-and-complete campaign reprints
+	// the same summary as the run that wrote the checkpoint.
+	BestFitness float64 `json:"best_fitness,omitempty"`
+	MeanFitness float64 `json:"mean_fitness,omitempty"`
+}
+
 // MetricsState is one shard's telemetry counters.
 type MetricsState struct {
-	Execs     int64                               `json:"execs"`
-	DiffExecs int64                               `json:"diff_execs"`
-	Classes   [telemetry.NumClasses]int64         `json:"classes"`
-	Impls     []telemetry.ImplSummary             `json:"impls,omitempty"`
+	Execs     int64                       `json:"execs"`
+	DiffExecs int64                       `json:"diff_execs"`
+	Classes   [telemetry.NumClasses]int64 `json:"classes"`
+	Impls     []telemetry.ImplSummary     `json:"impls,omitempty"`
 }
 
 // Manifest points at the current state file and pins its integrity.

@@ -38,6 +38,11 @@ type Result struct {
 	// set in that case; Diags keep whatever was emitted before the
 	// crash.
 	ICE string
+	// PassBits is the fired-rewrite bitmap: which UB-exploiting
+	// optimizer passes this implementation actually applied. On reject
+	// and ICE paths it keeps whatever fired before the failure, the
+	// same way Diags does.
+	PassBits PassBits
 }
 
 // Accepted reports whether the implementation produced a program.
@@ -67,6 +72,7 @@ func CompileGuarded(info *sema.Info, cfg Config) Result {
 		res.Prog = prog
 	}()
 	res.Diags = append([]string(nil), lw.diags...)
+	res.PassBits = lw.passBits
 	return res
 }
 

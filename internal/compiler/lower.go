@@ -59,6 +59,12 @@ type lowerer struct {
 	diags []string
 	depth int
 
+	// passBits accumulates the fired-rewrite bitmap across the whole
+	// compilation: analyzeFunc decisions merged per function, plus the
+	// rewrites only known at lowering time (constant folds, widening,
+	// FMA contraction). Surfaced through Result.PassBits.
+	passBits PassBits
+
 	// Per-function state.
 	fl     *frameLayout
 	dec    *decisions
@@ -183,6 +189,7 @@ func (lw *lowerer) internString(s string) int64 {
 func (lw *lowerer) lowerFunc(f *ast.FuncDecl) (*ir.Func, error) {
 	lw.fn = f
 	lw.dec = analyzeFunc(lw.ps, f)
+	lw.passBits |= lw.dec.fired
 	var params, locals []*ast.Symbol
 	params = lw.info.Params[f]
 	locals = lw.info.Locals[f]
@@ -289,6 +296,7 @@ func (lw *lowerer) constCond(e ast.Expr) (bool, bool) {
 	}
 	if lw.ps.ConstFold {
 		if v, ok := evalConst(e); ok && !v.isStr {
+			lw.passBits |= PassConstFold
 			return !v.isZero(), true
 		}
 	}
@@ -482,6 +490,7 @@ func (lw *lowerer) expr(e ast.Expr) {
 func (lw *lowerer) exprConv(e ast.Expr, to *types.Type) {
 	toCode := typeCode(to)
 	if toCode == ir.I64 && lw.ps.WidenMulToLong && lw.widenable(e) {
+		lw.passBits |= PassWidenMul
 		lw.lowerWidened(e)
 		return
 	}
@@ -767,6 +776,7 @@ func (lw *lowerer) lowerBinary(e *ast.Binary) {
 	// Implementation-level constant folding (never of UB constants).
 	if lw.ps.ConstFold {
 		if v, ok := evalConst(e); ok && !v.isStr {
+			lw.passBits |= PassConstFold
 			if v.tc.IsFloat() {
 				lw.emit(ir.Instr{Op: ir.ConstF, FImm: math.Float64frombits(v.word)})
 			} else {
@@ -842,6 +852,7 @@ func (lw *lowerer) lowerBinary(e *ast.Binary) {
 	if e.Op == ast.Add && lw.ps.ContractFMA && typeCode(e.CommonType) == ir.F64 {
 		if mul, ok := e.X.(*ast.Binary); ok && mul.Op == ast.Mul && typeCode(mul.CommonType) == ir.F64 {
 			if _, folded := lw.dec.fold[e.X]; !folded {
+				lw.passBits |= PassContractFMA
 				lw.exprOperand(mul.X, e.CommonType)
 				lw.exprOperand(mul.Y, e.CommonType)
 				lw.exprOperand(e.Y, e.CommonType)

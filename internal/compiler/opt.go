@@ -17,6 +17,10 @@ type decisions struct {
 	fold map[ast.Expr]uint64
 	// dead marks statements the optimizer drops (dead loads).
 	dead map[ast.Stmt]bool
+	// fired is the pass-coverage bitmap for this function: which
+	// rewrite kinds the side tables above record. The lowerer unions it
+	// (plus the lowering-time passes) into the per-compilation bitmap.
+	fired PassBits
 }
 
 // analyzeFunc runs the flow-sensitive UB-exploitation analysis over a
@@ -89,6 +93,7 @@ func (a *analyzer) stmt(s ast.Stmt, f *facts) {
 		a.applyFolds(s.X, f)
 		if a.ps.DeadLoadElim && pureExpr(s.X) {
 			a.dec.dead[s] = true
+			a.dec.fired |= PassDeadLoad
 			return // the optimizer never executes it: no facts from it
 		}
 		a.recordDerefs(s.X, f)
@@ -158,6 +163,7 @@ func (a *analyzer) applyFolds(e ast.Expr, f *facts) {
 		if a.ps.FoldOverflowChecks {
 			if v, ok := matchOverflowCheck(x, f); ok {
 				a.dec.fold[x] = v
+				a.dec.fired |= PassFoldOverflow
 			}
 		}
 		if a.ps.FoldNullChecks {
@@ -167,6 +173,7 @@ func (a *analyzer) applyFolds(e ast.Expr, f *facts) {
 				} else {
 					a.dec.fold[x] = 1
 				}
+				a.dec.fired |= PassFoldNull
 			}
 		}
 	})

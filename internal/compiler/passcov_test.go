@@ -1,0 +1,133 @@
+package compiler
+
+import (
+	"testing"
+)
+
+// guarded compiles src under cfg through the recover boundary and
+// returns the full Result (pass bitmap included).
+func guarded(t *testing.T, src string, cfg Config) Result {
+	t.Helper()
+	return CompileGuarded(checked(t, src), cfg)
+}
+
+func TestPassBitsFoldOverflow(t *testing.T) {
+	src := `
+int main() {
+  int v = 2147483600;
+  if (((v + 99)) < v) { return 1; }
+  return 0;
+}`
+	// Clang folds overflow guards at O2+; O0 applies no passes.
+	hot := guarded(t, src, Config{Family: Clang, Opt: O2})
+	if hot.PassBits&PassFoldOverflow == 0 {
+		t.Fatalf("clang -O2 PassBits = %v, want fold-overflow-check", hot.PassBits)
+	}
+	cold := guarded(t, src, Config{Family: Clang, Opt: O0})
+	if cold.PassBits != 0 {
+		t.Fatalf("clang -O0 PassBits = %v, want none", cold.PassBits)
+	}
+}
+
+func TestPassBitsFoldNull(t *testing.T) {
+	src := `
+int main() {
+  int v = 7;
+  int* p = &v;
+  int d = *p;
+  if ((p == 0)) { d = 0; }
+  return d;
+}`
+	hot := guarded(t, src, Config{Family: Clang, Opt: O2})
+	if hot.PassBits&PassFoldNull == 0 {
+		t.Fatalf("clang -O2 PassBits = %v, want fold-null-check", hot.PassBits)
+	}
+}
+
+func TestPassBitsDeadLoad(t *testing.T) {
+	src := `
+int main() {
+  int v = 7;
+  int* p = &v;
+  *p;
+  return 0;
+}`
+	hot := guarded(t, src, Config{Family: GCC, Opt: O2})
+	if hot.PassBits&PassDeadLoad == 0 {
+		t.Fatalf("gcc -O2 PassBits = %v, want dead-load-elim", hot.PassBits)
+	}
+	cold := guarded(t, src, Config{Family: GCC, Opt: O0})
+	if cold.PassBits&PassDeadLoad != 0 {
+		t.Fatalf("gcc -O0 PassBits = %v, want no dead-load-elim", cold.PassBits)
+	}
+}
+
+func TestPassBitsConstFoldAndWiden(t *testing.T) {
+	src := `
+int main() {
+  int a = 100000;
+  long r = (long)(a * a);
+  int c = (3 + 4);
+  return (int)(r & 63) + c;
+}`
+	// Clang widens int multiplies into long at O1+, and const-folds.
+	hot := guarded(t, src, Config{Family: Clang, Opt: O1})
+	if hot.PassBits&PassWidenMul == 0 {
+		t.Fatalf("clang -O1 PassBits = %v, want widen-mul-to-long", hot.PassBits)
+	}
+	if hot.PassBits&PassConstFold == 0 {
+		t.Fatalf("clang -O1 PassBits = %v, want const-fold", hot.PassBits)
+	}
+}
+
+func TestPassBitsFMA(t *testing.T) {
+	src := `
+int main() {
+  double a = 1.5;
+  double b = 2.5;
+  double c = 3.5;
+  double r = a * b + c;
+  return (int)r;
+}`
+	// ContractFMA is gcc at O2+, clang at O3+.
+	hot := guarded(t, src, Config{Family: GCC, Opt: O2})
+	if hot.PassBits&PassContractFMA == 0 {
+		t.Fatalf("gcc -O2 PassBits = %v, want contract-fma", hot.PassBits)
+	}
+}
+
+func TestPassBitsSurviveICE(t *testing.T) {
+	// Deep nesting blows the simplifier ceiling at O2+; bits fired
+	// before the crash must survive on the Result, like Diags do.
+	expr := "v"
+	for i := 0; i < 60; i++ {
+		expr = "(" + expr + " + 1)"
+	}
+	src := "int main() { int v = (3 + 4); int x = " + expr + "; return x & 1; }"
+	res := guarded(t, src, Config{Family: Clang, Opt: O2})
+	if res.ICE == "" {
+		t.Fatal("expected an ICE from the depth ceiling")
+	}
+	if res.PassBits&PassConstFold == 0 {
+		t.Fatalf("PassBits = %v after ICE, want const-fold from the earlier decl", res.PassBits)
+	}
+}
+
+func TestPassBitsNamesAndString(t *testing.T) {
+	b := PassFoldOverflow | PassConstFold
+	if b.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", b.Count())
+	}
+	names := b.Names()
+	if len(names) != 2 || names[0] != "fold-overflow-check" || names[1] != "const-fold" {
+		t.Fatalf("Names = %v", names)
+	}
+	if PassBits(0).String() != "none" {
+		t.Fatalf("zero String = %q", PassBits(0).String())
+	}
+	for i := 0; i < NumPassKinds; i++ {
+		if PassName(i) == "" {
+			t.Fatalf("pass bit %d has no name", i)
+		}
+	}
+}

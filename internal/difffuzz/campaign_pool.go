@@ -105,8 +105,8 @@ type shard struct {
 	diffsSynced   int             // shard-local store entries already merged
 	bucketsSynced int             // shard-local buckets already merged
 	queueSeen     map[uint64]bool // queue entry hashes already cross-pollinated
-	dead        bool            // a panicking shard is retired, not restarted
-	err         error
+	dead          bool            // a panicking shard is retired, not restarted
+	err           error
 }
 
 // PoolStats summarizes a pool run.
@@ -404,10 +404,10 @@ func (p *Pool) snapshot() telemetry.Snapshot {
 			role = "secondary"
 		}
 		s.Shards = append(s.Shards, telemetry.ShardSnapshot{
-			Shard:        si,
-			Role:         role,
-			Execs:        m.Execs.Load(),
-			Queue:        st.Seeds,
+			Shard:         si,
+			Role:          role,
+			Execs:         m.Execs.Load(),
+			Queue:         st.Seeds,
 			UniqueDiffs:   sh.c.diffs.Len(),
 			UniqueBuckets: sh.c.buckets.Len(),
 			PlateauExecs:  age,

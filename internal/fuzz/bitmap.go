@@ -10,10 +10,22 @@ package fuzz
 import (
 	"encoding/binary"
 	"math/bits"
+
+	"compdiff/internal/vm"
 )
 
-// MapSize is the coverage bitmap size (must match vm.CovMapSize).
+// MapSize is the coverage bitmap size, pinned to vm.CovMapSize: the VM
+// writes edges modulo its map, the fuzzer classifies the same bytes.
 const MapSize = 1 << 16
+
+// Compile-time equality assertion, both directions — a negative
+// constant does not convert to uint, so either drift refuses to build.
+// The pass-coverage bitmap (compiler.NumPassKinds) is guarded the same
+// way next to its definition.
+const (
+	_ = uint(MapSize - vm.CovMapSize)
+	_ = uint(vm.CovMapSize - MapSize)
+)
 
 // classLookup buckets raw edge hit counts the way AFL does, so that
 // loop-count changes register as new coverage without exploding the

@@ -1,0 +1,178 @@
+package ast
+
+// Deep clone of AST nodes. The triage reduction passes and the evolve
+// mutation operators splice subtrees into trees they did not come
+// from; a clone guarantees the spliced subtree shares no *node* with
+// its source, so mutating one offspring can never reach through a
+// shared pointer into a sibling or the parent. Resolved metadata
+// (*types.Type, *Symbol, types.Field) is shared intentionally: it is
+// immutable identity assigned by sema, not tree structure, and every
+// mutation consumer reprints and re-checks the program anyway.
+
+// CloneProgram returns a deep copy of p sharing no AST nodes with it.
+func CloneProgram(p *Program) *Program {
+	if p == nil {
+		return nil
+	}
+	out := &Program{}
+	for _, s := range p.Structs {
+		out.Structs = append(out.Structs, cloneStructDecl(s))
+	}
+	for _, g := range p.Globals {
+		out.Globals = append(out.Globals, CloneVarDecl(g))
+	}
+	for _, f := range p.Funcs {
+		out.Funcs = append(out.Funcs, CloneFuncDecl(f))
+	}
+	return out
+}
+
+func cloneStructDecl(d *StructDecl) *StructDecl {
+	if d == nil {
+		return nil
+	}
+	c := *d
+	c.Fields = nil
+	for _, f := range d.Fields {
+		c.Fields = append(c.Fields, CloneVarDecl(f))
+	}
+	return &c
+}
+
+// CloneVarDecl deep-copies a declaration (initializer included).
+func CloneVarDecl(d *VarDecl) *VarDecl {
+	if d == nil {
+		return nil
+	}
+	c := *d
+	c.Init = CloneExpr(d.Init)
+	return &c
+}
+
+// CloneFuncDecl deep-copies a function definition.
+func CloneFuncDecl(f *FuncDecl) *FuncDecl {
+	if f == nil {
+		return nil
+	}
+	c := *f
+	c.Params = nil
+	for _, p := range f.Params {
+		c.Params = append(c.Params, CloneVarDecl(p))
+	}
+	if f.Body != nil {
+		c.Body = CloneStmt(f.Body).(*BlockStmt)
+	}
+	return &c
+}
+
+// CloneStmt returns a deep copy of s sharing no nodes with it. A nil
+// statement clones to nil.
+func CloneStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case nil:
+		return nil
+	case *BlockStmt:
+		c := &BlockStmt{LBrace: s.LBrace}
+		for _, st := range s.Stmts {
+			c.Stmts = append(c.Stmts, CloneStmt(st))
+		}
+		return c
+	case *DeclStmt:
+		c := &DeclStmt{}
+		for _, d := range s.Decls {
+			c.Decls = append(c.Decls, CloneVarDecl(d))
+		}
+		return c
+	case *ExprStmt:
+		return &ExprStmt{X: CloneExpr(s.X)}
+	case *IfStmt:
+		return &IfStmt{IfPos: s.IfPos, Cond: CloneExpr(s.Cond),
+			Then: CloneStmt(s.Then), Else: CloneStmt(s.Else)}
+	case *WhileStmt:
+		return &WhileStmt{WhilePos: s.WhilePos, Cond: CloneExpr(s.Cond), Body: CloneStmt(s.Body)}
+	case *ForStmt:
+		return &ForStmt{ForPos: s.ForPos, Init: CloneStmt(s.Init),
+			Cond: CloneExpr(s.Cond), Post: CloneExpr(s.Post), Body: CloneStmt(s.Body)}
+	case *ReturnStmt:
+		return &ReturnStmt{RetPos: s.RetPos, Value: CloneExpr(s.Value)}
+	case *BreakStmt:
+		c := *s
+		return &c
+	case *ContinueStmt:
+		c := *s
+		return &c
+	}
+	return s // unknown node kinds pass through unchanged
+}
+
+// CloneExpr returns a deep copy of e sharing no nodes with it. A nil
+// expression clones to nil.
+func CloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *IntLit:
+		c := *e
+		return &c
+	case *FloatLit:
+		c := *e
+		return &c
+	case *StrLit:
+		c := *e
+		return &c
+	case *LineExpr:
+		c := *e
+		return &c
+	case *Ident:
+		c := *e
+		return &c
+	case *Unary:
+		c := *e
+		c.X = CloneExpr(e.X)
+		return &c
+	case *Binary:
+		c := *e
+		c.X = CloneExpr(e.X)
+		c.Y = CloneExpr(e.Y)
+		return &c
+	case *Assign:
+		c := *e
+		c.LHS = CloneExpr(e.LHS)
+		c.RHS = CloneExpr(e.RHS)
+		return &c
+	case *Cond:
+		c := *e
+		c.C = CloneExpr(e.C)
+		c.X = CloneExpr(e.X)
+		c.Y = CloneExpr(e.Y)
+		return &c
+	case *Call:
+		c := *e
+		if e.Fun != nil {
+			fun := *e.Fun
+			c.Fun = &fun
+		}
+		c.Args = nil
+		for _, a := range e.Args {
+			c.Args = append(c.Args, CloneExpr(a))
+		}
+		return &c
+	case *Index:
+		c := *e
+		c.X = CloneExpr(e.X)
+		c.Idx = CloneExpr(e.Idx)
+		return &c
+	case *Member:
+		c := *e
+		c.X = CloneExpr(e.X)
+		return &c
+	case *CastExpr:
+		c := *e
+		c.X = CloneExpr(e.X)
+		return &c
+	case *SizeofExpr:
+		c := *e
+		return &c
+	}
+	return e // unknown node kinds pass through unchanged
+}

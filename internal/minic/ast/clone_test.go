@@ -1,0 +1,124 @@
+package ast_test
+
+import (
+	"testing"
+
+	"compdiff/internal/minic/ast"
+	"compdiff/internal/minic/parser"
+)
+
+// cloneSrc exercises every cloneable node kind: structs, globals,
+// statics, all statement forms, and the full expression grammar.
+const cloneSrc = `
+struct pair { int a; int b; };
+int g = 4;
+int helper(int x, int y) {
+  return x * y + 2;
+}
+int main() {
+  static int s = 1;
+  int v = (3 + 4);
+  int arr[4];
+  double d = 1.5 * 2.0 + 0.5;
+  char* msg = "hello";
+  struct pair p;
+  struct pair* pp = &p;
+  p.a = 1;
+  pp->b = 2;
+  arr[0] = v > 0 ? v : -v;
+  unsigned u = (unsigned)v + sizeof(int);
+  v += helper(v, g);
+  v++;
+  --v;
+  while (v > 100) { v = v / 2; }
+  for (int i = 0; i < 3; i = i + 1) {
+    if (i == 1) { continue; }
+    if (i == 2) { break; }
+    u = u ^ (unsigned)i;
+    !v;
+    ~v;
+    v << 1;
+    v && g || s;
+    __LINE__;
+  }
+  printf("%d %d %ld\n", v, p.a + pp->b, (long)u);
+  return v & 63;
+}`
+
+// collectNodes gathers the identity of every statement and expression
+// node reachable from p (decl initializers included).
+func collectNodes(p *ast.Program) map[ast.Node]bool {
+	seen := map[ast.Node]bool{}
+	addExpr := func(e ast.Expr) {
+		if e != nil {
+			seen[e] = true
+		}
+	}
+	for _, g := range p.Globals {
+		addExpr(g.Init)
+	}
+	for _, f := range p.Funcs {
+		ast.Walk(f.Body, func(s ast.Stmt) bool {
+			seen[s] = true
+			return true
+		})
+		ast.WalkExprs(f.Body, addExpr)
+	}
+	return seen
+}
+
+func TestCloneProgramSharesNoNodes(t *testing.T) {
+	orig := parser.MustParse(cloneSrc)
+	clone := ast.CloneProgram(orig)
+
+	if got, want := ast.Print(clone), ast.Print(orig); got != want {
+		t.Fatalf("clone prints differently:\n--- clone ---\n%s\n--- orig ---\n%s", got, want)
+	}
+
+	origNodes := collectNodes(orig)
+	if len(origNodes) < 40 {
+		t.Fatalf("test program too small: only %d nodes collected", len(origNodes))
+	}
+	for n := range collectNodes(clone) {
+		if origNodes[n] {
+			t.Fatalf("clone shares node %T %+v with the original", n, n)
+		}
+	}
+}
+
+func TestCloneIsIndependentlyMutable(t *testing.T) {
+	orig := parser.MustParse(cloneSrc)
+	before := ast.Print(orig)
+	clone := ast.CloneProgram(orig)
+
+	// Rewrite every integer literal in the clone; the original must not
+	// move.
+	for _, f := range clone.Funcs {
+		ast.WalkExprs(f.Body, func(e ast.Expr) {
+			if lit, ok := e.(*ast.IntLit); ok {
+				lit.Value = 999
+			}
+		})
+	}
+	if got := ast.Print(orig); got != before {
+		t.Fatal("mutating the clone changed the original program")
+	}
+}
+
+func TestCloneNilForms(t *testing.T) {
+	if ast.CloneProgram(nil) != nil {
+		t.Fatal("CloneProgram(nil) != nil")
+	}
+	if ast.CloneExpr(nil) != nil {
+		t.Fatal("CloneExpr(nil) != nil")
+	}
+	if ast.CloneStmt(nil) != nil {
+		t.Fatal("CloneStmt(nil) != nil")
+	}
+	// Statements with optional nil children clone without panicking.
+	s := &ast.IfStmt{Cond: &ast.IntLit{Value: 1}, Then: &ast.BlockStmt{}}
+	c := ast.CloneStmt(s).(*ast.IfStmt)
+	if c == s || c.Else != nil {
+		t.Fatalf("clone of else-less if: %+v", c)
+	}
+}

@@ -161,12 +161,12 @@ type Snapshot struct {
 	// UniqueBuckets counts distinct divergence-fingerprint buckets —
 	// the triage layer's deduplicated finding count, always <=
 	// UniqueDiffs since the fingerprint coarsens the signature.
-	UniqueBuckets int `json:"unique_buckets"`
-	UniqueCrashes int `json:"unique_crashes"`
-	OK              int64   `json:"ok"`
-	Crash           int64   `json:"crash"`
-	StepLimitHang   int64   `json:"step_limit_hang"`
-	Diff            int64   `json:"diff"`
+	UniqueBuckets int   `json:"unique_buckets"`
+	UniqueCrashes int   `json:"unique_crashes"`
+	OK            int64 `json:"ok"`
+	Crash         int64 `json:"crash"`
+	StepLimitHang int64 `json:"step_limit_hang"`
+	Diff          int64 `json:"diff"`
 	// PlateauExecs is the number of executions since the queue last
 	// grew (AFL's "last new path" age) — pools report the smallest
 	// per-shard value.
@@ -186,6 +186,16 @@ type Snapshot struct {
 	CompileDivergences int   `json:"compile_divergences,omitempty"`
 	ICEs               int   `json:"ices,omitempty"`
 	DiagMismatches     int   `json:"diag_mismatches,omitempty"`
+
+	// Evolutionary-campaign telemetry, set only in -evolve mode (same
+	// omitempty discipline as the compile-stage block above).
+	// Generation is the number of fully evaluated generations;
+	// PassCoverage counts distinct (implementation, optimizer-pass)
+	// pairs fired so far — the campaign's cumulative rewrite coverage.
+	Generation   int     `json:"generation,omitempty"`
+	BestFitness  float64 `json:"best_fitness,omitempty"`
+	MeanFitness  float64 `json:"mean_fitness,omitempty"`
+	PassCoverage int     `json:"pass_coverage,omitempty"`
 }
 
 // SetClasses fills the per-class fields from a ClassCounters snapshot.
@@ -204,14 +214,14 @@ func (s *Snapshot) ClassTotal() int64 {
 
 // ShardSnapshot is one shard's state inside a pool snapshot.
 type ShardSnapshot struct {
-	Shard        int    `json:"shard"`
-	Role         string `json:"role"` // "main" or "secondary", AFL -M/-S
-	Execs        int64  `json:"execs"`
-	Queue        int    `json:"queue"`
+	Shard         int    `json:"shard"`
+	Role          string `json:"role"` // "main" or "secondary", AFL -M/-S
+	Execs         int64  `json:"execs"`
+	Queue         int    `json:"queue"`
 	UniqueDiffs   int    `json:"unique_diffs"`
 	UniqueBuckets int    `json:"unique_buckets"`
 	PlateauExecs  int64  `json:"plateau_execs"`
-	Retired      bool   `json:"retired"`
+	Retired       bool   `json:"retired"`
 }
 
 // Recorder timestamps snapshots, keeps the in-memory series, and

@@ -117,7 +117,9 @@ func collapseStmtEdit(p *ast.Program, k int) bool {
 					variants = append(variants, s.Body)
 				}
 				if k < idx+len(variants) {
-					b.Stmts[i] = variants[k-idx]
+					// Clone on accept: the surviving branch must not
+					// alias the wrapper's children (see exprVariants).
+					b.Stmts[i] = ast.CloneStmt(variants[k-idx])
 					return true
 				}
 				idx += len(variants)
@@ -130,7 +132,7 @@ func collapseStmtEdit(p *ast.Program, k int) bool {
 // useInfo summarizes how a name is used inside a function body.
 type useInfo struct {
 	uses   int
-	unsafe bool      // written, address-taken, or inc/dec'd
+	unsafe bool       // written, address-taken, or inc/dec'd
 	only   *ast.Ident // the single use when uses == 1
 }
 
@@ -203,7 +205,9 @@ func inlineLocalEdit(p *ast.Program, k int) bool {
 					}
 					// Replace the read with the initializer, then drop
 					// the declaration (and its DeclStmt if now empty).
-					target, repl := info.only, d.Init
+					// The substituted initializer is a clone, never the
+					// declaration's own node (see exprVariants).
+					target, repl := info.only, ast.CloneExpr(d.Init)
 					for _, fn := range p.Funcs {
 						mapStmtExprs(fn.Body, func(e ast.Expr) ast.Expr {
 							if e == ast.Expr(target) {
@@ -227,19 +231,28 @@ func inlineLocalEdit(p *ast.Program, k int) bool {
 // exprVariants lists the monotone simplifications of one expression
 // node: replace an operator node by one operand, strip a cast, or
 // shrink a literal toward zero / the empty string.
+//
+// Every variant is a deep clone, never a child pointer of e. Under
+// Reduce's reparse-per-candidate discipline aliasing was harmless (a
+// rejected candidate's tree is thrown away), but these passes are also
+// run inverted and reused as in-place population mutators by
+// internal/evolve, where splicing e.X into an offspring while the
+// parent genome still holds e would let one mutation reach into its
+// siblings. Cloning on accept keeps every produced tree node-disjoint
+// from its source.
 func exprVariants(e ast.Expr) []ast.Expr {
 	switch e := e.(type) {
 	case *ast.Binary:
-		return []ast.Expr{e.X, e.Y}
+		return []ast.Expr{ast.CloneExpr(e.X), ast.CloneExpr(e.Y)}
 	case *ast.Cond:
-		return []ast.Expr{e.X, e.Y}
+		return []ast.Expr{ast.CloneExpr(e.X), ast.CloneExpr(e.Y)}
 	case *ast.Unary:
 		switch e.Op {
 		case ast.Neg, ast.LogicalNot, ast.BitNot:
-			return []ast.Expr{e.X}
+			return []ast.Expr{ast.CloneExpr(e.X)}
 		}
 	case *ast.CastExpr:
-		return []ast.Expr{e.X}
+		return []ast.Expr{ast.CloneExpr(e.X)}
 	case *ast.IntLit:
 		if e.Value != 0 && e.Value != 1 {
 			zero := &ast.IntLit{Value: 0, LitPos: e.LitPos}

@@ -1,0 +1,127 @@
+package triage
+
+import (
+	"testing"
+
+	"compdiff/internal/minic/ast"
+	"compdiff/internal/minic/parser"
+)
+
+// allNodes collects the identity of every statement and expression
+// node in a program.
+func allNodes(p *ast.Program) map[ast.Node]bool {
+	seen := map[ast.Node]bool{}
+	for _, g := range p.Globals {
+		if g.Init != nil {
+			seen[g.Init] = true
+		}
+	}
+	for _, f := range p.Funcs {
+		ast.Walk(f.Body, func(s ast.Stmt) bool {
+			seen[s] = true
+			return true
+		})
+		ast.WalkExprs(f.Body, func(e ast.Expr) {
+			seen[e] = true
+		})
+	}
+	return seen
+}
+
+// TestSimplifyExprClonesOnAccept pins the aliasing fix directly: when
+// simplify-expr replaces `a + b` by its left operand, the node spliced
+// into the tree must be a clone of `a`, not the Binary's own child
+// pointer — a caller holding the enumerated node must not be able to
+// reach the accepted tree through it.
+func TestSimplifyExprClonesOnAccept(t *testing.T) {
+	p := parser.MustParse(`int main() { int a = 0; int b = 1; return a + b; }`)
+	ret := p.Funcs[0].Body.Stmts[2].(*ast.ReturnStmt)
+	bin := ret.Value.(*ast.Binary)
+	origX := bin.X
+
+	if !simplifyExprEdit(p, 0) {
+		t.Fatal("edit 0 (binary -> left operand) not found")
+	}
+	id, ok := ret.Value.(*ast.Ident)
+	if !ok || id.Name != "a" {
+		t.Fatalf("return value after edit = %T, want Ident a", ret.Value)
+	}
+	if ast.Expr(id) == origX {
+		t.Fatal("accepted variant is the source tree's own child pointer; want a clone")
+	}
+}
+
+// TestCollapseStmtClonesOnAccept does the same for collapse-stmt: the
+// surviving branch installed in the block must not be the IfStmt's own
+// Then pointer.
+func TestCollapseStmtClonesOnAccept(t *testing.T) {
+	p := parser.MustParse(`int main() { if (1) { return 2; } return 0; }`)
+	ifs := p.Funcs[0].Body.Stmts[0].(*ast.IfStmt)
+	origThen := ifs.Then
+
+	if !collapseStmtEdit(p, 0) {
+		t.Fatal("edit 0 (if -> then) not found")
+	}
+	if p.Funcs[0].Body.Stmts[0] == origThen {
+		t.Fatal("accepted branch is the wrapper's own child pointer; want a clone")
+	}
+	if got := ast.Print(p); got != ast.Print(parser.MustParse(`int main() { { return 2; } return 0; }`)) {
+		t.Fatalf("collapsed program prints unexpectedly:\n%s", got)
+	}
+}
+
+// TestInlineLocalClonesOnAccept: the initializer substituted for the
+// single read must be a clone of the declaration's Init, not the node
+// itself.
+func TestInlineLocalClonesOnAccept(t *testing.T) {
+	p := parser.MustParse(`int main() { int a = (1 + 0); return a; }`)
+	decl := p.Funcs[0].Body.Stmts[0].(*ast.DeclStmt)
+	origInit := decl.Decls[0].Init
+
+	if !inlineLocalEdit(p, 0) {
+		t.Fatal("edit 0 (inline a) not found")
+	}
+	ret := p.Funcs[0].Body.Stmts[0].(*ast.ReturnStmt)
+	if ret.Value == origInit {
+		t.Fatal("inlined initializer is the declaration's own node; want a clone")
+	}
+}
+
+// TestOffspringShareNoNodes is the population-mutator scenario from
+// the evolve engine: two offspring derived from one parent (clone,
+// then one in-place pass edit each) must share no AST node with each
+// other or with the parent, so mutating one can never corrupt another
+// genome.
+func TestOffspringShareNoNodes(t *testing.T) {
+	parent := parser.MustParse(`
+int main() {
+  int a = 0;
+  int b = 1;
+  if (a < b) { a = a + 1; }
+  while (b > 0) { b = b - 1; }
+  return a + b;
+}`)
+	offA := ast.CloneProgram(parent)
+	offB := ast.CloneProgram(parent)
+	if !simplifyExprEdit(offA, 0) {
+		t.Fatal("offspring A edit not found")
+	}
+	if !collapseStmtEdit(offB, 0) {
+		t.Fatal("offspring B edit not found")
+	}
+
+	pn, an, bn := allNodes(parent), allNodes(offA), allNodes(offB)
+	for n := range an {
+		if pn[n] {
+			t.Fatalf("offspring A shares node %T with the parent", n)
+		}
+		if bn[n] {
+			t.Fatalf("offspring A shares node %T with offspring B", n)
+		}
+	}
+	for n := range bn {
+		if pn[n] {
+			t.Fatalf("offspring B shares node %T with the parent", n)
+		}
+	}
+}

@@ -61,6 +61,7 @@ go test -fuzz=FuzzSuiteRun -fuzztime="$FUZZTIME" -run='^$' .
 go test -fuzz=FuzzReduce -fuzztime="$FUZZTIME" -run='^$' ./internal/triage
 go test -fuzz=FuzzCompileOracle -fuzztime="$FUZZTIME" -run='^$' .
 go test -fuzz=FuzzProgCache -fuzztime="$FUZZTIME" -run='^$' ./internal/progcache
+go test -fuzz=FuzzEvolveMutate -fuzztime="$FUZZTIME" -run='^$' ./internal/evolve
 
 # Coverage gate: per-package table plus hard floors on the triage
 # layer, whose whole contract lives in its tests.
@@ -228,6 +229,35 @@ done
 grep -q '^farm spent' "$SMOKE_DIR/serve.log" || {
 	echo "serve smoke: no farm summary after drain" >&2
 	cat "$SMOKE_DIR/serve.log" >&2
+	exit 1
+}
+
+# Evolve smoke: a micro evolutionary campaign must fire optimizer
+# passes and stream per-generation fitness telemetry into plot.jsonl.
+# The fitness and pass_coverage fields are omitempty, so their mere
+# presence in a plot line proves they were nonzero.
+echo "== evolve smoke (-evolve, pop 6, 3 generations)"
+EVOLVE_STATS="$SMOKE_DIR/evolve-stats"
+"$SMOKE_DIR/compdiff-fuzz" -evolve -pop 6 -generations 3 -seed 7 \
+	-stats "$EVOLVE_STATS" >"$SMOKE_DIR/evolve.log" 2>&1
+grep -q '^pass coverage  : [1-9]' "$SMOKE_DIR/evolve.log" || {
+	echo "evolve smoke: campaign reported no cumulative pass coverage" >&2
+	cat "$SMOKE_DIR/evolve.log" >&2
+	exit 1
+}
+grep -q '"generation":' "$EVOLVE_STATS/plot.jsonl" || {
+	echo "evolve smoke: no per-generation snapshots in plot.jsonl" >&2
+	cat "$EVOLVE_STATS/plot.jsonl" >&2
+	exit 1
+}
+grep -q '"pass_coverage":' "$EVOLVE_STATS/plot.jsonl" || {
+	echo "evolve smoke: no pass-coverage telemetry in plot.jsonl" >&2
+	cat "$EVOLVE_STATS/plot.jsonl" >&2
+	exit 1
+}
+grep -Eq '"(best|mean)_fitness":' "$EVOLVE_STATS/plot.jsonl" || {
+	echo "evolve smoke: no fitness telemetry in plot.jsonl" >&2
+	cat "$EVOLVE_STATS/plot.jsonl" >&2
 	exit 1
 }
 

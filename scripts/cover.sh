@@ -47,5 +47,9 @@ floor compdiff/internal/checkpoint 85
 # The supervisor is all failure paths: restart intensity, backoff,
 # replay gaps, drain races. Untested lines here are untested outages.
 floor compdiff/internal/supervisor 85
+# The evolve engine is pure logic (fitness, selection, gated
+# mutation); its determinism and validity contracts live entirely in
+# its tests.
+floor compdiff/internal/evolve 85
 
 echo "== cover OK"
